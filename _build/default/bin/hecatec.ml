@@ -1,0 +1,214 @@
+(* hecatec: command-line driver for the HECATE compiler.
+
+   Subcommands:
+     compile   parse a .hec program, scale-manage it under a scheme, print
+               the managed IR, selected parameters and estimated latency
+     run       compile and execute on the in-repo RNS-CKKS backend
+     bench     compile one of the built-in benchmarks
+     info      structural statistics of a program (SMUs, liveness, ...)
+*)
+
+open Cmdliner
+
+module Prog = Hecate_ir.Prog
+module Parser = Hecate_ir.Parser
+module Printer = Hecate_ir.Printer
+module Liveness = Hecate_ir.Liveness
+module Driver = Hecate.Driver
+module Smu = Hecate.Smu
+module Paramselect = Hecate.Paramselect
+module Interp = Hecate_backend.Interp
+module Accuracy = Hecate_backend.Accuracy
+module Apps = Hecate_apps.Apps
+
+let scheme_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "eva" -> Ok Driver.Eva
+    | "pars" -> Ok Driver.Pars
+    | "smse" -> Ok Driver.Smse
+    | "hecate" -> Ok Driver.Hecate
+    | _ -> Error (`Msg "scheme must be one of: eva, pars, smse, hecate")
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Driver.scheme_name s))
+
+let scheme_arg =
+  Arg.(value & opt scheme_conv Driver.Hecate & info [ "s"; "scheme" ] ~docv:"SCHEME"
+         ~doc:"Scale-management scheme: eva, pars, smse or hecate.")
+
+let waterline_arg =
+  Arg.(value & opt float 20. & info [ "w"; "waterline" ] ~docv:"BITS"
+         ~doc:"Waterline (minimum ciphertext scale), in bits.")
+
+let sf_arg =
+  Arg.(value & opt int 28 & info [ "f"; "rescale-factor" ] ~docv:"BITS"
+         ~doc:"Rescaling factor $(b,S_f) (rescale prime size), in bits.")
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input .hec program.")
+
+let bench_conv =
+  let parse s =
+    let pick f = Ok (f ()) in
+    match String.lowercase_ascii s with
+    | "sf" | "sobel" -> pick (fun () -> Apps.sobel ())
+    | "hcd" | "harris" -> pick (fun () -> Apps.harris ())
+    | "mlp" -> pick (fun () -> Apps.mlp ())
+    | "lenet" -> pick (fun () -> Apps.lenet ())
+    | "lenet-r" -> pick (fun () -> Apps.lenet ~reduced:true ())
+    | "lr-e2" -> pick (fun () -> Apps.linear_regression ~epochs:2 ())
+    | "lr-e3" -> pick (fun () -> Apps.linear_regression ~epochs:3 ())
+    | "pr-e2" -> pick (fun () -> Apps.polynomial_regression ~epochs:2 ())
+    | "pr-e3" -> pick (fun () -> Apps.polynomial_regression ~epochs:3 ())
+    | _ -> Error (`Msg "unknown benchmark (sf, hcd, mlp, lenet, lenet-r, lr-e2, lr-e3, pr-e2, pr-e3)")
+  in
+  Arg.conv (parse, fun fmt (b : Apps.t) -> Format.pp_print_string fmt b.Apps.name)
+
+let report_compiled ?(dump = true) (c : Driver.compiled) =
+  if dump then print_string (Printer.to_string c.Driver.prog);
+  Printf.printf "; ops: %d\n" (Prog.num_ops c.Driver.prog);
+  Printf.printf "; modulus chain: q0 = %d bits + %d rescale primes x %d bits (log2 Q = %.0f)\n"
+    c.Driver.params.Paramselect.q0_bits c.Driver.params.Paramselect.chain_levels
+    c.Driver.params.Paramselect.sf_bits c.Driver.params.Paramselect.log_q;
+  Printf.printf "; ring degree for 128-bit security: N = %d\n" c.Driver.params.Paramselect.secure_n;
+  Printf.printf "; estimated latency at that degree: %.3f s\n" c.Driver.estimated_seconds;
+  match c.Driver.exploration with
+  | None -> ()
+  | Some e ->
+      Printf.printf "; exploration: %d units, %d edges, %d epochs, %d plans\n" e.Driver.units
+        e.Driver.smu_edges e.Driver.epochs e.Driver.plans_explored
+
+let compile_cmd =
+  let run file scheme waterline sf show_schedule =
+    let prog = Parser.parse_file file in
+    let c = Driver.compile scheme ~sf_bits:sf ~waterline_bits:waterline prog in
+    report_compiled c;
+    if show_schedule then begin
+      print_endline "; lowered schedule (SEAL dialect):";
+      Format.printf "%a@?" Hecate_backend.Schedule.pp
+        (Hecate_backend.Schedule.lower c.Driver.prog)
+    end
+  in
+  let schedule_arg =
+    Arg.(value & flag & info [ "schedule" ]
+           ~doc:"Also print the lowered buffer-addressed schedule.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Scale-manage a .hec program and print the result.")
+    Term.(const run $ file_arg $ scheme_arg $ waterline_arg $ sf_arg $ schedule_arg)
+
+let run_cmd =
+  let run file scheme waterline sf seed =
+    let prog = Parser.parse_file file in
+    let c = Driver.compile scheme ~sf_bits:sf ~waterline_bits:waterline prog in
+    report_compiled ~dump:false c;
+    (* random inputs in [0,1) for every declared input *)
+    let g = Hecate_support.Prng.create ~seed in
+    let inputs =
+      List.map
+        (fun v ->
+          match (Prog.op c.Driver.prog v).Prog.kind with
+          | Prog.Input { name } ->
+              (name, Array.init prog.Prog.slot_count (fun _ -> Hecate_support.Prng.float01 g))
+          | _ -> assert false)
+        c.Driver.prog.Prog.inputs
+    in
+    let eval =
+      Interp.context ~params:c.Driver.params
+        ~rotations:(Interp.required_rotations c.Driver.prog) ()
+    in
+    let acc =
+      Accuracy.measure eval ~waterline_bits:waterline c.Driver.prog ~inputs
+        ~valid_slots:prog.Prog.slot_count
+    in
+    Printf.printf "; executed in %.3f s (ring degree %d, reduced-degree simulation)\n"
+      acc.Accuracy.elapsed_seconds
+      (Hecate_ckks.Eval.params eval).Hecate_ckks.Params.n;
+    Printf.printf "; rmse vs plaintext reference: %.3e (max %.3e)\n" acc.Accuracy.rmse
+      acc.Accuracy.max_abs_error;
+    List.iteri
+      (fun i out ->
+        let k = min 8 (Array.length out) in
+        Printf.printf "; output %d (first %d slots):" i k;
+        Array.iter (fun x -> Printf.printf " %.5f" x) (Array.sub out 0 k);
+        print_newline ())
+      acc.Accuracy.outputs
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Input generator seed.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a .hec program on the in-repo CKKS backend.")
+    Term.(const run $ file_arg $ scheme_arg $ waterline_arg $ sf_arg $ seed_arg)
+
+let bench_cmd =
+  let run bench scheme waterline sf dump =
+    let (b : Apps.t) = bench in
+    Printf.printf "; benchmark %s (%d ops before scale management)\n" b.Apps.name
+      (Prog.num_ops b.Apps.prog);
+    let c = Driver.compile scheme ~sf_bits:sf ~waterline_bits:waterline b.Apps.prog in
+    report_compiled ~dump c
+  in
+  let bench_arg =
+    Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH"
+           ~doc:"Built-in benchmark name (sf, hcd, mlp, lenet, lenet-r, lr-e2, lr-e3, pr-e2, pr-e3).")
+  in
+  let dump_arg =
+    Arg.(value & flag & info [ "dump" ] ~doc:"Print the managed IR (can be large).")
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Compile a built-in benchmark and report statistics.")
+    Term.(const run $ bench_arg $ scheme_arg $ waterline_arg $ sf_arg $ dump_arg)
+
+let dump_cmd =
+  let run bench out =
+    let (b : Apps.t) = bench in
+    let text = Printer.to_string b.Apps.prog in
+    match out with
+    | None -> print_string text
+    | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Printf.sprintf "# %s: unmanaged HECATE IR exported by `hecatec dump`\n" b.Apps.name);
+        output_string oc text;
+        close_out oc;
+        Printf.printf "wrote %s (%d ops)\n" path (Prog.num_ops b.Apps.prog)
+  in
+  let bench_arg =
+    Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH"
+           ~doc:"Built-in benchmark to export.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Export a built-in benchmark as a textual .hec program.")
+    Term.(const run $ bench_arg $ out_arg)
+
+let info_cmd =
+  let run file =
+    let prog = Parser.parse_file file in
+    let uses =
+      Array.fold_left (fun acc (o : Prog.op) -> acc + Array.length o.Prog.args) 0 prog.Prog.body
+    in
+    Printf.printf "ops:            %d\n" (Prog.num_ops prog);
+    Printf.printf "use-def edges:  %d\n" uses;
+    Printf.printf "inputs:         %d\n" (List.length prog.Prog.inputs);
+    Printf.printf "outputs:        %d\n" (List.length prog.Prog.outputs);
+    (match Smu.generate prog with
+    | smu ->
+        Printf.printf "SMUs:           %d\n" (Smu.unit_count smu);
+        Printf.printf "SMU edges:      %d\n" (Smu.edge_count smu)
+    | exception Invalid_argument _ ->
+        Printf.printf "SMUs:           n/a (program already scale-managed)\n");
+    let live = Liveness.analyze prog in
+    Printf.printf "peak live:      %d ciphertexts\n" live.Liveness.peak_live;
+    Printf.printf "buffers needed: %d\n" live.Liveness.buffer_count
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Structural statistics of a .hec program.")
+    Term.(const run $ file_arg)
+
+let () =
+  let doc = "HECATE: performance-aware scale optimization for RNS-CKKS programs" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "hecatec" ~doc) [ compile_cmd; run_cmd; bench_cmd; dump_cmd; info_cmd ]))

@@ -1,0 +1,1 @@
+examples/encrypted_regression.ml: Array Hecate Hecate_apps Hecate_backend List Printf

@@ -1,0 +1,1 @@
+examples/encrypted_regression.mli:

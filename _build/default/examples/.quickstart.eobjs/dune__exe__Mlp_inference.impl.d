@@ -1,0 +1,1 @@
+examples/mlp_inference.ml: Array Hecate Hecate_apps Hecate_backend Hecate_ir List Printf

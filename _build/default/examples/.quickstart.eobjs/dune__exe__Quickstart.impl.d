@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Hecate Hecate_backend Hecate_frontend Hecate_ir Hecate_support List Printf

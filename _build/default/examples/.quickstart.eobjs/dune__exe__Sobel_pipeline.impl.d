@@ -1,0 +1,1 @@
+examples/sobel_pipeline.ml: Array Hecate Hecate_apps Hecate_backend Hecate_ir List Printf

@@ -1,0 +1,1 @@
+examples/sobel_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/waterline_frontier.ml: Hecate Hecate_apps Hecate_backend List Printf String

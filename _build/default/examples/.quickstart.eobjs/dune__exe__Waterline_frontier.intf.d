@@ -1,0 +1,1 @@
+examples/waterline_frontier.mli:

@@ -1,0 +1,51 @@
+(* The tensor frontend: a small CNN written with shapes instead of slots.
+
+   conv 3x3 -> square -> avg-pool -> flatten -> dense(10), on an encrypted
+   12x12 image. The tensor layer (CHET-style, see lib/frontend/tensor.mli)
+   tracks grids and dilations and lowers onto the packed-vector DSL; HECATE
+   then scale-manages the result like any other program.
+
+   Run with:  dune exec examples/cnn_tensor.exe *)
+
+module Tensor = Hecate_frontend.Tensor
+module Driver = Hecate.Driver
+module Interp = Hecate_backend.Interp
+module Accuracy = Hecate_backend.Accuracy
+module Prng = Hecate_support.Prng
+
+let () =
+  let g = Prng.create ~seed:0xC91 in
+  let h = 12 and w = 12 in
+  let img = Array.init (h * w) (fun _ -> Prng.float01 g) in
+  let kernel = Array.init 3 (fun _ -> Array.init 3 (fun _ -> (Prng.float01 g -. 0.5) /. 3.)) in
+
+  let c = Tensor.create ~name:"cnn" ~slot_count:256 () in
+  let x = Tensor.input_image c "img" ~height:h ~width:w in
+  let conv = Tensor.conv2d x ~kernel ~bias:0.1 in
+  let act = Tensor.square conv in
+  let pooled = Tensor.avg_pool2x2 act in
+  let rows, cols = Tensor.dims pooled in
+  Printf.printf "feature map: %dx%d at dilation %d\n" rows cols (Tensor.dilation pooled);
+  let flat = Tensor.compact pooled in
+  let _, feat = Tensor.dims flat in
+  let weights = Array.init 10 (fun _ -> Array.init feat (fun _ -> (Prng.float01 g -. 0.5) /. 8.)) in
+  let bias = Array.init 10 (fun _ -> Prng.float01 g /. 10.) in
+  Tensor.output c (Tensor.dense flat ~weights ~bias);
+  let prog = Tensor.finish c in
+  Printf.printf "lowered to %d IR operations\n\n" (Hecate_ir.Prog.num_ops prog);
+
+  Printf.printf "%-8s %10s %12s %10s\n" "scheme" "est (s)" "actual (s)" "rmse";
+  List.iter
+    (fun scheme ->
+      let compiled = Driver.compile scheme ~sf_bits:28 ~waterline_bits:24. prog in
+      let eval =
+        Interp.context ~params:compiled.Driver.params
+          ~rotations:(Interp.required_rotations compiled.Driver.prog) ()
+      in
+      let acc =
+        Accuracy.measure eval ~waterline_bits:24. compiled.Driver.prog
+          ~inputs:[ ("img", img) ] ~valid_slots:10
+      in
+      Printf.printf "%-8s %10.3f %12.3f %10.2e\n%!" (Driver.scheme_name scheme)
+        compiled.Driver.estimated_seconds acc.Accuracy.elapsed_seconds acc.Accuracy.rmse)
+    Driver.all_schemes

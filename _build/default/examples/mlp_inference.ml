@@ -1,0 +1,43 @@
+(* Private neural-network inference: a small MLP with square activations
+   classifying an encrypted input vector, end to end.
+
+   Shows HECATE's whole pipeline on the paper's MLP workload shape:
+   DSL program -> scale management (all four schemes) -> parameter selection
+   -> encrypted execution -> argmax over decrypted logits.
+
+   Run with:  dune exec examples/mlp_inference.exe *)
+
+module Apps = Hecate_apps.Apps
+module Driver = Hecate.Driver
+module Interp = Hecate_backend.Interp
+module Accuracy = Hecate_backend.Accuracy
+module Reference = Hecate_backend.Reference
+
+let argmax a =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if x > a.(!best) then best := i) a;
+  !best
+
+let () =
+  let bench = Apps.mlp ~in_dim:64 ~hidden:32 ~out_dim:10 () in
+  Printf.printf "MLP 64-32-10 with square activation (%d IR ops)\n%!"
+    (Hecate_ir.Prog.num_ops bench.Apps.prog);
+  let expected = List.hd (Reference.execute bench.Apps.prog ~inputs:bench.Apps.inputs) in
+  Printf.printf "plaintext logits argmax: class %d\n\n%!" (argmax (Array.sub expected 0 10));
+  Printf.printf "%-8s %12s %12s %10s %8s\n" "scheme" "est (s)" "actual (s)" "rmse" "class";
+  List.iter
+    (fun scheme ->
+      let c = Driver.compile scheme ~sf_bits:28 ~waterline_bits:22. bench.Apps.prog in
+      let eval =
+        Interp.context ~params:c.Driver.params
+          ~rotations:(Interp.required_rotations c.Driver.prog) ()
+      in
+      let acc =
+        Accuracy.measure eval ~waterline_bits:22. c.Driver.prog ~inputs:bench.Apps.inputs
+          ~valid_slots:10
+      in
+      let logits = Array.sub (List.hd acc.Accuracy.outputs) 0 10 in
+      Printf.printf "%-8s %12.3f %12.3f %10.2e %8d\n%!" (Driver.scheme_name scheme)
+        c.Driver.estimated_seconds acc.Accuracy.elapsed_seconds acc.Accuracy.rmse
+        (argmax logits))
+    Driver.all_schemes

@@ -1,0 +1,1 @@
+lib/apps/apps.ml: Array Hecate_frontend Hecate_ir Hecate_support List Printf

@@ -1,0 +1,258 @@
+module Dsl = Hecate_frontend.Dsl
+module Prng = Hecate_support.Prng
+
+type t = {
+  name : string;
+  prog : Hecate_ir.Prog.t;
+  inputs : (string * float array) list;
+  valid_slots : int;
+}
+
+let random_vector g k ~lo ~hi = Array.init k (fun _ -> lo +. ((hi -. lo) *. Prng.float01 g))
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* Sobel filter                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* 3x3 gradient stencils, centered taps (wrap-around at image edges). *)
+let sobel_gx = [ (-1, -1, -1.); (-1, 1, 1.); (0, -1, -2.); (0, 1, 2.); (1, -1, -1.); (1, 1, 1.) ]
+let sobel_gy = [ (-1, -1, -1.); (-1, 0, -2.); (-1, 1, -1.); (1, -1, 1.); (1, 0, 2.); (1, 1, 1.) ]
+
+let sobel ?(size = 64) () =
+  let slots = next_pow2 (size * size) in
+  let d = Dsl.create ~name:"sobel" ~slot_count:slots () in
+  let img = Dsl.input d "image" in
+  let gx = Dsl.conv2d d ~image:img ~img_width:size ~stride:1 ~taps:sobel_gx in
+  let gy = Dsl.conv2d d ~image:img ~img_width:size ~stride:1 ~taps:sobel_gy in
+  Dsl.output d (Dsl.add d (Dsl.square d gx) (Dsl.square d gy));
+  let g = Prng.create ~seed:0x50BE1 in
+  {
+    name = "SF";
+    prog = Dsl.finish d;
+    inputs = [ ("image", random_vector g (size * size) ~lo:0. ~hi:1.) ];
+    valid_slots = size * size;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Harris corner detection                                             *)
+(* ------------------------------------------------------------------ *)
+
+let harris ?(size = 64) () =
+  let slots = next_pow2 (size * size) in
+  let d = Dsl.create ~name:"harris" ~slot_count:slots () in
+  let img = Dsl.input d "image" in
+  (* gradients are pre-scaled by 1/4 (folded into the stencil weights, exact
+     powers of two) so the rank-4 response stays O(1) and the paper's
+     absolute error bound is meaningful *)
+  let quarter taps = List.map (fun (dy, dx, w) -> (dy, dx, 0.25 *. w)) taps in
+  let ix = Dsl.conv2d d ~image:img ~img_width:size ~stride:1 ~taps:(quarter sobel_gx) in
+  let iy = Dsl.conv2d d ~image:img ~img_width:size ~stride:1 ~taps:(quarter sobel_gy) in
+  let ixx = Dsl.square d ix and iyy = Dsl.square d iy and ixy = Dsl.mul d ix iy in
+  (* 3x3 box sum of the structure tensor *)
+  let box = List.concat_map (fun dy -> List.map (fun dx -> (dy, dx, 1.)) [ -1; 0; 1 ]) [ -1; 0; 1 ] in
+  let sxx = Dsl.conv2d d ~image:ixx ~img_width:size ~stride:1 ~taps:box in
+  let syy = Dsl.conv2d d ~image:iyy ~img_width:size ~stride:1 ~taps:box in
+  let sxy = Dsl.conv2d d ~image:ixy ~img_width:size ~stride:1 ~taps:box in
+  let det = Dsl.sub d (Dsl.mul d sxx syy) (Dsl.square d sxy) in
+  let trace = Dsl.add d sxx syy in
+  let response = Dsl.sub d det (Dsl.scale_by d (Dsl.square d trace) 0.04) in
+  Dsl.output d response;
+  let g = Prng.create ~seed:0x4A1215 in
+  {
+    name = "HCD";
+    prog = Dsl.finish d;
+    inputs = [ ("image", random_vector g (size * size) ~lo:0. ~hi:1.) ];
+    valid_slots = size * size;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Multi-layer perceptron                                              *)
+(* ------------------------------------------------------------------ *)
+
+let xavier g ~fan_in = (Prng.float01 g -. 0.5) /. sqrt (float_of_int fan_in)
+
+let mlp ?(in_dim = 784) ?(hidden = 100) ?(out_dim = 10) () =
+  let slots = next_pow2 (max in_dim (max hidden out_dim)) in
+  let d = Dsl.create ~name:"mlp" ~slot_count:slots () in
+  let g = Prng.create ~seed:0x313C9 in
+  let w1 = Array.init hidden (fun _ -> Array.init in_dim (fun _ -> xavier g ~fan_in:in_dim)) in
+  let b1 = Array.init hidden (fun _ -> xavier g ~fan_in:in_dim) in
+  let w2 = Array.init out_dim (fun _ -> Array.init hidden (fun _ -> xavier g ~fan_in:hidden)) in
+  let b2 = Array.init out_dim (fun _ -> xavier g ~fan_in:hidden) in
+  let x = Dsl.input d "x" in
+  let h = Dsl.matvec d ~rows:hidden ~cols:in_dim (fun j i -> w1.(j).(i)) x in
+  let h = Dsl.add d h (Dsl.const_vector d b1) in
+  let h = Dsl.square d h in
+  let y = Dsl.matvec d ~rows:out_dim ~cols:hidden (fun j i -> w2.(j).(i)) h in
+  let y = Dsl.add d y (Dsl.const_vector d b2) in
+  Dsl.output d y;
+  {
+    name = "MLP";
+    prog = Dsl.finish d;
+    inputs = [ ("x", random_vector g in_dim ~lo:0. ~hi:1.) ];
+    valid_slots = out_dim;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* LeNet-5 (CGO 2022 variant: square activations, 64-wide FC2)         *)
+(* ------------------------------------------------------------------ *)
+
+let lenet ?(reduced = false) () =
+  let c1 = if reduced then 2 else 6 in
+  let c2 = if reduced then 4 else 16 in
+  let fc1_out = if reduced then 32 else 120 in
+  let fc2_out = if reduced then 16 else 64 in
+  let img_w = 28 in
+  let slots = 1024 in
+  let d = Dsl.create ~name:"lenet" ~slot_count:slots () in
+  let g = Prng.create ~seed:0x1E6E7 in
+  let x = Dsl.input d "image" in
+  let k5 fan = Array.init 5 (fun _ -> Array.init 5 (fun _ -> xavier g ~fan_in:fan)) in
+  let taps_of k stride_ignore =
+    ignore stride_ignore;
+    List.concat_map (fun dy -> List.map (fun dx -> (dy, dx, k.(dy).(dx))) [ 0; 1; 2; 3; 4 ]) [ 0; 1; 2; 3; 4 ]
+  in
+  (* conv1 + square + pool: 28x28 -> valid 24x24 -> grid stride 2 (12x12) *)
+  let pool1 =
+    List.init c1 (fun _ ->
+        let k = k5 25 in
+        let conv = Dsl.conv2d d ~image:x ~img_width:img_w ~stride:1 ~taps:(taps_of k 1) in
+        let conv = Dsl.add d conv (Dsl.const_scalar d (xavier g ~fan_in:25)) in
+        Dsl.avg_pool2x2 d (Dsl.square d conv) ~img_width:img_w ~stride:1)
+  in
+  (* conv2 (+bias, square) + pool: stride-2 grid -> valid 8x8 -> stride 4 (4x4) *)
+  let pool2 =
+    List.init c2 (fun _ ->
+        let contributions =
+          List.map
+            (fun inp ->
+              let k = k5 (25 * c1) in
+              Dsl.conv2d d ~image:inp ~img_width:img_w ~stride:2 ~taps:(taps_of k 2))
+            pool1
+        in
+        let conv = Dsl.add_many d contributions in
+        let conv = Dsl.add d conv (Dsl.const_scalar d (xavier g ~fan_in:(25 * c1))) in
+        Dsl.avg_pool2x2 d (Dsl.square d conv) ~img_width:img_w ~stride:2)
+  in
+  (* gather the 4x4 stride-4 grid of every channel into a dense feature
+     vector: feature c*16 + i*4 + j comes from slot (4i)*28 + 4j *)
+  let features =
+    List.concat
+      (List.mapi
+         (fun c chan ->
+           List.concat
+             (List.init 4 (fun i ->
+                  List.init 4 (fun j ->
+                      let src = (4 * i * img_w) + (4 * j) in
+                      let dst = (c * 16) + (4 * i) + j in
+                      Dsl.rotate d (Dsl.mask d chan (fun s -> s = src)) (src - dst)))))
+         pool2)
+  in
+  let feat = Dsl.add_many d features in
+  let feat_dim = c2 * 16 in
+  let dense rows cols v =
+    let w = Array.init rows (fun _ -> Array.init cols (fun _ -> xavier g ~fan_in:cols)) in
+    let b = Array.init rows (fun _ -> xavier g ~fan_in:cols) in
+    Dsl.add d (Dsl.matvec d ~rows ~cols (fun j i -> w.(j).(i)) v) (Dsl.const_vector d b)
+  in
+  let h1 = Dsl.square d (dense fc1_out feat_dim feat) in
+  let h2 = Dsl.square d (dense fc2_out fc1_out h1) in
+  let y = dense 10 fc2_out h2 in
+  Dsl.output d y;
+  {
+    name = (if reduced then "LeNet-r" else "LeNet");
+    prog = Dsl.finish d;
+    inputs = [ ("image", random_vector g (img_w * img_w) ~lo:0. ~hi:1.) ];
+    valid_slots = 10;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Regressions (encrypted gradient descent)                            *)
+(* ------------------------------------------------------------------ *)
+
+let regression_data samples seed =
+  let g = Prng.create ~seed in
+  let x = random_vector g samples ~lo:(-1.) ~hi:1. in
+  let y = Array.map (fun xi -> (0.7 *. xi *. xi) +. (0.8 *. xi) +. 0.3) x in
+  (x, y)
+
+let linear_regression ?(epochs = 2) ?(samples = 16384) () =
+  let d = Dsl.create ~name:"lr" ~slot_count:samples () in
+  let x = Dsl.input d "x" and y = Dsl.input d "y" in
+  let lr = 0.5 in
+  let step = lr *. 2. /. float_of_int samples in
+  let w = ref (Dsl.const_scalar d 0.1) and b = ref (Dsl.const_scalar d 0.05) in
+  for _ = 1 to epochs do
+    let pred = Dsl.add d (Dsl.mul d !w x) !b in
+    let err = Dsl.sub d pred y in
+    let err_s = Dsl.scale_by d err step in
+    let gw = Dsl.reduce_sum d (Dsl.mul d err_s x) ~width:samples in
+    let gb = Dsl.reduce_sum d err_s ~width:samples in
+    w := Dsl.sub d !w gw;
+    b := Dsl.sub d !b gb
+  done;
+  Dsl.output d (Dsl.add d (Dsl.mul d !w x) !b);
+  let x_data, y_data = regression_data samples 0x11 in
+  {
+    name = Printf.sprintf "LR E%d" epochs;
+    prog = Dsl.finish d;
+    inputs = [ ("x", x_data); ("y", y_data) ];
+    valid_slots = samples;
+  }
+
+let polynomial_regression ?(epochs = 2) ?(samples = 16384) () =
+  let d = Dsl.create ~name:"pr" ~slot_count:samples () in
+  let x = Dsl.input d "x" and y = Dsl.input d "y" in
+  let x2 = Dsl.square d x in
+  let lr = 0.5 in
+  let step = lr *. 2. /. float_of_int samples in
+  let a = ref (Dsl.const_scalar d 0.1) in
+  let b = ref (Dsl.const_scalar d 0.1) in
+  let c = ref (Dsl.const_scalar d 0.05) in
+  for _ = 1 to epochs do
+    let pred = Dsl.add d (Dsl.add d (Dsl.mul d !a x2) (Dsl.mul d !b x)) !c in
+    let err = Dsl.sub d pred y in
+    let err_s = Dsl.scale_by d err step in
+    let ga = Dsl.reduce_sum d (Dsl.mul d err_s x2) ~width:samples in
+    let gb = Dsl.reduce_sum d (Dsl.mul d err_s x) ~width:samples in
+    let gc = Dsl.reduce_sum d err_s ~width:samples in
+    a := Dsl.sub d !a ga;
+    b := Dsl.sub d !b gb;
+    c := Dsl.sub d !c gc
+  done;
+  Dsl.output d (Dsl.add d (Dsl.add d (Dsl.mul d !a x2) (Dsl.mul d !b x)) !c);
+  let x_data, y_data = regression_data samples 0x22 in
+  {
+    name = Printf.sprintf "PR E%d" epochs;
+    prog = Dsl.finish d;
+    inputs = [ ("x", x_data); ("y", y_data) ];
+    valid_slots = samples;
+  }
+
+let paper_suite () =
+  [
+    sobel ();
+    harris ();
+    mlp ();
+    lenet ();
+    linear_regression ~epochs:2 ();
+    linear_regression ~epochs:3 ();
+    polynomial_regression ~epochs:2 ();
+    polynomial_regression ~epochs:3 ();
+  ]
+
+let reduced_suite () =
+  [
+    sobel ~size:16 ();
+    harris ~size:16 ();
+    mlp ~in_dim:64 ~hidden:16 ~out_dim:10 ();
+    lenet ~reduced:true ();
+    linear_regression ~epochs:2 ~samples:2048 ();
+    linear_regression ~epochs:3 ~samples:2048 ();
+    polynomial_regression ~epochs:2 ~samples:2048 ();
+    polynomial_regression ~epochs:3 ~samples:2048 ();
+  ]

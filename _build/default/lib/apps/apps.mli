@@ -1,0 +1,47 @@
+(** The paper's benchmark applications (§VII-A), expressed in the DSL with
+    deterministic synthetic data.
+
+    Every builder takes size parameters so the same program shape can be
+    compiled at the paper's scale (for operation counts and estimated
+    latency) and executed at a reduced scale on the in-repo CKKS substrate
+    (for accuracy and estimator validation); defaults are the paper's
+    sizes. *)
+
+type t = {
+  name : string;
+  prog : Hecate_ir.Prog.t; (** unmanaged HECATE IR *)
+  inputs : (string * float array) list; (** deterministic synthetic inputs *)
+  valid_slots : int; (** slots carrying meaningful output *)
+}
+
+val sobel : ?size:int -> unit -> t
+(** Sobel edge detection on a [size x size] image (default 64): squared
+    gradient magnitude from the two 3x3 stencils. *)
+
+val harris : ?size:int -> unit -> t
+(** Harris corner detection (default 64): gradients, 3x3 structure-tensor
+    box sums, response [det - 0.04 * trace^2]. *)
+
+val mlp : ?in_dim:int -> ?hidden:int -> ?out_dim:int -> unit -> t
+(** Feed-forward classifier with square activation (defaults 784-100-10). *)
+
+val lenet : ?reduced:bool -> unit -> t
+(** LeNet-5 for 28x28 inputs, CGO-2022 variant: square activations and a
+    64-wide second fully-connected layer. [reduced] (default false) shrinks
+    the channel counts (2 and 4 instead of 6 and 16) for in-repo
+    execution. *)
+
+val linear_regression : ?epochs:int -> ?samples:int -> unit -> t
+(** Encrypted gradient-descent training of [y = w x + b] (defaults: 2
+    epochs, 16384 samples). Returns the final prediction vector. *)
+
+val polynomial_regression : ?epochs:int -> ?samples:int -> unit -> t
+(** Same, for the quadratic model [y = a x^2 + b x + c] (defaults: 2 epochs,
+    16384 samples). *)
+
+val paper_suite : unit -> t list
+(** SF, HCD, MLP, LeNet, LR E2, LR E3, PR E2, PR E3 at paper sizes. *)
+
+val reduced_suite : unit -> t list
+(** The same eight programs at sizes executable on the in-repo CKKS backend
+    in seconds rather than hours. *)

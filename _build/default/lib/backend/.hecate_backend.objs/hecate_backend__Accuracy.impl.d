@@ -1,0 +1,1 @@
+lib/backend/accuracy.ml: Array Hecate_support Interp List Reference

@@ -1,0 +1,1 @@
+lib/backend/accuracy.mli: Hecate_ckks Hecate_ir

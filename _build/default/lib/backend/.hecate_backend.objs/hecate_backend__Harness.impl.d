@@ -1,0 +1,1 @@
+lib/backend/harness.ml: Accuracy Hashtbl Hecate Hecate_apps Hecate_ckks Interp List Profile

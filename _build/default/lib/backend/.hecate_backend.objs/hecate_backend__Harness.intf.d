@@ -1,0 +1,1 @@
+lib/backend/harness.mli: Hecate Hecate_apps Hecate_ckks

@@ -1,0 +1,1 @@
+lib/backend/interp.ml: Array Float Hashtbl Hecate Hecate_ckks Hecate_ir Hecate_rns List Option Unix

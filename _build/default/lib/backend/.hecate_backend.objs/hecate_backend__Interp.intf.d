@@ -1,0 +1,1 @@
+lib/backend/interp.mli: Hecate Hecate_ckks Hecate_ir

@@ -1,0 +1,1 @@
+lib/backend/profile.ml: Array Hashtbl Hecate Hecate_ckks Unix

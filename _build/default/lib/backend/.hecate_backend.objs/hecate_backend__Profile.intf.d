@@ -1,0 +1,1 @@
+lib/backend/profile.mli: Hashtbl Hecate Hecate_ckks

@@ -1,0 +1,1 @@
+lib/backend/reference.ml: Array Hecate_ir List

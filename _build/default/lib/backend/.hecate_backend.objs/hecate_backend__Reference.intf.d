@@ -1,0 +1,1 @@
+lib/backend/reference.mli: Hecate_ir

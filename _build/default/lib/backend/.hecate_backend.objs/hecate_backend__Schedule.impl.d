@@ -1,0 +1,1 @@
+lib/backend/schedule.ml: Array Float Format Hecate_ckks Hecate_ir Hecate_rns List

@@ -1,0 +1,1 @@
+lib/backend/schedule.mli: Format Hecate_ckks Hecate_ir

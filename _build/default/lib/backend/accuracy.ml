@@ -1,0 +1,21 @@
+module Stats = Hecate_support.Stats
+
+type t = {
+  rmse : float;
+  max_abs_error : float;
+  outputs : float array list;
+  elapsed_seconds : float;
+}
+
+let measure eval ~waterline_bits prog ~inputs ~valid_slots =
+  let expected = Reference.execute prog ~inputs in
+  let report = Interp.execute eval ~waterline_bits prog ~inputs in
+  let clip v = Array.sub v 0 (min valid_slots (Array.length v)) in
+  let exp_all = Array.concat (List.map clip expected) in
+  let got_all = Array.concat (List.map clip report.Interp.outputs) in
+  {
+    rmse = Stats.rmse exp_all got_all;
+    max_abs_error = Stats.max_abs_diff exp_all got_all;
+    outputs = report.Interp.outputs;
+    elapsed_seconds = report.Interp.elapsed_seconds;
+  }

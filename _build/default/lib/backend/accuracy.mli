@@ -1,0 +1,19 @@
+(** Output-accuracy measurement: FHE execution vs the exact plaintext
+    reference (Table II's RMS error). *)
+
+type t = {
+  rmse : float;
+  max_abs_error : float;
+  outputs : float array list; (** the decrypted FHE outputs *)
+  elapsed_seconds : float; (** homomorphic execution time *)
+}
+
+val measure :
+  Hecate_ckks.Eval.t ->
+  waterline_bits:float ->
+  Hecate_ir.Prog.t ->
+  inputs:(string * float array) list ->
+  valid_slots:int ->
+  t
+(** Runs both interpreters and compares the first [valid_slots] slots of
+    every output (benchmarks only populate a prefix of the packed vector). *)

@@ -1,0 +1,184 @@
+module Prog = Hecate_ir.Prog
+module Types = Hecate_ir.Types
+module Liveness = Hecate_ir.Liveness
+module Eval = Hecate_ckks.Eval
+module Params = Hecate_ckks.Params
+module Chain = Hecate_rns.Chain
+module Costmodel = Hecate.Costmodel
+
+type class_stat = { count : int; seconds : float }
+
+type report = {
+  outputs : float array list;
+  elapsed_seconds : float;
+  per_class : (Costmodel.op_class * class_stat) list;
+  peak_live : int;
+}
+
+let required_rotations (p : Prog.t) =
+  let amounts = Hashtbl.create 8 in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      match o.Prog.kind with
+      | Prog.Rotate { amount } -> Hashtbl.replace amounts amount ()
+      | _ -> ())
+    p;
+  Hashtbl.fold (fun a () acc -> a :: acc) amounts [] |> List.sort compare
+
+let context ?(seed = 0x5EED) ?exec_n ~(params : Hecate.Paramselect.t) ~rotations () =
+  let min_n =
+    let rec up n = if n / 2 >= params.Hecate.Paramselect.slot_count then n else up (2 * n) in
+    up 16
+  in
+  let n = match exec_n with Some n -> n | None -> min_n in
+  if n / 2 < params.Hecate.Paramselect.slot_count then
+    invalid_arg "Interp.context: ring degree too small for the program's slot count";
+  let ckks_params =
+    Params.create ~n ~q0_bits:params.Hecate.Paramselect.q0_bits
+      ~sf_bits:params.Hecate.Paramselect.sf_bits ~levels:params.Hecate.Paramselect.chain_levels ()
+  in
+  Eval.create ~seed ckks_params ~rotations
+
+type value = Vcipher of Eval.ciphertext | Vplain of Eval.plaintext | Vfree of float array
+
+let class_of_op (p : Prog.t) (o : Prog.op) =
+  let cipher_arg i =
+    match (Prog.op p o.Prog.args.(i)).Prog.ty with Types.Cipher _ -> true | _ -> false
+  in
+  match o.Prog.kind with
+  | Prog.Input _ | Prog.Const _ -> None
+  | Prog.Encode _ -> Some Costmodel.Encode
+  | Prog.Add | Prog.Sub ->
+      Some (if cipher_arg 0 && cipher_arg 1 then Costmodel.Cipher_add else Costmodel.Plain_add)
+  | Prog.Negate -> Some Costmodel.Plain_add
+  | Prog.Mul -> Some (if cipher_arg 0 && cipher_arg 1 then Costmodel.Cipher_mul else Costmodel.Plain_mul)
+  | Prog.Rotate _ -> Some Costmodel.Rotate
+  | Prog.Rescale -> Some Costmodel.Rescale
+  | Prog.Modswitch -> Some Costmodel.Modswitch
+  | Prog.Upscale _ -> Some Costmodel.Plain_mul
+  | Prog.Downscale _ -> Some Costmodel.Plain_mul (* dominated by the plain product + rescale *)
+
+let execute eval ~waterline_bits (p : Prog.t) ~inputs =
+  let sc = p.Prog.slot_count in
+  let chain = (Eval.params eval).Params.chain in
+  let wl = Float.exp2 waterline_bits in
+  let live = Liveness.analyze p in
+  let values : value option array = Array.make (Prog.num_ops p) None in
+  let peak = ref 0 and live_count = ref 0 in
+  let stats = Hashtbl.create 8 in
+  let elapsed = ref 0. in
+  let get v =
+    match values.(v) with
+    | Some x -> x
+    | None -> invalid_arg "Interp.execute: value used after free (liveness bug)"
+  in
+  let cipher_exn v =
+    match get v with
+    | Vcipher c -> c
+    | Vplain _ | Vfree _ -> invalid_arg "Interp.execute: expected a ciphertext operand"
+  in
+  let pad v =
+    let out = Array.make sc 0. in
+    Array.blit v 0 out 0 (min sc (Array.length v));
+    out
+  in
+  (* SEAL-style scale alignment before additive operations. *)
+  let align_cipher a target =
+    if Float.abs (Eval.scale a -. target) /. target < 1e-9 then a else Eval.set_scale eval a target
+  in
+  let run_op (o : Prog.op) =
+    match o.Prog.kind with
+    | Prog.Input { name } -> (
+        match List.assoc_opt name inputs with
+        | Some v -> Vcipher (Eval.encrypt_vector eval ~scale:wl (pad v))
+        | None -> invalid_arg ("Interp.execute: missing input " ^ name))
+    | Prog.Const { value = Prog.Scalar x } -> Vfree (Array.make sc x)
+    | Prog.Const { value = Prog.Vector v } -> Vfree (pad v)
+    | Prog.Encode { scale; level } -> (
+        match get o.Prog.args.(0) with
+        | Vfree v -> Vplain (Eval.encode eval ~level ~scale:(Float.exp2 scale) v)
+        | Vcipher _ | Vplain _ -> invalid_arg "Interp.execute: encode of a non-free value")
+    | Prog.Add | Prog.Sub -> (
+        let sub = o.Prog.kind = Prog.Sub in
+        match (get o.Prog.args.(0), get o.Prog.args.(1)) with
+        | Vcipher a, Vcipher b ->
+            let b = align_cipher b (Eval.scale a) in
+            Vcipher (if sub then Eval.sub eval a b else Eval.add eval a b)
+        | Vcipher a, Vplain b ->
+            let a = align_cipher a b.Eval.pt_scale in
+            Vcipher (if sub then Eval.sub_plain eval a b else Eval.add_plain eval a b)
+        | Vplain a, Vcipher b ->
+            let b = align_cipher b a.Eval.pt_scale in
+            Vcipher
+              (if sub then Eval.negate eval (Eval.sub_plain eval b a) else Eval.add_plain eval b a)
+        | (Vplain _ | Vfree _), (Vplain _ | Vfree _) | Vcipher _, Vfree _ | Vfree _, Vcipher _ ->
+            invalid_arg "Interp.execute: additive operands must pair a ciphertext with a plaintext")
+    | Prog.Mul -> (
+        match (get o.Prog.args.(0), get o.Prog.args.(1)) with
+        | Vcipher a, Vcipher b -> Vcipher (Eval.mul eval a b)
+        | Vcipher a, Vplain b | Vplain b, Vcipher a -> Vcipher (Eval.mul_plain eval a b)
+        | (Vplain _ | Vfree _), (Vplain _ | Vfree _) | Vcipher _, Vfree _ | Vfree _, Vcipher _ ->
+            invalid_arg "Interp.execute: mul operands must pair a ciphertext with a plaintext")
+    | Prog.Negate -> Vcipher (Eval.negate eval (cipher_exn o.Prog.args.(0)))
+    | Prog.Rotate { amount } -> Vcipher (Eval.rotate eval (cipher_exn o.Prog.args.(0)) amount)
+    | Prog.Rescale -> Vcipher (Eval.rescale eval (cipher_exn o.Prog.args.(0)))
+    | Prog.Modswitch -> (
+        match get o.Prog.args.(0) with
+        | Vcipher c -> Vcipher (Eval.mod_switch eval c)
+        | Vplain pt -> Vplain (Eval.mod_switch_plain eval pt)
+        | Vfree _ -> invalid_arg "Interp.execute: modswitch on a free value")
+    | Prog.Upscale { target_scale } ->
+        let c = cipher_exn o.Prog.args.(0) in
+        let factor = Float.exp2 target_scale /. Eval.scale c in
+        if factor < 1.5 then Vcipher (Eval.set_scale eval c (Float.exp2 target_scale))
+        else Vcipher (Eval.upscale eval c ~factor)
+    | Prog.Downscale _ ->
+        let c = cipher_exn o.Prog.args.(0) in
+        let lc = Chain.length chain - Eval.level c in
+        let q_drop = float_of_int (Chain.prime chain (lc - 1)) in
+        (* upscale to S_f * S_w (the rescale prime times the waterline), then
+           rescale: the result lands on the waterline up to the rounding of
+           the integer multiplier (see DESIGN.md on small-S_f precision) *)
+        let factor = q_drop *. wl /. Eval.scale c in
+        Vcipher (Eval.rescale eval (Eval.upscale eval c ~factor))
+  in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      let t0 = Unix.gettimeofday () in
+      let v = run_op o in
+      let dt = Unix.gettimeofday () -. t0 in
+      (match class_of_op p o with
+      | None -> ()
+      | Some cls ->
+          elapsed := !elapsed +. dt;
+          let prev = Option.value ~default:{ count = 0; seconds = 0. } (Hashtbl.find_opt stats cls) in
+          Hashtbl.replace stats cls { count = prev.count + 1; seconds = prev.seconds +. dt });
+      values.(o.Prog.id) <- Some v;
+      (match v with
+      | Vcipher _ ->
+          incr live_count;
+          peak := max !peak !live_count
+      | Vplain _ | Vfree _ -> ());
+      (* free operands whose last use this was *)
+      Array.iter
+        (fun a ->
+          if live.Liveness.last_use.(a) = o.Prog.id then begin
+            (match values.(a) with Some (Vcipher _) -> decr live_count | _ -> ());
+            values.(a) <- None
+          end)
+        o.Prog.args)
+    p;
+  let outputs =
+    List.map
+      (fun v ->
+        match get v with
+        | Vcipher c -> Eval.decrypt eval c
+        | Vplain _ | Vfree _ -> invalid_arg "Interp.execute: output is not a ciphertext")
+      p.Prog.outputs
+  in
+  {
+    outputs;
+    elapsed_seconds = !elapsed;
+    per_class = Hashtbl.fold (fun cls st acc -> (cls, st) :: acc) stats [];
+    peak_live = !peak;
+  }

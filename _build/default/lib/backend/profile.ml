@@ -1,0 +1,60 @@
+module Eval = Hecate_ckks.Eval
+module Params = Hecate_ckks.Params
+module Costmodel = Hecate.Costmodel
+
+let time_reps reps f =
+  (* one warm-up, then the mean of [reps] timed runs *)
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps
+
+let measure ?(reps = 3) eval =
+  let params = Eval.params eval in
+  let n = params.Params.n in
+  let levels = params.Params.levels in
+  let table = Hashtbl.create 64 in
+  let slots = Params.slots params in
+  let v = Array.init slots (fun i -> 0.5 +. (0.001 *. float_of_int (i mod 7))) in
+  let scale = 0x1p20 in
+  let fresh = Eval.encrypt_vector eval ~scale v in
+  let record cls ~level seconds =
+    Hashtbl.replace table (cls, levels + 1 - level, n) seconds
+  in
+  let ct = ref fresh in
+  for level = 0 to levels do
+    let c = !ct in
+    let pt = Eval.encode eval ~level ~scale v in
+    record Costmodel.Encode ~level (time_reps reps (fun () -> Eval.encode eval ~level ~scale v));
+    record Costmodel.Cipher_add ~level (time_reps reps (fun () -> Eval.add eval c c));
+    record Costmodel.Plain_add ~level (time_reps reps (fun () -> Eval.add_plain eval c pt));
+    record Costmodel.Cipher_mul ~level (time_reps reps (fun () -> Eval.mul eval c c));
+    record Costmodel.Plain_mul ~level (time_reps reps (fun () -> Eval.mul_plain eval c pt));
+    (try record Costmodel.Rotate ~level (time_reps reps (fun () -> Eval.rotate eval c 1))
+     with Not_found -> ());
+    if level < levels then begin
+      let squared = Eval.mul eval c c in
+      record Costmodel.Rescale ~level (time_reps reps (fun () -> Eval.rescale eval squared));
+      record Costmodel.Modswitch ~level (time_reps reps (fun () -> Eval.mod_switch eval c));
+      ct := Eval.mod_switch eval c
+    end
+  done;
+  table
+
+let model_for ?reps eval =
+  Costmodel.of_table (measure ?reps eval) ~fallback:(Costmodel.analytic ())
+
+let cache : (int * int * int * int, Costmodel.t) Hashtbl.t = Hashtbl.create 8
+
+let cached_model ?reps ~n ~levels ~q0_bits ~sf_bits () =
+  let key = (n, levels, q0_bits, sf_bits) in
+  match Hashtbl.find_opt cache key with
+  | Some m -> m
+  | None ->
+      let params = Params.create ~n ~q0_bits ~sf_bits ~levels () in
+      let eval = Eval.create ~seed:0xBEEF params ~rotations:[ 1 ] in
+      let m = model_for ?reps eval in
+      Hashtbl.replace cache key m;
+      m

@@ -1,0 +1,35 @@
+module Prog = Hecate_ir.Prog
+
+let pad slot_count v =
+  let out = Array.make slot_count 0. in
+  Array.blit v 0 out 0 (min slot_count (Array.length v));
+  out
+
+let execute (p : Prog.t) ~inputs =
+  let sc = p.Prog.slot_count in
+  let values = Array.make (Prog.num_ops p) [||] in
+  let arg o i = values.(o.Prog.args.(i)) in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      let result =
+        match o.Prog.kind with
+        | Prog.Input { name } -> (
+            match List.assoc_opt name inputs with
+            | Some v -> pad sc v
+            | None -> invalid_arg ("Reference.execute: missing input " ^ name))
+        | Prog.Const { value = Prog.Scalar x } -> Array.make sc x
+        | Prog.Const { value = Prog.Vector v } -> pad sc v
+        | Prog.Encode _ | Prog.Rescale | Prog.Modswitch | Prog.Upscale _ | Prog.Downscale _ ->
+            arg o 0
+        | Prog.Add -> Array.init sc (fun i -> (arg o 0).(i) +. (arg o 1).(i))
+        | Prog.Sub -> Array.init sc (fun i -> (arg o 0).(i) -. (arg o 1).(i))
+        | Prog.Mul -> Array.init sc (fun i -> (arg o 0).(i) *. (arg o 1).(i))
+        | Prog.Negate -> Array.map (fun x -> -.x) (arg o 0)
+        | Prog.Rotate { amount } ->
+            let r = ((amount mod sc) + sc) mod sc in
+            let v = arg o 0 in
+            Array.init sc (fun i -> v.((i + r) mod sc))
+      in
+      values.(o.Prog.id) <- result)
+    p;
+  List.map (fun v -> Array.copy values.(v)) p.Prog.outputs

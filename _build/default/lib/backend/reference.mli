@@ -1,0 +1,12 @@
+(** Exact plaintext reference interpreter.
+
+    Evaluates a HECATE IR program over unencrypted slot vectors. The opaque
+    scale-management operations are semantic no-ops here — by the
+    homomorphism property the result must match the decrypted FHE execution
+    up to noise, which is exactly what the accuracy harness measures. *)
+
+val execute : Hecate_ir.Prog.t -> inputs:(string * float array) list -> float array list
+(** [execute prog ~inputs] returns one slot vector (length
+    [prog.slot_count]) per program output. Input vectors shorter than the
+    slot count are zero-padded.
+    @raise Invalid_argument on a missing input name. *)

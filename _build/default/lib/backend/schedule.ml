@@ -1,0 +1,267 @@
+module Prog = Hecate_ir.Prog
+module Types = Hecate_ir.Types
+module Liveness = Hecate_ir.Liveness
+module Eval = Hecate_ckks.Eval
+module Chain = Hecate_rns.Chain
+module Params = Hecate_ckks.Params
+
+type operand = Buffer of int | Immediate of float array | Scalar_imm of float
+
+type instruction =
+  | Encrypt_input of { name : string; dst : int }
+  | Encode_imm of { value : operand; scale_bits : float; level : int; plain_id : int }
+  | Add of { lhs : int; rhs : int; dst : int }
+  | Sub of { lhs : int; rhs : int; dst : int }
+  | Add_plain of { lhs : int; plain : int; dst : int }
+  | Sub_plain of { lhs : int; plain : int; dst : int; reversed : bool }
+  | Mul of { lhs : int; rhs : int; dst : int }
+  | Mul_plain of { lhs : int; plain : int; dst : int }
+  | Negate of { src : int; dst : int }
+  | Rotate of { src : int; amount : int; dst : int }
+  | Rescale of { src : int; dst : int }
+  | Modswitch of { src : int; dst : int }
+  | Modswitch_plain of { plain : int; dst_plain : int }
+  | Upscale of { src : int; target_scale_bits : float; dst : int }
+  | Downscale of { src : int; waterline_bits : float; dst : int }
+  | Output of { src : int; index : int }
+
+type t = {
+  instructions : instruction array;
+  cipher_buffers : int;
+  plain_slots : int;
+  output_count : int;
+  source_ops : int;
+}
+
+type lowered_value = Lcipher of int | Lplain of int | Lfree of operand
+
+let lower (p : Prog.t) =
+  let live = Liveness.analyze p in
+  let values = Array.make (Prog.num_ops p) (Lfree (Scalar_imm 0.)) in
+  let instrs = ref [] in
+  let plain_count = ref 0 in
+  let emit i = instrs := i :: !instrs in
+  let fresh_plain () =
+    let id = !plain_count in
+    incr plain_count;
+    id
+  in
+  let is_cipher_ty v = Types.is_cipher (Prog.op p v).Prog.ty in
+  let buffer v =
+    match values.(v) with
+    | Lcipher b -> b
+    | Lplain _ | Lfree _ -> invalid_arg "Schedule.lower: expected a ciphertext value"
+  in
+  let plain v =
+    match values.(v) with
+    | Lplain id -> id
+    | Lcipher _ | Lfree _ -> invalid_arg "Schedule.lower: expected a plaintext value"
+  in
+  let dst_of (o : Prog.op) =
+    let b = live.Liveness.buffer_of.(o.Prog.id) in
+    (* values with no uses still need a scratch buffer *)
+    if b >= 0 then b else 0
+  in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      let lowered =
+        match o.Prog.kind with
+        | Prog.Input { name } ->
+            let dst = dst_of o in
+            emit (Encrypt_input { name; dst });
+            Lcipher dst
+        | Prog.Const { value = Prog.Scalar x } -> Lfree (Scalar_imm x)
+        | Prog.Const { value = Prog.Vector v } -> Lfree (Immediate (Array.copy v))
+        | Prog.Encode { scale; level } -> (
+            match values.(o.Prog.args.(0)) with
+            | Lfree operand ->
+                let plain_id = fresh_plain () in
+                emit (Encode_imm { value = operand; scale_bits = scale; level; plain_id });
+                Lplain plain_id
+            | Lcipher _ | Lplain _ -> invalid_arg "Schedule.lower: encode of non-free value")
+        | Prog.Add | Prog.Sub -> (
+            let sub = o.Prog.kind = Prog.Sub in
+            let a = o.Prog.args.(0) and b = o.Prog.args.(1) in
+            let dst = dst_of o in
+            match (is_cipher_ty a, is_cipher_ty b) with
+            | true, true ->
+                emit
+                  (if sub then Sub { lhs = buffer a; rhs = buffer b; dst }
+                   else Add { lhs = buffer a; rhs = buffer b; dst });
+                Lcipher dst
+            | true, false ->
+                emit
+                  (if sub then Sub_plain { lhs = buffer a; plain = plain b; dst; reversed = false }
+                   else Add_plain { lhs = buffer a; plain = plain b; dst });
+                Lcipher dst
+            | false, true ->
+                emit
+                  (if sub then Sub_plain { lhs = buffer b; plain = plain a; dst; reversed = true }
+                   else Add_plain { lhs = buffer b; plain = plain a; dst });
+                Lcipher dst
+            | false, false -> invalid_arg "Schedule.lower: plain-plain addition")
+        | Prog.Mul -> (
+            let a = o.Prog.args.(0) and b = o.Prog.args.(1) in
+            let dst = dst_of o in
+            match (is_cipher_ty a, is_cipher_ty b) with
+            | true, true ->
+                emit (Mul { lhs = buffer a; rhs = buffer b; dst });
+                Lcipher dst
+            | true, false ->
+                emit (Mul_plain { lhs = buffer a; plain = plain b; dst });
+                Lcipher dst
+            | false, true ->
+                emit (Mul_plain { lhs = buffer b; plain = plain a; dst });
+                Lcipher dst
+            | false, false -> invalid_arg "Schedule.lower: plain-plain multiplication")
+        | Prog.Negate ->
+            let dst = dst_of o in
+            emit (Negate { src = buffer o.Prog.args.(0); dst });
+            Lcipher dst
+        | Prog.Rotate { amount } ->
+            let dst = dst_of o in
+            emit (Rotate { src = buffer o.Prog.args.(0); amount; dst });
+            Lcipher dst
+        | Prog.Rescale ->
+            let dst = dst_of o in
+            emit (Rescale { src = buffer o.Prog.args.(0); dst });
+            Lcipher dst
+        | Prog.Modswitch -> (
+            match values.(o.Prog.args.(0)) with
+            | Lcipher src ->
+                let dst = dst_of o in
+                emit (Modswitch { src; dst });
+                Lcipher dst
+            | Lplain src ->
+                let dst_plain = fresh_plain () in
+                emit (Modswitch_plain { plain = src; dst_plain });
+                Lplain dst_plain
+            | Lfree _ -> invalid_arg "Schedule.lower: modswitch of a free value")
+        | Prog.Upscale { target_scale } ->
+            let dst = dst_of o in
+            emit (Upscale { src = buffer o.Prog.args.(0); target_scale_bits = target_scale; dst });
+            Lcipher dst
+        | Prog.Downscale { waterline } ->
+            let dst = dst_of o in
+            emit (Downscale { src = buffer o.Prog.args.(0); waterline_bits = waterline; dst });
+            Lcipher dst
+      in
+      values.(o.Prog.id) <- lowered)
+    p;
+  List.iteri (fun index v -> emit (Output { src = buffer v; index })) p.Prog.outputs;
+  {
+    instructions = Array.of_list (List.rev !instrs);
+    cipher_buffers = max 1 live.Liveness.buffer_count;
+    plain_slots = max 1 !plain_count;
+    output_count = List.length p.Prog.outputs;
+    source_ops = Prog.num_ops p;
+  }
+
+let pp_operand fmt = function
+  | Buffer b -> Format.fprintf fmt "ct[%d]" b
+  | Immediate v -> Format.fprintf fmt "imm<%d elems>" (Array.length v)
+  | Scalar_imm x -> Format.fprintf fmt "imm %g" x
+
+let pp_instruction fmt = function
+  | Encrypt_input { name; dst } -> Format.fprintf fmt "ct[%d] <- encrypt %S" dst name
+  | Encode_imm { value; scale_bits; level; plain_id } ->
+      Format.fprintf fmt "pt[%d] <- encode %a scale=2^%g level=%d" plain_id pp_operand value
+        scale_bits level
+  | Add { lhs; rhs; dst } -> Format.fprintf fmt "ct[%d] <- add ct[%d], ct[%d]" dst lhs rhs
+  | Sub { lhs; rhs; dst } -> Format.fprintf fmt "ct[%d] <- sub ct[%d], ct[%d]" dst lhs rhs
+  | Add_plain { lhs; plain; dst } ->
+      Format.fprintf fmt "ct[%d] <- add_plain ct[%d], pt[%d]" dst lhs plain
+  | Sub_plain { lhs; plain; dst; reversed } ->
+      Format.fprintf fmt "ct[%d] <- %s ct[%d], pt[%d]" dst
+        (if reversed then "rsub_plain" else "sub_plain")
+        lhs plain
+  | Mul { lhs; rhs; dst } -> Format.fprintf fmt "ct[%d] <- mul+relin ct[%d], ct[%d]" dst lhs rhs
+  | Mul_plain { lhs; plain; dst } ->
+      Format.fprintf fmt "ct[%d] <- mul_plain ct[%d], pt[%d]" dst lhs plain
+  | Negate { src; dst } -> Format.fprintf fmt "ct[%d] <- negate ct[%d]" dst src
+  | Rotate { src; amount; dst } -> Format.fprintf fmt "ct[%d] <- rotate ct[%d], %d" dst src amount
+  | Rescale { src; dst } -> Format.fprintf fmt "ct[%d] <- rescale ct[%d]" dst src
+  | Modswitch { src; dst } -> Format.fprintf fmt "ct[%d] <- modswitch ct[%d]" dst src
+  | Modswitch_plain { plain; dst_plain } ->
+      Format.fprintf fmt "pt[%d] <- modswitch pt[%d]" dst_plain plain
+  | Upscale { src; target_scale_bits; dst } ->
+      Format.fprintf fmt "ct[%d] <- upscale ct[%d] to 2^%g" dst src target_scale_bits
+  | Downscale { src; waterline_bits; dst } ->
+      Format.fprintf fmt "ct[%d] <- downscale ct[%d] to 2^%g" dst src waterline_bits
+  | Output { src; index } -> Format.fprintf fmt "out[%d] <- ct[%d]" index src
+
+let pp fmt t =
+  Format.fprintf fmt "; %d instructions, %d ciphertext buffers, %d plaintexts (from %d IR ops)@\n"
+    (Array.length t.instructions) t.cipher_buffers t.plain_slots t.source_ops;
+  Array.iter (fun i -> Format.fprintf fmt "  %a@\n" pp_instruction i) t.instructions
+
+let execute eval ~waterline_bits t ~inputs =
+  let params = Eval.params eval in
+  let chain = params.Params.chain in
+  let slots = Params.slots params in
+  let wl = Float.exp2 waterline_bits in
+  let cts : Eval.ciphertext option array = Array.make t.cipher_buffers None in
+  let pts : Eval.plaintext option array = Array.make t.plain_slots None in
+  let outputs = Array.make t.output_count [||] in
+  let ct b = match cts.(b) with Some c -> c | None -> invalid_arg "Schedule.execute: empty buffer" in
+  let pt b = match pts.(b) with Some p -> p | None -> invalid_arg "Schedule.execute: empty plaintext" in
+  let pad v =
+    let out = Array.make slots 0. in
+    Array.blit v 0 out 0 (min slots (Array.length v));
+    out
+  in
+  let align a target =
+    if Float.abs (Eval.scale a -. target) /. target < 1e-9 then a else Eval.set_scale eval a target
+  in
+  Array.iter
+    (fun instr ->
+      match instr with
+      | Encrypt_input { name; dst } -> (
+          match List.assoc_opt name inputs with
+          | Some v -> cts.(dst) <- Some (Eval.encrypt_vector eval ~scale:wl (pad v))
+          | None -> invalid_arg ("Schedule.execute: missing input " ^ name))
+      | Encode_imm { value; scale_bits; level; plain_id } ->
+          let scale = Float.exp2 scale_bits in
+          let p =
+            match value with
+            | Scalar_imm x -> Eval.encode eval ~level ~scale (Array.make slots x)
+            | Immediate v -> Eval.encode eval ~level ~scale (pad v)
+            | Buffer _ -> invalid_arg "Schedule.execute: cannot encode a buffer"
+          in
+          pts.(plain_id) <- Some p
+      | Add { lhs; rhs; dst } ->
+          let a = ct lhs in
+          cts.(dst) <- Some (Eval.add eval a (align (ct rhs) (Eval.scale a)))
+      | Sub { lhs; rhs; dst } ->
+          let a = ct lhs in
+          cts.(dst) <- Some (Eval.sub eval a (align (ct rhs) (Eval.scale a)))
+      | Add_plain { lhs; plain; dst } ->
+          let p = pt plain in
+          cts.(dst) <- Some (Eval.add_plain eval (align (ct lhs) p.Eval.pt_scale) p)
+      | Sub_plain { lhs; plain; dst; reversed } ->
+          let p = pt plain in
+          let d = Eval.sub_plain eval (align (ct lhs) p.Eval.pt_scale) p in
+          cts.(dst) <- Some (if reversed then Eval.negate eval d else d)
+      | Mul { lhs; rhs; dst } -> cts.(dst) <- Some (Eval.mul eval (ct lhs) (ct rhs))
+      | Mul_plain { lhs; plain; dst } -> cts.(dst) <- Some (Eval.mul_plain eval (ct lhs) (pt plain))
+      | Negate { src; dst } -> cts.(dst) <- Some (Eval.negate eval (ct src))
+      | Rotate { src; amount; dst } -> cts.(dst) <- Some (Eval.rotate eval (ct src) amount)
+      | Rescale { src; dst } -> cts.(dst) <- Some (Eval.rescale eval (ct src))
+      | Modswitch { src; dst } -> cts.(dst) <- Some (Eval.mod_switch eval (ct src))
+      | Modswitch_plain { plain; dst_plain } ->
+          pts.(dst_plain) <- Some (Eval.mod_switch_plain eval (pt plain))
+      | Upscale { src; target_scale_bits; dst } ->
+          let c = ct src in
+          let target = Float.exp2 target_scale_bits in
+          let factor = target /. Eval.scale c in
+          cts.(dst) <-
+            Some (if factor < 1.5 then Eval.set_scale eval c target else Eval.upscale eval c ~factor)
+      | Downscale { src; waterline_bits; dst } ->
+          let c = ct src in
+          let lc = Chain.length chain - Eval.level c in
+          let q_drop = float_of_int (Chain.prime chain (lc - 1)) in
+          let factor = q_drop *. Float.exp2 waterline_bits /. Eval.scale c in
+          cts.(dst) <- Some (Eval.rescale eval (Eval.upscale eval c ~factor))
+      | Output { src; index } -> outputs.(index) <- Eval.decrypt eval (ct src))
+    t.instructions;
+  Array.to_list outputs

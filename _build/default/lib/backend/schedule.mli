@@ -1,0 +1,56 @@
+(** The SEAL dialect: a fully lowered, buffer-addressed instruction schedule.
+
+    The last compilation stage (paper Fig. 3) turns the scale-managed IR
+    into straight-line instructions over a small pool of reusable ciphertext
+    buffers, sized by liveness analysis. [downscale] and [upscale] are
+    lowered to their concrete SEAL-level implementations here, so an
+    executor needs only the primitive RNS-CKKS API. *)
+
+type operand = Buffer of int | Immediate of float array | Scalar_imm of float
+
+type instruction =
+  | Encrypt_input of { name : string; dst : int }
+  | Encode_imm of { value : operand; scale_bits : float; level : int; plain_id : int }
+      (** stage a plaintext into the plaintext pool *)
+  | Add of { lhs : int; rhs : int; dst : int }
+  | Sub of { lhs : int; rhs : int; dst : int }
+  | Add_plain of { lhs : int; plain : int; dst : int }
+  | Sub_plain of { lhs : int; plain : int; dst : int; reversed : bool }
+      (** [reversed] computes [plain - cipher] *)
+  | Mul of { lhs : int; rhs : int; dst : int } (** includes relinearization *)
+  | Mul_plain of { lhs : int; plain : int; dst : int }
+  | Negate of { src : int; dst : int }
+  | Rotate of { src : int; amount : int; dst : int }
+  | Rescale of { src : int; dst : int }
+  | Modswitch of { src : int; dst : int }
+  | Modswitch_plain of { plain : int; dst_plain : int }
+  | Upscale of { src : int; target_scale_bits : float; dst : int }
+      (** lowered to an exact constant-one plaintext multiply *)
+  | Downscale of { src : int; waterline_bits : float; dst : int }
+      (** lowered to upscale-to-[S_f*S_w] followed by rescale *)
+  | Output of { src : int; index : int }
+
+type t = {
+  instructions : instruction array;
+  cipher_buffers : int; (** ciphertext pool size (= liveness buffer count) *)
+  plain_slots : int; (** plaintext pool size *)
+  output_count : int;
+  source_ops : int; (** IR operations lowered *)
+}
+
+val lower : Hecate_ir.Prog.t -> t
+(** Lower a typed, scale-managed program. Rotations, constants and types
+    must already be legal (run the driver first).
+    @raise Invalid_argument on free-typed homomorphic operands. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable listing. *)
+
+val execute :
+  Hecate_ckks.Eval.t ->
+  waterline_bits:float ->
+  t ->
+  inputs:(string * float array) list ->
+  float array list
+(** Reference executor for schedules; produces the same outputs as
+    {!Interp.execute} on the originating program. *)

@@ -1,0 +1,1 @@
+lib/ckks/encoder.ml: Array Float Hecate_rns Hecate_support

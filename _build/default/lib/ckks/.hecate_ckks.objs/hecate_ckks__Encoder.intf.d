@@ -1,0 +1,1 @@
+lib/ckks/encoder.mli: Hecate_rns

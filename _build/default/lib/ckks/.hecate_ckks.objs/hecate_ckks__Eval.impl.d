@@ -1,0 +1,1 @@
+lib/ckks/eval.ml: Array Encoder Float Hecate_rns Hecate_support Keys List Params Printf

@@ -1,0 +1,1 @@
+lib/ckks/eval.mli: Encoder Hecate_rns Params

@@ -1,0 +1,1 @@
+lib/ckks/keys.ml: Array Hashtbl Hecate_rns Hecate_support List Params

@@ -1,0 +1,1 @@
+lib/ckks/keys.mli: Hashtbl Hecate_rns Params

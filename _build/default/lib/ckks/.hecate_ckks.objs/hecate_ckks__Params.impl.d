@@ -1,0 +1,1 @@
+lib/ckks/params.ml: Hecate_rns List Printf

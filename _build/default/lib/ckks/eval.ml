@@ -1,0 +1,202 @@
+module Poly = Hecate_rns.Poly
+module Chain = Hecate_rns.Chain
+module Prng = Hecate_support.Prng
+
+type ciphertext = { c0 : Poly.t; c1 : Poly.t; scale : float; level : int }
+type plaintext = { poly : Poly.t; pt_scale : float; pt_level : int }
+type t = { params : Params.t; encoder : Encoder.t; keys : Keys.t; enc_rng : Prng.t }
+
+exception Scale_mismatch of string
+exception Level_mismatch of string
+
+let params t = t.params
+let encoder t = t.encoder
+let max_level t = t.params.Params.levels
+let level ct = ct.level
+let scale ct = ct.scale
+
+let create ?(seed = 0xCAFE) params ~rotations =
+  let encoder = Encoder.create ~n:params.Params.n in
+  let galois_elements =
+    List.filter_map
+      (fun r ->
+        let r = ((r mod (params.Params.n / 2)) + (params.Params.n / 2)) mod (params.Params.n / 2) in
+        if r = 0 then None else Some (Encoder.galois_element encoder ~rotation:r))
+      rotations
+  in
+  let keys = Keys.generate ~seed params ~galois_elements in
+  { params; encoder; keys; enc_rng = Prng.create ~seed:(seed lxor 0x7E57) }
+
+let level_count t lvl = Chain.length t.params.Params.chain - lvl
+
+let check_level name t lvl =
+  if lvl < 0 || lvl > max_level t then raise (Level_mismatch ("Eval." ^ name ^ ": bad level"))
+
+let encode t ~level:lvl ~scale v =
+  check_level "encode" t lvl;
+  let p =
+    Encoder.encode t.encoder t.params.Params.chain ~level_count:(level_count t lvl) ~scale v
+  in
+  { poly = Poly.to_eval p; pt_scale = scale; pt_level = lvl }
+
+let encode_constant t ~level:lvl ~scale c =
+  check_level "encode_constant" t lvl;
+  let p =
+    Encoder.encode_constant t.encoder t.params.Params.chain ~level_count:(level_count t lvl)
+      ~scale c
+  in
+  { poly = Poly.to_eval p; pt_scale = scale; pt_level = lvl }
+
+let ternary_poly g chain ~level_count =
+  let coeffs = Array.init (Chain.degree chain) (fun _ -> Prng.ternary g) in
+  Poly.to_eval (Poly.of_centered_coeffs chain ~level_count ~with_special:false coeffs)
+
+let error_poly_eval t g ~level_count =
+  let chain = t.params.Params.chain in
+  let coeffs =
+    Array.init (Chain.degree chain) (fun _ ->
+        Prng.centered_binomial g ~eta:t.params.Params.error_sigma_eta)
+  in
+  Poly.to_eval (Poly.of_centered_coeffs chain ~level_count ~with_special:false coeffs)
+
+let encrypt t pt =
+  if pt.pt_level <> 0 then
+    raise (Level_mismatch "Eval.encrypt: fresh ciphertexts are encrypted at level 0");
+  let lc = level_count t 0 in
+  let u = ternary_poly t.enc_rng t.params.Params.chain ~level_count:lc in
+  let e0 = error_poly_eval t t.enc_rng ~level_count:lc in
+  let e1 = error_poly_eval t t.enc_rng ~level_count:lc in
+  let c0 = Poly.add (Poly.add (Poly.mul t.keys.Keys.public0 u) e0) pt.poly in
+  let c1 = Poly.add (Poly.mul t.keys.Keys.public1 u) e1 in
+  { c0; c1; scale = pt.pt_scale; level = 0 }
+
+let encrypt_vector t ~scale v = encrypt t (encode t ~level:0 ~scale v)
+
+let decrypt t ct =
+  let lc = level_count t ct.level in
+  let s = Keys.secret_at t.keys ~level_count:lc in
+  let m = Poly.add ct.c0 (Poly.mul ct.c1 s) in
+  let coeffs = Poly.crt_reconstruct_centered (Poly.to_coeff m) in
+  Encoder.decode t.encoder ~scale:ct.scale coeffs
+
+(* scales drift slightly because rescaling primes are not exactly powers of
+   two; treat scales within 0.1% as equal, like EVA does. *)
+let scales_compatible s1 s2 = Float.abs (s1 -. s2) /. Float.max s1 s2 < 1e-3
+
+let check_binop name a b =
+  if a.level <> b.level then
+    raise (Level_mismatch (Printf.sprintf "Eval.%s: levels %d vs %d" name a.level b.level))
+
+let add _t a b =
+  check_binop "add" a b;
+  if not (scales_compatible a.scale b.scale) then
+    raise (Scale_mismatch (Printf.sprintf "Eval.add: scales %.3e vs %.3e" a.scale b.scale));
+  { a with c0 = Poly.add a.c0 b.c0; c1 = Poly.add a.c1 b.c1 }
+
+let sub _t a b =
+  check_binop "sub" a b;
+  if not (scales_compatible a.scale b.scale) then
+    raise (Scale_mismatch (Printf.sprintf "Eval.sub: scales %.3e vs %.3e" a.scale b.scale));
+  { a with c0 = Poly.sub a.c0 b.c0; c1 = Poly.sub a.c1 b.c1 }
+
+let negate _t a = { a with c0 = Poly.neg a.c0; c1 = Poly.neg a.c1 }
+
+let check_plain name ct pt =
+  if ct.level <> pt.pt_level then
+    raise (Level_mismatch (Printf.sprintf "Eval.%s: cipher level %d vs plain level %d" name ct.level pt.pt_level))
+
+let add_plain _t ct pt =
+  check_plain "add_plain" ct pt;
+  if not (scales_compatible ct.scale pt.pt_scale) then
+    raise (Scale_mismatch (Printf.sprintf "Eval.add_plain: scales %.3e vs %.3e" ct.scale pt.pt_scale));
+  { ct with c0 = Poly.add ct.c0 pt.poly }
+
+let sub_plain _t ct pt =
+  check_plain "sub_plain" ct pt;
+  if not (scales_compatible ct.scale pt.pt_scale) then
+    raise (Scale_mismatch (Printf.sprintf "Eval.sub_plain: scales %.3e vs %.3e" ct.scale pt.pt_scale));
+  { ct with c0 = Poly.sub ct.c0 pt.poly }
+
+(* Key switching: given d in Coeff domain over lc chain primes and a key for
+   secret payload s', produce (p0, p1) over the same basis with
+   p0 + p1*s ≈ d*s'. *)
+let keyswitch t ~lc d (key : Keys.switch_key) =
+  let chain = t.params.Params.chain in
+  let acc0 = ref (Poly.zero chain ~level_count:lc ~with_special:true Poly.Eval) in
+  let acc1 = ref (Poly.zero chain ~level_count:lc ~with_special:true Poly.Eval) in
+  for i = 0 to lc - 1 do
+    let dig = Poly.to_eval (Poly.lift_digit d ~digit:i ~with_special:true) in
+    let k0 = Poly.restrict_levels key.Keys.k0.(i) ~level_count:lc in
+    let k1 = Poly.restrict_levels key.Keys.k1.(i) ~level_count:lc in
+    acc0 := Poly.add !acc0 (Poly.mul dig k0);
+    acc1 := Poly.add !acc1 (Poly.mul dig k1)
+  done;
+  let p0 = Poly.mod_down_special (Poly.to_coeff !acc0) in
+  let p1 = Poly.mod_down_special (Poly.to_coeff !acc1) in
+  (Poly.to_eval p0, Poly.to_eval p1)
+
+let mul t a b =
+  check_binop "mul" a b;
+  let d0 = Poly.mul a.c0 b.c0 in
+  let d1 = Poly.add (Poly.mul a.c0 b.c1) (Poly.mul a.c1 b.c0) in
+  let d2 = Poly.mul a.c1 b.c1 in
+  let lc = level_count t a.level in
+  let p0, p1 = keyswitch t ~lc (Poly.to_coeff d2) t.keys.Keys.relin in
+  { c0 = Poly.add d0 p0; c1 = Poly.add d1 p1; scale = a.scale *. b.scale; level = a.level }
+
+let mul_plain _t ct pt =
+  check_plain "mul_plain" ct pt;
+  {
+    ct with
+    c0 = Poly.mul ct.c0 pt.poly;
+    c1 = Poly.mul ct.c1 pt.poly;
+    scale = ct.scale *. pt.pt_scale;
+  }
+
+let rescale t ct =
+  if ct.level >= max_level t then
+    raise (Level_mismatch "Eval.rescale: no rescaling prime remains");
+  let lc = level_count t ct.level in
+  let dropped_prime = Chain.prime t.params.Params.chain (lc - 1) in
+  let c0 = Poly.to_eval (Poly.rescale_last (Poly.to_coeff ct.c0)) in
+  let c1 = Poly.to_eval (Poly.rescale_last (Poly.to_coeff ct.c1)) in
+  { c0; c1; scale = ct.scale /. float_of_int dropped_prime; level = ct.level + 1 }
+
+let mod_switch t ct =
+  if ct.level >= max_level t then
+    raise (Level_mismatch "Eval.mod_switch: no chain prime remains");
+  let c0 = Poly.drop_last ct.c0 in
+  let c1 = Poly.drop_last ct.c1 in
+  { ct with c0; c1; level = ct.level + 1 }
+
+let mod_switch_plain t pt =
+  if pt.pt_level >= max_level t then
+    raise (Level_mismatch "Eval.mod_switch_plain: no chain prime remains");
+  { pt with poly = Poly.drop_last pt.poly; pt_level = pt.pt_level + 1 }
+
+let upscale t ct ~factor =
+  if factor < 1. then invalid_arg "Eval.upscale: factor must be >= 1";
+  (* Round the factor so the recorded scale matches the integer constant the
+     encoder actually embeds. *)
+  let factor = Float.round factor in
+  let pt = encode_constant t ~level:ct.level ~scale:factor 1. in
+  mul_plain t ct pt
+
+let set_scale _t ct new_scale =
+  if Float.abs (new_scale -. ct.scale) /. ct.scale > 0.01 then
+    raise (Scale_mismatch "Eval.set_scale: adjustment larger than 1%");
+  { ct with scale = new_scale }
+
+let rotate t ct r =
+  let half = t.params.Params.n / 2 in
+  let r = ((r mod half) + half) mod half in
+  if r = 0 then ct
+  else begin
+    let g = Encoder.galois_element t.encoder ~rotation:r in
+    let key = Keys.galois_key t.keys g in
+    let lc = level_count t ct.level in
+    let c0r = Poly.automorphism (Poly.to_coeff ct.c0) ~galois:g in
+    let c1r = Poly.automorphism (Poly.to_coeff ct.c1) ~galois:g in
+    let p0, p1 = keyswitch t ~lc c1r key in
+    { ct with c0 = Poly.add (Poly.to_eval c0r) p0; c1 = p1 }
+  end

@@ -1,0 +1,83 @@
+(** RNS-CKKS evaluator: encryption, decryption and homomorphic operations.
+
+    A ciphertext carries its scale (as an exact double) and its rescaling
+    level (number of chain primes consumed); the polynomial components live
+    over the first [L - level] chain primes in NTT form. Operations enforce
+    the RNS-CKKS constraints: operands of binary operations must be at the
+    same level, and addition operands must agree on scale (within the small
+    drift that non-power-of-two primes introduce). *)
+
+type ciphertext = private {
+  c0 : Hecate_rns.Poly.t;
+  c1 : Hecate_rns.Poly.t;
+  scale : float;
+  level : int;
+}
+
+type plaintext = private { poly : Hecate_rns.Poly.t; pt_scale : float; pt_level : int }
+
+type t
+(** Evaluator context: parameters, encoder, keys, encryption randomness. *)
+
+exception Scale_mismatch of string
+exception Level_mismatch of string
+
+val create : ?seed:int -> Params.t -> rotations:int list -> t
+(** [create params ~rotations] generates keys, including one rotation key per
+    distinct slot-rotation amount in [rotations]. *)
+
+val params : t -> Params.t
+val encoder : t -> Encoder.t
+val max_level : t -> int
+
+val encode : t -> level:int -> scale:float -> float array -> plaintext
+val encode_constant : t -> level:int -> scale:float -> float -> plaintext
+
+val encrypt : t -> plaintext -> ciphertext
+val encrypt_vector : t -> scale:float -> float array -> ciphertext
+(** Encrypt at level 0. *)
+
+val decrypt : t -> ciphertext -> float array
+(** Decrypt and decode to the [N/2] slot values. *)
+
+val level : ciphertext -> int
+val scale : ciphertext -> float
+
+val add : t -> ciphertext -> ciphertext -> ciphertext
+val sub : t -> ciphertext -> ciphertext -> ciphertext
+val negate : t -> ciphertext -> ciphertext
+val add_plain : t -> ciphertext -> plaintext -> ciphertext
+val sub_plain : t -> ciphertext -> plaintext -> ciphertext
+
+val mul : t -> ciphertext -> ciphertext -> ciphertext
+(** Ciphertext product with relinearization; the result scale is the product
+    of the operand scales. *)
+
+val mul_plain : t -> ciphertext -> plaintext -> ciphertext
+
+val rescale : t -> ciphertext -> ciphertext
+(** Drop the last chain prime with exact RNS division: the scale shrinks by
+    that prime (≈ [2^sf_bits]) and the level grows by one.
+    @raise Level_mismatch when no rescaling prime remains. *)
+
+val mod_switch : t -> ciphertext -> ciphertext
+(** Drop the last chain prime without dividing: level + 1, scale unchanged. *)
+
+val mod_switch_plain : t -> plaintext -> plaintext
+(** [modswitch] for plaintexts: drop the last prime of the encoded
+    polynomial (scale unchanged, level + 1). *)
+
+val upscale : t -> ciphertext -> factor:float -> ciphertext
+(** Multiply by the exactly-encoded constant 1 at scale [factor]: the scale
+    is multiplied by [factor], the level is unchanged. *)
+
+val set_scale : t -> ciphertext -> float -> ciphertext
+(** Relabel the ciphertext's scale (SEAL's scale-adjustment idiom). The new
+    scale must be within 1% of the current one; the message acquires a
+    relative error of the same magnitude. Used to absorb the drift of
+    near-power-of-two rescaling primes before additions. *)
+
+val rotate : t -> ciphertext -> int -> ciphertext
+(** [rotate t ct r] rotates slots left by [r] (negative [r]: right). Requires
+    the matching rotation key.
+    @raise Not_found if the key set lacks that rotation. *)

@@ -1,0 +1,49 @@
+module Chain = Hecate_rns.Chain
+
+type t = {
+  n : int;
+  chain : Chain.t;
+  q0_bits : int;
+  sf_bits : int;
+  levels : int;
+  error_sigma_eta : int;
+}
+
+(* 128-bit classical security bounds in the style of the HE standard
+   (maximum log2(Q*P) per ring degree). *)
+let security_table =
+  [ (1024, 27); (2048, 54); (4096, 109); (8192, 218); (16384, 438); (32768, 881) ]
+
+let max_log_qp ~n =
+  match List.assoc_opt n security_table with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Params.max_log_qp: unsupported degree %d" n)
+
+let min_degree_for ~log_qp =
+  let rec search = function
+    | [] -> invalid_arg "Params.min_degree_for: modulus too large for supported degrees"
+    | (n, bound) :: rest -> if float_of_int bound >= log_qp then n else search rest
+  in
+  search security_table
+
+let slots p = p.n / 2
+let log2_q p = Chain.log2_q p.chain ~upto:(Chain.length p.chain)
+
+let log2_qp p =
+  log2_q p +. (log (float_of_int (Chain.special_prime p.chain)) /. log 2.)
+
+let is_secure p =
+  match List.assoc_opt p.n security_table with
+  | Some bound -> log2_qp p <= float_of_int bound
+  | None -> false
+
+let create ?(check_security = false) ~n ~q0_bits ~sf_bits ~levels () =
+  if n < 8 || n land (n - 1) <> 0 then invalid_arg "Params.create: n must be a power of two >= 8";
+  let special_bits = min 31 (max q0_bits sf_bits + 1) in
+  let chain = Chain.create ~n ~q0_bits ~sf_bits ~levels ~special_bits in
+  let p = { n; chain; q0_bits; sf_bits; levels; error_sigma_eta = 21 } in
+  if check_security && not (is_secure p) then
+    invalid_arg
+      (Printf.sprintf "Params.create: log2(QP) = %.1f exceeds the 128-bit bound for n = %d"
+         (log2_qp p) n);
+  p

@@ -1,0 +1,43 @@
+(** RNS-CKKS encryption parameters.
+
+    A parameter set fixes the ring degree [N], the ciphertext modulus chain
+    [q_0, q_1 .. q_{L-1}] (one base prime of [q0_bits] bits and [L-1]
+    rescaling primes of [sf_bits] bits, the paper's rescaling factor [S_f]),
+    and the special key-switching prime. *)
+
+type t = private {
+  n : int;
+  chain : Hecate_rns.Chain.t;
+  q0_bits : int;
+  sf_bits : int;
+  levels : int; (** number of rescaling primes, i.e. maximum rescaling level *)
+  error_sigma_eta : int; (** centered-binomial parameter for RLWE noise *)
+}
+
+val create : ?check_security:bool -> n:int -> q0_bits:int -> sf_bits:int -> levels:int -> unit -> t
+(** [create ~n ~q0_bits ~sf_bits ~levels ()] builds a parameter set. The
+    special prime is sized one bit above the largest chain prime (capped at
+    31 bits). With [check_security] (default [false] — this repository runs
+    simulations at reduced [N]) the function raises if the modulus exceeds
+    the 128-bit security bound for [N].
+    @raise Invalid_argument on unattainable configurations. *)
+
+val slots : t -> int
+(** [n / 2]. *)
+
+val log2_q : t -> float
+(** Total [log2] of the ciphertext modulus (without special prime). *)
+
+val log2_qp : t -> float
+(** Total [log2] including the special prime. *)
+
+val max_log_qp : n:int -> int
+(** HE-standard style 128-bit-security bound on [log2 (Q*P)] for ring degree
+    [n]. @raise Invalid_argument for unsupported [n]. *)
+
+val min_degree_for : log_qp:float -> int
+(** Smallest supported power-of-two degree whose security bound admits
+    [log_qp]. @raise Invalid_argument when no supported degree suffices. *)
+
+val is_secure : t -> bool
+(** Whether the parameter set satisfies {!max_log_qp} at its degree. *)

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Float Hecate_ir

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Array Codegen Costmodel Estimator Explore Hecate_ir Noisemodel Paramselect Smu

@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Array Costmodel Hecate_ir Paramselect

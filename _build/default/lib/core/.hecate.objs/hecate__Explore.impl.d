@@ -1,0 +1,1 @@
+lib/core/explore.ml: Array Hashtbl Hecate_ir List Option Smu

@@ -1,0 +1,1 @@
+lib/core/explore.mli: Codegen Hecate_ir Smu

@@ -1,0 +1,1 @@
+lib/core/noisemodel.ml: Array Float Hecate_ir List

@@ -1,0 +1,1 @@
+lib/core/noisemodel.mli: Hecate_ir

@@ -1,0 +1,1 @@
+lib/core/paramselect.ml: Array Float Hecate_ir

@@ -1,0 +1,1 @@
+lib/core/paramselect.mli: Hecate_ir

@@ -1,0 +1,1 @@
+lib/core/smu.ml: Array Float Hashtbl Hecate_ir List Option

@@ -1,0 +1,1 @@
+lib/core/smu.mli: Hecate_ir

@@ -1,0 +1,238 @@
+module Prog = Hecate_ir.Prog
+module Types = Hecate_ir.Types
+module Typing = Hecate_ir.Typing
+module R = Hecate_ir.Prog.Rewriter
+
+type hook = op_id:int -> operand:int -> int
+
+let no_hook ~op_id:_ ~operand:_ = 0
+let eps = 1e-6
+
+let scale_of r v = Types.scale_exn (R.ty r v)
+let level_of r v = Types.level_exn (R.ty r v)
+let is_cipher r v = Types.is_cipher (R.ty r v)
+let is_free r v = R.ty r v = Types.Free
+
+let retag r v (s : Types.scaled) =
+  if is_cipher r v then Types.Cipher s else Types.Plain s
+
+let emit_rescale r (cfg : Typing.config) v =
+  let s = scale_of r v and k = level_of r v in
+  R.emit r Prog.Rescale [| v |] (Types.Cipher { scale = s -. cfg.sf; level = k + 1 })
+
+let emit_modswitch r v =
+  let s = scale_of r v and k = level_of r v in
+  R.emit r Prog.Modswitch [| v |] (retag r v { scale = s; level = k + 1 })
+
+let emit_downscale r (cfg : Typing.config) v =
+  let k = level_of r v in
+  R.emit r
+    (Prog.Downscale { waterline = cfg.waterline })
+    [| v |]
+    (Types.Cipher { scale = cfg.waterline; level = k + 1 })
+
+let emit_upscale r v target =
+  let k = level_of r v in
+  R.emit r (Prog.Upscale { target_scale = target }) [| v |] (retag r v { scale = target; level = k })
+
+let encode_free r (cfg : Typing.config) v ~scale ~level =
+  let scale = Float.max scale cfg.waterline in
+  R.emit r (Prog.Encode { scale; level }) [| v |] (Types.Plain { scale; level })
+
+let rescale_applicable (cfg : Typing.config) s = s -. cfg.sf >= cfg.waterline -. eps
+
+(* (b) rescale analysis: reduce a ciphertext's scale by the fixed factor as
+   long as the waterline allows. *)
+let rescale_while r cfg v =
+  let rec go v = if is_cipher r v && rescale_applicable cfg (scale_of r v) then go (emit_rescale r cfg v) else v in
+  go v
+
+(* One forced scale-management step, as the SMSE planner prescribes. *)
+let force_step r (cfg : Typing.config) v =
+  if not (is_cipher r v) then emit_modswitch r v
+  else
+    let s = scale_of r v in
+    if rescale_applicable cfg s then emit_rescale r cfg v
+    else if s > cfg.waterline +. eps then emit_downscale r cfg v
+    else emit_modswitch r v
+
+let apply_hook r cfg (hook : hook) ~op_id ~operand v =
+  if is_free r v then v
+  else
+    let rec go v d = if d = 0 then v else go (force_step r cfg v) (d - 1) in
+    go v (hook ~op_id ~operand)
+
+(* (c) level match, proactive flavor: raise a value to [target] one prime at
+   a time, preferring rescale, then downscale, falling back to modswitch. *)
+let raise_level_pars r cfg v ~target =
+  let rec go v =
+    if level_of r v >= target then v
+    else if not (is_cipher r v) then go (emit_modswitch r v)
+    else
+      let s = scale_of r v in
+      if rescale_applicable cfg s then go (emit_rescale r cfg v)
+      else if s > cfg.waterline +. eps then go (emit_downscale r cfg v)
+      else go (emit_modswitch r v)
+  in
+  go v
+
+(* EVA flavor: modswitch only. *)
+let raise_level_eva r v ~target =
+  let rec go v = if level_of r v >= target then v else go (emit_modswitch r v) in
+  go v
+
+(* (d) scale match for additive operations. *)
+let scale_match r a b =
+  let sa = scale_of r a and sb = scale_of r b in
+  if Types.scale_close sa sb then (a, b)
+  else if sa < sb then (emit_upscale r a sb, b)
+  else (a, emit_upscale r b sa)
+
+let binop_kind_exn (o : Prog.op) =
+  match o.Prog.kind with
+  | Prog.Add -> `Add
+  | Prog.Sub -> `Sub
+  | Prog.Mul -> `Mul
+  | _ -> invalid_arg "Codegen: not a binary operation"
+
+let emit_binop r o a b ty =
+  let kind = match binop_kind_exn o with `Add -> Prog.Add | `Sub -> Prog.Sub | `Mul -> Prog.Mul in
+  R.emit r kind [| a; b |] ty
+
+let result_scaled r ~is_mul a b : Types.scaled =
+  let sa = scale_of r a and ka = level_of r a in
+  let sb = scale_of r b in
+  if is_mul then { scale = sa +. sb; level = ka } else { scale = sa; level = ka }
+
+let result_ty r ~is_mul a b =
+  let s = result_scaled r ~is_mul a b in
+  if is_cipher r a || is_cipher r b then Types.Cipher s else Types.Plain s
+
+(* Shared driver: walks the source program, delegating binary operations. *)
+let run (cfg : Typing.config) ~hook ~binop (p : Prog.t) =
+  let r = R.create p in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      let new_id =
+        match o.Prog.kind with
+        | Prog.Input { name } ->
+            R.emit r (Prog.Input { name }) [||] (Types.Cipher { scale = cfg.waterline; level = 0 })
+        | Prog.Const { value } -> R.emit r (Prog.Const { value }) [||] Types.Free
+        | Prog.Negate | Prog.Rotate _ ->
+            let a = R.mapped r o.Prog.args.(0) in
+            let a = apply_hook r cfg hook ~op_id:o.Prog.id ~operand:0 a in
+            let a =
+              if is_free r a then encode_free r cfg a ~scale:cfg.waterline ~level:0 else a
+            in
+            R.emit r o.Prog.kind [| a |]
+              (retag r a { scale = scale_of r a; level = level_of r a })
+        | Prog.Add | Prog.Sub | Prog.Mul ->
+            let a = R.mapped r o.Prog.args.(0) in
+            let b = R.mapped r o.Prog.args.(1) in
+            let a = apply_hook r cfg hook ~op_id:o.Prog.id ~operand:0 a in
+            let b = apply_hook r cfg hook ~op_id:o.Prog.id ~operand:1 b in
+            binop r o a b
+        | Prog.Encode _ | Prog.Rescale | Prog.Modswitch | Prog.Upscale _ | Prog.Downscale _ ->
+            invalid_arg "Codegen: input program already contains scale-management operations"
+      in
+      R.set_mapped r ~old_value:o.Prog.id new_id)
+    p;
+  R.finish r
+
+(* ------------------------------------------------------------------ *)
+(* EVA: waterline rescaling                                             *)
+(* ------------------------------------------------------------------ *)
+
+let waterline cfg ?(hook = no_hook) p =
+  let binop r o a b =
+    let is_mul = binop_kind_exn o = `Mul in
+    match (is_free r a, is_free r b) with
+    | true, true ->
+        let a = encode_free r cfg a ~scale:cfg.waterline ~level:0 in
+        let b = encode_free r cfg b ~scale:cfg.waterline ~level:0 in
+        emit_binop r o a b (result_ty r ~is_mul a b)
+    | _ ->
+        (* normalize ciphers: waterline rescaling *)
+        let norm v = if is_free r v then v else rescale_while r cfg v in
+        let a = norm a and b = norm b in
+        (* level match the scaled operands by modswitch *)
+        let target =
+          max
+            (if is_free r a then 0 else level_of r a)
+            (if is_free r b then 0 else level_of r b)
+        in
+        let lift v = if is_free r v then v else raise_level_eva r v ~target in
+        let a = lift a and b = lift b in
+        (* encode free operands at the sibling's level; additive ops need the
+           sibling's scale, multiplicative the waterline *)
+        let encode_at sibling v =
+          if is_free r v then
+            encode_free r cfg v
+              ~scale:(if is_mul then cfg.waterline else scale_of r sibling)
+              ~level:(level_of r sibling)
+          else v
+        in
+        let a = encode_at b a and b = encode_at a b in
+        let a, b = if is_mul then (a, b) else scale_match r a b in
+        let res = emit_binop r o a b (result_ty r ~is_mul a b) in
+        (* reactive rescaling of multiplication results *)
+        if is_mul then rescale_while r cfg res else res
+  in
+  run cfg ~hook ~binop p
+
+(* ------------------------------------------------------------------ *)
+(* PARS: proactive rescaling (Algorithm 2)                              *)
+(* ------------------------------------------------------------------ *)
+
+let pars cfg ?(hook = no_hook) ?(downscale_analysis = true) p =
+  let binop r o a b =
+    let is_mul = binop_kind_exn o = `Mul in
+    match (is_free r a, is_free r b) with
+    | true, true ->
+        let a = encode_free r cfg a ~scale:cfg.waterline ~level:0 in
+        let b = encode_free r cfg b ~scale:cfg.waterline ~level:0 in
+        emit_binop r o a b (result_ty r ~is_mul a b)
+    | _ ->
+        (* (b) rescale analysis *)
+        let norm v = if is_free r v then v else rescale_while r cfg v in
+        let a = norm a and b = norm b in
+        (* (c) level match: proactive, may downscale *)
+        let target =
+          max
+            (if is_free r a then 0 else level_of r a)
+            (if is_free r b then 0 else level_of r b)
+        in
+        let lift v = if is_free r v then v else raise_level_pars r cfg v ~target in
+        let a = lift a and b = lift b in
+        (* (e) downscale analysis for multiplications: if the product scale
+           would exceed the peak a pre-downscale costs, downscale operands
+           first *)
+        let a, b =
+          if
+            is_mul && downscale_analysis
+            && (not (is_free r a))
+            && (not (is_free r b))
+            && scale_of r a +. scale_of r b > cfg.sf +. (2. *. cfg.waterline) +. eps
+          then
+            let down v =
+              if not (is_cipher r v) then emit_modswitch r v
+              else if scale_of r v > cfg.waterline +. eps then emit_downscale r cfg v
+              else emit_modswitch r v
+            in
+            (down a, down b)
+          else (a, b)
+        in
+        (* (a) encode free operands at the sibling's level *)
+        let encode_at sibling v =
+          if is_free r v then
+            encode_free r cfg v
+              ~scale:(if is_mul then cfg.waterline else scale_of r sibling)
+              ~level:(level_of r sibling)
+          else v
+        in
+        let a = encode_at b a and b = encode_at a b in
+        (* (d) scale match for additive ops *)
+        let a, b = if is_mul then (a, b) else scale_match r a b in
+        emit_binop r o a b (result_ty r ~is_mul a b)
+  in
+  run cfg ~hook ~binop p

@@ -1,0 +1,39 @@
+(** Scale-management code generation.
+
+    Two generators rewrite an unmanaged HECATE IR program (homomorphic
+    operations only) into a fully typed program satisfying C1-C3:
+
+    - {!waterline} reimplements EVA: reactive fixed-factor rescaling after
+      multiplications, level matching by [modswitch], scale matching by
+      [upscale];
+    - {!pars} is the paper's proactive rescaling algorithm (Algorithm 2):
+      encode, rescale analysis, level match (using [downscale] when the
+      scale is strictly between the waterline and the rescaling threshold),
+      scale match, and the pre-multiplication downscale analysis.
+
+    Both accept a {!hook} so the scale-management space explorer can force
+    additional scale-management operations on any operand: the hook returns
+    how many extra operations to apply to operand [operand] of original
+    operation [op_id]; each forced step picks [rescale], [downscale] or
+    [modswitch] from the operand's current scale, as the planner prescribes
+    (§VI-A). *)
+
+type hook = op_id:int -> operand:int -> int
+
+val no_hook : hook
+
+val waterline : Hecate_ir.Typing.config -> ?hook:hook -> Hecate_ir.Prog.t -> Hecate_ir.Prog.t
+(** EVA's waterline rescaling.
+    @raise Invalid_argument if the input already contains opaque
+    scale-management operations. *)
+
+val pars :
+  Hecate_ir.Typing.config ->
+  ?hook:hook ->
+  ?downscale_analysis:bool ->
+  Hecate_ir.Prog.t ->
+  Hecate_ir.Prog.t
+(** Proactive rescaling (PARS). Same contract as {!waterline}.
+    [downscale_analysis] (default true) enables step (e), the
+    pre-multiplication downscale; disabling it is the ablation of
+    Algorithm 2's last phase. *)

@@ -1,0 +1,70 @@
+type op_class =
+  | Cipher_add
+  | Plain_add
+  | Cipher_mul
+  | Plain_mul
+  | Rotate
+  | Rescale
+  | Modswitch
+  | Encode
+
+type t = { cost : op_class -> num_primes:int -> n:int -> float }
+
+let classes =
+  [ Cipher_add; Plain_add; Cipher_mul; Plain_mul; Rotate; Rescale; Modswitch; Encode ]
+
+let class_name = function
+  | Cipher_add -> "cipher_add"
+  | Plain_add -> "plain_add"
+  | Cipher_mul -> "cipher_mul"
+  | Plain_mul -> "plain_mul"
+  | Rotate -> "rotate"
+  | Rescale -> "rescale"
+  | Modswitch -> "modswitch"
+  | Encode -> "encode"
+
+(* Work in abstract units; one unit is roughly one modular multiply. *)
+let units cls ~num_primes ~n =
+  let l = float_of_int num_primes in
+  let nf = float_of_int n in
+  let ntt = nf *. (log nf /. log 2.) in
+  (* Hybrid key switching: per digit, lift to l+1 moduli and NTT each, then
+     two multiply-accumulates; finally inverse-NTT and mod-down both
+     components. Quadratic in the prime count. *)
+  let keyswitch = (l *. (l +. 1.) *. (ntt +. (3. *. nf))) +. (2. *. (l +. 1.) *. ntt) +. (4. *. l *. nf) in
+  match cls with
+  | Cipher_add -> 2. *. l *. nf
+  | Plain_add -> l *. nf
+  | Cipher_mul -> (5. *. l *. nf) +. keyswitch
+  | Plain_mul -> 2. *. l *. nf
+  | Rotate -> (4. *. l *. ntt) +. (2. *. l *. nf) +. keyswitch
+  | Rescale -> (2. *. l *. ntt) +. (2. *. (l -. 1.) *. (ntt +. nf))
+  | Modswitch -> 0.25 *. l *. nf (* copying the surviving components *)
+  | Encode -> ntt +. (l *. (ntt +. nf))
+
+let analytic ?(units_per_second = 2.5e8) () =
+  { cost = (fun cls ~num_primes ~n -> units cls ~num_primes ~n /. units_per_second) }
+
+let of_table table ~fallback =
+  let cost cls ~num_primes ~n =
+    match Hashtbl.find_opt table (cls, num_primes, n) with
+    | Some t -> t
+    | None ->
+        (* Scale the analytic shape to agree with the closest measured prime
+           count at the same degree, if any. *)
+        let best = ref None in
+        Hashtbl.iter
+          (fun (c, l, n') t ->
+            if c = cls && n' = n then
+              match !best with
+              | Some (l0, _) when abs (l0 - num_primes) <= abs (l - num_primes) -> ()
+              | _ -> best := Some (l, t))
+          table;
+        let base = fallback.cost cls ~num_primes ~n in
+        (match !best with
+        | None -> base
+        | Some (l_near, t_near) ->
+            let shape_near = fallback.cost cls ~num_primes:l_near ~n in
+            if shape_near <= 0. then base else base *. (t_near /. shape_near))
+  in
+  { cost }

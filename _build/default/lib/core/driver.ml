@@ -1,0 +1,111 @@
+module Prog = Hecate_ir.Prog
+module Typing = Hecate_ir.Typing
+module Passes = Hecate_ir.Passes
+
+type scheme = Eva | Pars | Smse | Hecate
+
+type exploration_stats = {
+  units : int;
+  smu_edges : int;
+  use_def_edges : int;
+  epochs : int;
+  plans_explored : int;
+}
+
+type compiled = {
+  prog : Prog.t;
+  params : Paramselect.t;
+  estimated_seconds : float;
+  exploration : exploration_stats option;
+}
+
+let scheme_name = function Eva -> "EVA" | Pars -> "PARS" | Smse -> "SMSE" | Hecate -> "HECATE"
+let all_schemes = [ Eva; Pars; Smse; Hecate ]
+
+let finalize ?q0_bits ?(early_modswitch = true) ~cfg prog =
+  let prog = Passes.cse prog in
+  let prog = if early_modswitch then Passes.early_modswitch prog else prog in
+  let prog = Passes.cse prog in
+  let prog = Passes.dce prog in
+  let types = Typing.check_exn cfg prog in
+  let params =
+    Paramselect.select ?q0_bits
+      ~sf_bits:(int_of_float cfg.Typing.sf)
+      ~types ~slot_count:prog.Prog.slot_count ()
+  in
+  (prog, params)
+
+let compile ?(model = Costmodel.analytic ()) ?(max_epochs = 100) ?(naive_exploration = false)
+    ?q0_bits ?early_modswitch ?(downscale_analysis = true) ?smu_phases ?noise_budget_bits scheme
+    ~sf_bits ~waterline_bits prog =
+  let cfg = Typing.config ~sf:(float_of_int sf_bits) ~waterline:waterline_bits () in
+  let prog = Passes.default_pipeline prog in
+  let generator ~hook =
+    match scheme with
+    | Eva | Smse -> Codegen.waterline cfg ~hook prog
+    | Pars | Hecate -> Codegen.pars cfg ~hook ~downscale_analysis prog
+  in
+  let run_finalized ~hook =
+    let managed = generator ~hook in
+    fst (finalize ?q0_bits ?early_modswitch ~cfg managed)
+  in
+  let evaluate p =
+    (* types are already on the ops after finalize's check *)
+    let types = Array.map (fun (o : Prog.op) -> o.Prog.ty) p.Prog.body in
+    let params =
+      Paramselect.select ?q0_bits ~sf_bits ~types ~slot_count:p.Prog.slot_count ()
+    in
+    (* ELASM-style noise-aware exploration: reject plans whose predicted
+       output error exceeds the budget *)
+    let noise_ok =
+      match noise_budget_bits with
+      | None -> true
+      | Some budget ->
+          let ncfg = Noisemodel.default_config ~n:params.Paramselect.secure_n in
+          Noisemodel.predicted_rmse_bits ncfg p <= budget
+    in
+    if not noise_ok then infinity
+    else Estimator.estimate ~model ~params ~n:params.Paramselect.secure_n p
+  in
+  match scheme with
+  | Eva | Pars ->
+      let managed = run_finalized ~hook:Codegen.no_hook in
+      let types = Array.map (fun (o : Prog.op) -> o.Prog.ty) managed.Prog.body in
+      let params =
+        Paramselect.select ?q0_bits ~sf_bits ~types ~slot_count:managed.Prog.slot_count ()
+      in
+      {
+        prog = managed;
+        params;
+        estimated_seconds =
+          Estimator.estimate ~model ~params ~n:params.Paramselect.secure_n managed;
+        exploration = None;
+      }
+  | Smse | Hecate ->
+      let smu = Smu.generate ?phases:smu_phases prog in
+      let edges = if naive_exploration then Smu.naive_edges prog else smu.Smu.edges in
+      let result =
+        Explore.hill_climb ~codegen:run_finalized ~evaluate ~edges ~max_epochs ()
+      in
+      let best = result.Explore.best_prog in
+      let types = Array.map (fun (o : Prog.op) -> o.Prog.ty) best.Prog.body in
+      let params =
+        Paramselect.select ?q0_bits ~sf_bits ~types ~slot_count:best.Prog.slot_count ()
+      in
+      {
+        prog = best;
+        params;
+        estimated_seconds = result.Explore.best_cost;
+        exploration =
+          Some
+            {
+              units = Smu.unit_count smu;
+              smu_edges = Array.length edges;
+              use_def_edges = smu.Smu.use_def_edges;
+              epochs = result.Explore.epochs;
+              plans_explored = result.Explore.plans_explored;
+            };
+      }
+
+let estimate_at ?(model = Costmodel.analytic ()) compiled ~n =
+  Estimator.estimate ~model ~params:compiled.params ~n compiled.prog

@@ -1,0 +1,66 @@
+(** Top-level compilation driver: the four scale-management schemes of the
+    paper's evaluation (§VII-A).
+
+    - [Eva]: waterline rescaling, no exploration (the baseline);
+    - [Pars]: proactive rescaling, no exploration;
+    - [Smse]: exploration over waterline-rescaling code generation;
+    - [Hecate]: exploration over proactive-rescaling code generation. *)
+
+type scheme = Eva | Pars | Smse | Hecate
+
+type exploration_stats = {
+  units : int;
+  smu_edges : int;
+  use_def_edges : int;
+  epochs : int;
+  plans_explored : int;
+}
+
+type compiled = {
+  prog : Hecate_ir.Prog.t; (** finalized, typed *)
+  params : Paramselect.t;
+  estimated_seconds : float; (** at the security-mandated ring degree *)
+  exploration : exploration_stats option; (** for [Smse] and [Hecate] *)
+}
+
+val scheme_name : scheme -> string
+val all_schemes : scheme list
+
+val compile :
+  ?model:Costmodel.t ->
+  ?max_epochs:int ->
+  ?naive_exploration:bool ->
+  ?q0_bits:int ->
+  ?early_modswitch:bool ->
+  ?downscale_analysis:bool ->
+  ?smu_phases:int ->
+  ?noise_budget_bits:float ->
+  scheme ->
+  sf_bits:int ->
+  waterline_bits:float ->
+  Hecate_ir.Prog.t ->
+  compiled
+(** [compile scheme ~sf_bits ~waterline_bits prog] cleans the input
+    (CSE, constant folding, DCE), applies the scheme, then finalizes:
+    early-modswitch hoisting, CSE, DCE, type check, parameter selection.
+    [naive_exploration] replaces SMU edges with raw use-def edges (the
+    Table III baseline). The remaining optional flags are ablations:
+    [early_modswitch] (default true) toggles EVA's hoisting pass,
+    [downscale_analysis] (default true) toggles PARS step (e), and
+    [smu_phases] truncates SMU generation (see {!Smu.generate}).
+    [noise_budget_bits] enables ELASM-style noise-aware exploration: plans
+    whose {!Noisemodel}-predicted output error exceeds [2^budget] are
+    rejected during the climb (only meaningful for [Smse]/[Hecate]).
+    @raise Invalid_argument if the program cannot be scale-managed. *)
+
+val finalize :
+  ?q0_bits:int ->
+  ?early_modswitch:bool ->
+  cfg:Hecate_ir.Typing.config ->
+  Hecate_ir.Prog.t ->
+  Hecate_ir.Prog.t * Paramselect.t
+(** The shared post-codegen pipeline, exposed for the explorer and tests. *)
+
+val estimate_at : ?model:Costmodel.t -> compiled -> n:int -> float
+(** Re-estimate a compiled program's latency at an explicit ring degree
+    (used when comparing against actual execution at a reduced degree). *)

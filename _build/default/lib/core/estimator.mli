@@ -1,0 +1,20 @@
+(** Static performance estimation of a scale-managed program (paper §VI-C).
+
+    Each operation is charged the model cost of its class at the number of
+    chain primes present in its operands — [chain_levels + 1 - level] — for
+    the ring degree that parameter selection produced. The opaque
+    [upscale]/[downscale] operations are charged as their lowering
+    (plain multiply, respectively plain multiply plus rescale). *)
+
+val estimate :
+  model:Costmodel.t -> params:Paramselect.t -> n:int -> Hecate_ir.Prog.t -> float
+(** [estimate ~model ~params ~n prog] is the predicted execution time in
+    seconds of the (typed) program at ring degree [n]. Requires types on the
+    ops (run {!Hecate_ir.Typing.check} first).
+    @raise Invalid_argument if an op lacks a scaled type where one is
+    required. *)
+
+val per_op_seconds :
+  model:Costmodel.t -> params:Paramselect.t -> n:int -> Hecate_ir.Prog.op -> Hecate_ir.Types.t array -> float
+(** Cost charged for a single operation given its operand types. Exposed for
+    the estimator-accuracy experiment (Fig. 8) and tests. *)

@@ -1,0 +1,68 @@
+type plan = int array
+
+type result = {
+  best_plan : plan;
+  best_prog : Hecate_ir.Prog.t;
+  best_cost : float;
+  epochs : int;
+  plans_explored : int;
+}
+
+let hook_of_plan (edges : Smu.edge array) (plan : plan) =
+  let table = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (e : Smu.edge) ->
+      if plan.(i) > 0 then
+        List.iter (fun site -> Hashtbl.replace table site plan.(i)) e.Smu.sites)
+    edges;
+  fun ~op_id ~operand -> Option.value ~default:0 (Hashtbl.find_opt table (op_id, operand))
+
+let hill_climb ~codegen ~evaluate ~(edges : Smu.edge array) ?(max_epochs = 100) () =
+  let num_edges = Array.length edges in
+  let explored = ref 0 in
+  (* Infeasible candidates (the type system rejects the forced plan) get an
+     infinite cost; the zero plan is always feasible. *)
+  let run plan =
+    incr explored;
+    match codegen ~hook:(hook_of_plan edges plan) with
+    | prog -> (Some prog, evaluate prog)
+    | exception Invalid_argument _ -> (None, infinity)
+  in
+  let base_plan = Array.make num_edges 0 in
+  let base_prog, base_cost =
+    match run base_plan with
+    | Some prog, cost -> (prog, cost)
+    | None, _ -> invalid_arg "Explore.hill_climb: the unmodified plan failed to compile"
+  in
+  let best_plan = ref base_plan and best_prog = ref base_prog and best_cost = ref base_cost in
+  let epochs = ref 0 in
+  let improved = ref true in
+  while !improved && !epochs < max_epochs do
+    improved := false;
+    let candidate_best = ref None in
+    for i = 0 to num_edges - 1 do
+      let plan = Array.copy !best_plan in
+      plan.(i) <- plan.(i) + 1;
+      match run plan with
+      | Some prog, cost when cost < !best_cost -> (
+          match !candidate_best with
+          | Some (_, _, c) when c <= cost -> ()
+          | _ -> candidate_best := Some (plan, prog, cost))
+      | _ -> ()
+    done;
+    match !candidate_best with
+    | Some (plan, prog, cost) ->
+        best_plan := plan;
+        best_prog := prog;
+        best_cost := cost;
+        improved := true;
+        incr epochs
+    | None -> ()
+  done;
+  {
+    best_plan = !best_plan;
+    best_prog = !best_prog;
+    best_cost = !best_cost;
+    epochs = !epochs;
+    plans_explored = !explored;
+  }

@@ -1,0 +1,34 @@
+(** Scale management space exploration (paper §VI): steepest-ascent hill
+    climbing over per-edge optimization degrees.
+
+    A plan maps every edge of the SMU graph (or every use-def edge, for the
+    naïve baseline of Table III) to a degree: the number of extra
+    scale-management operations forced on the values crossing that edge.
+    Each epoch evaluates one neighbour per edge (the previous best plan with
+    that edge's degree incremented); the climb stops at a local optimum or
+    at [max_epochs]. *)
+
+type plan = int array (** degree per edge *)
+
+type result = {
+  best_plan : plan;
+  best_prog : Hecate_ir.Prog.t; (** finalized and typed *)
+  best_cost : float; (** estimated seconds *)
+  epochs : int; (** epochs that found an improvement *)
+  plans_explored : int; (** total candidate programs evaluated *)
+}
+
+val hook_of_plan : Smu.edge array -> plan -> Codegen.hook
+(** Degree lookup for the code generators: the degree of the edge owning a
+    given (op, operand) site, 0 elsewhere. *)
+
+val hill_climb :
+  codegen:(hook:Codegen.hook -> Hecate_ir.Prog.t) ->
+  evaluate:(Hecate_ir.Prog.t -> float) ->
+  edges:Smu.edge array ->
+  ?max_epochs:int ->
+  unit ->
+  result
+(** [codegen] runs one scale-management code generation under a plan hook
+    and must return a finalized, typed program; [evaluate] scores it
+    (seconds, lower is better; [infinity] for infeasible candidates). *)

@@ -1,0 +1,139 @@
+module Prog = Hecate_ir.Prog
+module Types = Hecate_ir.Types
+
+type config = { n : int; sigma : float; sf_bits : float; special_bits : float }
+
+let default_config ~n = { n; sigma = 3.24; sf_bits = 28.; special_bits = 31. }
+
+type report = {
+  noise_bits : float array;
+  message_bits : float array;
+  predicted_rmse : float;
+}
+
+let log2 x = log x /. log 2.
+
+(* log2 (2^a + 2^b) *)
+let ladd a b =
+  if a = neg_infinity then b
+  else if b = neg_infinity then a
+  else
+    let hi = Float.max a b and lo = Float.min a b in
+    hi +. (log1p (Float.exp2 (lo -. hi)) /. log 2.)
+
+(* RMS accumulation of independent error terms: log2 sqrt(2^2a + 2^2b).
+   Reductions over thousands of slots make worst-case (coherent) tracking
+   useless; noise terms in CKKS behave like independent random variables. *)
+let radd a b = 0.5 *. ladd (2. *. a) (2. *. b)
+
+(* Calibration constants (measured on the in-repo backend at n = 1024,
+   sigma = 3.24):
+   - fresh encryption shows ~2^11.5 RMS slot noise -> C_FRESH;
+   - encoding rounds coefficients by 1/2, i.e. ~0.5*sqrt(n/12) slot RMS;
+   - key switching (relinearization / rotation) adds noise governed by the
+     digit magnitude q_i/2 scaled down by the special prime. *)
+let c_fresh = 0.2
+let c_ks = 0.7
+let c_round = -2.6
+
+let fresh_noise cfg = log2 cfg.sigma +. (0.5 *. log2 (float_of_int cfg.n)) +. c_fresh
+let encode_noise cfg = (0.5 *. log2 (float_of_int cfg.n)) -. 2.3
+
+let keyswitch_noise cfg ~level =
+  (* sum over (remaining) digits of |digit| * e / P, in the slot domain *)
+  let primes_left = Float.max 1. (float_of_int (1 + level)) in
+  ignore primes_left;
+  cfg.sf_bits -. 1. -. cfg.special_bits +. log2 cfg.sigma
+  +. log2 (float_of_int cfg.n)
+  +. c_ks
+
+let rescale_round_noise cfg = (0.5 *. log2 (float_of_int cfg.n)) +. c_round
+
+let analyze cfg (p : Prog.t) =
+  let num = Prog.num_ops p in
+  let noise = Array.make num neg_infinity in
+  let value = Array.make num 0. (* log2 bound on |slot value| *) in
+  let msg = Array.make num 0. (* log2 bound on |message| = value * scale *) in
+  let scale_of (o : Prog.op) =
+    match Types.scaled_of o.Prog.ty with Some s -> s.Types.scale | None -> 0.
+  in
+  let level_of (o : Prog.op) =
+    match Types.scaled_of o.Prog.ty with Some s -> s.Types.level | None -> 0
+  in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      let i = o.Prog.id in
+      let a () = o.Prog.args.(0) in
+      let b () = o.Prog.args.(1) in
+      let sc = scale_of o in
+      (match o.Prog.kind with
+      | Prog.Input _ ->
+          value.(i) <- 0.;
+          noise.(i) <- fresh_noise cfg
+      | Prog.Const { value = Prog.Scalar x } ->
+          value.(i) <- log2 (Float.max 1e-9 (Float.abs x));
+          noise.(i) <- neg_infinity
+      | Prog.Const { value = Prog.Vector v } ->
+          let m = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 1e-9 v in
+          value.(i) <- log2 m;
+          noise.(i) <- neg_infinity
+      | Prog.Encode _ ->
+          value.(i) <- value.(a ());
+          noise.(i) <- encode_noise cfg
+      | Prog.Add | Prog.Sub ->
+          (* RMS growth for values too: slot magnitudes in the benchmark
+             suite behave statistically, not adversarially *)
+          value.(i) <- radd value.(a ()) value.(b ());
+          noise.(i) <- radd noise.(a ()) noise.(b ())
+      | Prog.Negate ->
+          value.(i) <- value.(a ());
+          noise.(i) <- noise.(a ())
+      | Prog.Rotate _ ->
+          value.(i) <- value.(a ());
+          noise.(i) <- radd noise.(a ()) (keyswitch_noise cfg ~level:(level_of o))
+      | Prog.Mul ->
+          let va = a () and vb = b () in
+          value.(i) <- value.(va) +. value.(vb);
+          (* e1*M2 + M1*e2 (+ e1*e2, dominated) + key switching when both
+             operands are ciphertexts *)
+          let cross = radd (noise.(va) +. msg.(vb)) (msg.(va) +. noise.(vb)) in
+          let both_cipher =
+            Types.is_cipher (Prog.op p va).Prog.ty && Types.is_cipher (Prog.op p vb).Prog.ty
+          in
+          let ks = if both_cipher then keyswitch_noise cfg ~level:(level_of o) else neg_infinity in
+          noise.(i) <- radd cross ks
+      | Prog.Rescale ->
+          value.(i) <- value.(a ());
+          noise.(i) <- radd (noise.(a ()) -. cfg.sf_bits) (rescale_round_noise cfg)
+      | Prog.Modswitch ->
+          value.(i) <- value.(a ());
+          noise.(i) <- noise.(a ())
+      | Prog.Upscale { target_scale } ->
+          let src = a () in
+          let factor_bits = Float.max 0. (target_scale -. scale_of (Prog.op p src)) in
+          value.(i) <- value.(src);
+          (* noise scales with the integer multiplier; its rounding by 1/2
+             perturbs the message relatively by 2^-(factor_bits+1) *)
+          (* the integer multiplier m = round(2^factor) deviates by <= 1/2,
+             an absolute message perturbation of |M|/2 *)
+          let rounding = msg.(src) -. 1. in
+          noise.(i) <- radd (noise.(src) +. factor_bits) rounding
+      | Prog.Downscale _ ->
+          let src = a () in
+          let src_scale = scale_of (Prog.op p src) in
+          let factor_bits = Float.max 0. (cfg.sf_bits +. sc -. src_scale) in
+          value.(i) <- value.(src);
+          let upscaled = radd (noise.(src) +. factor_bits) (msg.(src) -. 1.) in
+          noise.(i) <- radd (upscaled -. cfg.sf_bits) (rescale_round_noise cfg));
+      msg.(i) <- value.(i) +. sc)
+    p;
+  let rmse_bits =
+    List.fold_left
+      (fun acc out ->
+        let o = Prog.op p out in
+        Float.max acc (noise.(out) -. scale_of o))
+      neg_infinity p.Prog.outputs
+  in
+  { noise_bits = noise; message_bits = msg; predicted_rmse = Float.exp2 rmse_bits }
+
+let predicted_rmse_bits cfg p = log2 (analyze cfg p).predicted_rmse

@@ -1,0 +1,38 @@
+(** Static noise estimation for scale-managed programs.
+
+    A heuristic CKKS noise tracker in the spirit of the ELASM follow-up to
+    the paper: each value carries an estimated absolute slot-domain noise
+    (log2) and a message-magnitude bound; the opaque scale-management
+    operations contribute their lowering's noise, including the
+    integer-rounding term of [downscale]'s plaintext multiplier that
+    dominates accuracy at high waterlines in this repository's 28-bit-prime
+    setting.
+
+    Constants are calibrated against the in-repo backend (documented in the
+    implementation); predictions are order-of-magnitude, which suffices to
+    rank scale-management plans by expected accuracy. *)
+
+type config = {
+  n : int; (** ring degree the program will execute at *)
+  sigma : float; (** RLWE error standard deviation *)
+  sf_bits : float;
+  special_bits : float;
+}
+
+val default_config : n:int -> config
+(** sigma 3.24 (centered binomial, eta 21), 28-bit rescale primes, 31-bit
+    special prime — this repository's defaults. *)
+
+type report = {
+  noise_bits : float array; (** per-value absolute slot noise, log2 *)
+  message_bits : float array; (** per-value bound on log2 |message * scale| *)
+  predicted_rmse : float; (** decoded-output error estimate *)
+}
+
+val analyze : config -> Hecate_ir.Prog.t -> report
+(** Requires a typed program (run the driver or {!Hecate_ir.Typing.check}
+    first). Input slot values are assumed bounded by 1 in magnitude, as in
+    the benchmark suite. *)
+
+val predicted_rmse_bits : config -> Hecate_ir.Prog.t -> float
+(** [log2] of the predicted output error: convenience for explorers. *)

@@ -1,0 +1,55 @@
+module Types = Hecate_ir.Types
+
+type t = {
+  q0_bits : int;
+  sf_bits : int;
+  chain_levels : int;
+  log_q : float;
+  secure_n : int;
+  slot_count : int;
+}
+
+(* Mirror of Hecate_ckks.Params.security_table; lib/core must not depend on
+   the crypto backend, so the standard's bounds are restated here. *)
+let security_bounds =
+  [ (1024, 27.); (2048, 54.); (4096, 109.); (8192, 218.); (16384, 438.); (32768, 881.) ]
+
+let secure_degree ~log_qp =
+  let rec search = function
+    | [] -> 65536 (* beyond the table; report the next power of two *)
+    | (n, bound) :: rest -> if bound >= log_qp then n else search rest
+  in
+  search security_bounds
+
+let select ?(q0_bits = 30) ?(margin_bits = 6.) ~sf_bits ~types ~slot_count () =
+  let sf = float_of_int sf_bits in
+  let q0 = float_of_int q0_bits in
+  let needed = ref 0 in
+  Array.iter
+    (fun ty ->
+      match Types.scaled_of ty with
+      | None -> ()
+      | Some { Types.scale; level } ->
+          (* scale + margin <= q0 + (chain_levels - level) * sf *)
+          let for_scale =
+            int_of_float (Float.ceil (((scale +. margin_bits -. q0) /. sf) +. 1e-9))
+            + level
+          in
+          needed := max !needed (max level for_scale))
+    types;
+  let chain_levels = !needed in
+  let log_q = q0 +. (float_of_int chain_levels *. sf) in
+  (* special prime is one bit above the largest chain prime *)
+  let log_qp = log_q +. float_of_int (min 31 (max q0_bits sf_bits + 1)) in
+  {
+    q0_bits;
+    sf_bits;
+    chain_levels;
+    log_q;
+    secure_n = secure_degree ~log_qp;
+    slot_count;
+  }
+
+let num_primes_at t ~level =
+  if level < 0 || level > t.chain_levels then invalid_arg "Paramselect.num_primes_at: bad level";
+  t.chain_levels + 1 - level

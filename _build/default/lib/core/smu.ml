@@ -1,0 +1,229 @@
+module Prog = Hecate_ir.Prog
+
+type edge = { src : int; dst : int; sites : (int * int) list }
+
+type t = {
+  unit_of : int array;
+  units : (int * int list) list;
+  edges : edge array;
+  use_def_edges : int;
+}
+
+(* Nominal scales: the scale growth of the unmanaged program with every
+   input and constant at a unit waterline and no rescaling. Only relative
+   equality matters, so the waterline is taken as 1.0 "bits". *)
+let nominal_scales (p : Prog.t) =
+  let n = Prog.num_ops p in
+  let s = Array.make n 1. in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      let arg i = s.(o.Prog.args.(i)) in
+      s.(o.Prog.id) <-
+        (match o.Prog.kind with
+        | Prog.Input _ | Prog.Const _ -> 1.
+        | Prog.Mul -> arg 0 +. arg 1
+        | Prog.Add | Prog.Sub -> Float.max (arg 0) (arg 1)
+        | Prog.Negate | Prog.Rotate _ -> arg 0
+        | Prog.Encode _ | Prog.Rescale | Prog.Modswitch | Prog.Upscale _ | Prog.Downscale _ ->
+            invalid_arg "Smu: program already scale-managed"))
+    p;
+  s
+
+let is_cipher_producing (p : Prog.t) =
+  (* A value is a ciphertext iff it transitively depends on an input. *)
+  let n = Prog.num_ops p in
+  let c = Array.make n false in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      c.(o.Prog.id) <-
+        (match o.Prog.kind with
+        | Prog.Input _ -> true
+        | Prog.Const _ -> false
+        | _ -> Array.exists (fun a -> c.(a)) o.Prog.args))
+    p;
+  c
+
+(* Mutable grouping: unit ids with member lists, as the paper's Group. *)
+module Group = struct
+  type g = {
+    mutable unit_of : int array;
+    members : (int, int list ref) Hashtbl.t;
+    mutable next : int;
+  }
+
+  let create n = { unit_of = Array.make n (-1); members = Hashtbl.create 32; next = 0 }
+
+  let insert g v =
+    let id = g.next in
+    g.next <- id + 1;
+    Hashtbl.replace g.members id (ref [ v ]);
+    g.unit_of.(v) <- id;
+    id
+
+  let find g v = g.unit_of.(v)
+
+  let add_to g ~unit v =
+    let m = Hashtbl.find g.members unit in
+    m := v :: !m;
+    g.unit_of.(v) <- unit
+
+  let merge g a b =
+    if a <> b then begin
+      let ma = Hashtbl.find g.members a and mb = Hashtbl.find g.members b in
+      List.iter (fun v -> g.unit_of.(v) <- a) !mb;
+      ma := !mb @ !ma;
+      Hashtbl.remove g.members b
+    end;
+    a
+
+  (* Split [vs] (a subset of [unit]) into a fresh unit. *)
+  let split g ~unit vs =
+    match vs with
+    | [] -> invalid_arg "Smu.Group.split: empty split"
+    | _ ->
+        let m = Hashtbl.find g.members unit in
+        let keep = List.filter (fun v -> not (List.mem v vs)) !m in
+        m := keep;
+        let id = g.next in
+        g.next <- id + 1;
+        Hashtbl.replace g.members id (ref vs);
+        List.iter (fun v -> g.unit_of.(v) <- id) vs;
+        id
+
+  let units g =
+    Hashtbl.fold (fun id m acc -> (id, List.sort compare !m) :: acc) g.members []
+    |> List.sort compare
+end
+
+let generate ?(phases = 3) (p : Prog.t) =
+  if phases < 1 || phases > 3 then invalid_arg "Smu.generate: phases must be 1..3";
+  let n = Prog.num_ops p in
+  let nominal = nominal_scales p in
+  let cipher = is_cipher_producing p in
+  let g = Group.create n in
+  (* -------- phase 1: definition-aware merge (forward) -------- *)
+  let input_unit = ref (-1) in
+  let combos : (string * int list, int) Hashtbl.t = Hashtbl.create 32 in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      let id = o.Prog.id in
+      if cipher.(id) then begin
+        let arg_unit i =
+          let a = o.Prog.args.(i) in
+          if cipher.(a) then Group.find g a else -1
+        in
+        match o.Prog.kind with
+        | Prog.Input _ ->
+            if !input_unit < 0 then input_unit := Group.insert g id
+            else Group.add_to g ~unit:!input_unit id
+        | Prog.Negate | Prog.Rotate _ ->
+            (* no scale/level change: stay in the operand's unit *)
+            Group.add_to g ~unit:(arg_unit 0) id
+        | Prog.Add | Prog.Sub when not (cipher.(o.Prog.args.(0)) && cipher.(o.Prog.args.(1))) ->
+            (* plaintext addition: joins the ciphertext operand's unit *)
+            let cu = if cipher.(o.Prog.args.(0)) then arg_unit 0 else arg_unit 1 in
+            Group.add_to g ~unit:cu id
+        | Prog.Add | Prog.Sub
+          when Float.abs (nominal.(o.Prog.args.(0)) -. nominal.(o.Prog.args.(1))) < 1e-9 ->
+            (* ciphertext addition at equal scale: merge everything *)
+            let u = Group.merge g (arg_unit 0) (arg_unit 1) in
+            Group.add_to g ~unit:u id
+        | Prog.Add | Prog.Sub | Prog.Mul ->
+            (* scale-changing definition: one unit per (operator, operand
+               units) combination. The table stores a representative member
+               rather than a unit id, which merges can invalidate. *)
+            let key =
+              (Prog.kind_name o.Prog.kind, List.sort compare [ arg_unit 0; arg_unit 1 ])
+            in
+            (match Hashtbl.find_opt combos key with
+            | Some repr -> Group.add_to g ~unit:(Group.find g repr) id
+            | None ->
+                ignore (Group.insert g id);
+                Hashtbl.replace combos key id)
+        | Prog.Const _ -> assert false (* constants are never ciphertexts *)
+        | Prog.Encode _ | Prog.Rescale | Prog.Modswitch | Prog.Upscale _ | Prog.Downscale _ ->
+            invalid_arg "Smu.generate: program already scale-managed"
+      end)
+    p;
+  (* -------- phase 2: operation-aware split -------- *)
+  let defined_by_mul v =
+    match (Prog.op p v).Prog.kind with Prog.Mul -> true | _ -> false
+  in
+  if phases >= 2 then
+  List.iter
+    (fun (unit, members) ->
+      let muls = List.filter defined_by_mul members in
+      let others = List.filter (fun v -> not (defined_by_mul v)) members in
+      if muls <> [] && others <> [] then ignore (Group.split g ~unit others))
+    (Group.units g);
+  (* -------- phase 3: user-aware split (backward, to fixpoint) -------- *)
+  let users = Prog.users p in
+  let changed = ref (phases >= 3) in
+  let iterations = ref 0 in
+  while !changed && !iterations < 64 do
+    changed := false;
+    incr iterations;
+    List.iter
+      (fun (unit, members) ->
+        match members with
+        | [] | [ _ ] -> ()
+        | _ ->
+            let signature v =
+              List.sort_uniq compare
+                (List.filter_map
+                   (fun u -> if cipher.(u) then Some (Group.find g u) else None)
+                   users.(v))
+            in
+            let by_sig = Hashtbl.create 4 in
+            List.iter
+              (fun v ->
+                let s = signature v in
+                Hashtbl.replace by_sig s (v :: (Option.value ~default:[] (Hashtbl.find_opt by_sig s))))
+              members;
+            if Hashtbl.length by_sig > 1 then begin
+              changed := true;
+              (* keep the first signature group in place, split off the rest *)
+              let groups = Hashtbl.fold (fun _ vs acc -> vs :: acc) by_sig [] in
+              match groups with
+              | [] | [ _ ] -> ()
+              | _keep :: rest -> List.iter (fun vs -> ignore (Group.split g ~unit vs)) rest
+            end)
+      (Group.units g)
+  done;
+  (* -------- edges -------- *)
+  let sites = Hashtbl.create 32 in
+  let use_def = ref 0 in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      Array.iteri
+        (fun idx a ->
+          if cipher.(a) then begin
+            incr use_def;
+            let src = Group.find g a and dst = if cipher.(o.Prog.id) then Group.find g o.Prog.id else -2 in
+            if src <> dst then begin
+              let key = (src, dst) in
+              Hashtbl.replace sites key
+                ((o.Prog.id, idx) :: Option.value ~default:[] (Hashtbl.find_opt sites key))
+            end
+          end)
+        o.Prog.args)
+    p;
+  let edges =
+    Hashtbl.fold (fun (src, dst) s acc -> { src; dst; sites = List.rev s } :: acc) sites []
+    |> List.sort compare |> Array.of_list
+  in
+  { unit_of = Array.copy g.Group.unit_of; units = Group.units g; edges; use_def_edges = !use_def }
+
+let unit_count t = List.length t.units
+let edge_count t = Array.length t.edges
+
+let naive_edges (p : Prog.t) =
+  let cipher = is_cipher_producing p in
+  let acc = ref [] in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      Array.iteri
+        (fun idx a -> if cipher.(a) then acc := { src = a; dst = o.Prog.id; sites = [ (o.Prog.id, idx) ] } :: !acc)
+        o.Prog.args)
+    p;
+  Array.of_list (List.rev !acc)

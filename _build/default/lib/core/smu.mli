@@ -1,0 +1,41 @@
+(** Scale management unit (SMU) generation (paper §V, Algorithm 1).
+
+    SMUs group ciphertext values whose scale and level can be managed
+    together, shrinking the exploration space of SMSE from one knob per
+    use-def edge to one knob per SMU-graph edge. Three phases:
+
+    + {e definition-aware merge} (forward): values produced with the same
+      nominal scale by the same (operator, operand-unit) combination share a
+      unit — plaintext additions, rotations and negations stay in their
+      operand's unit, same-scale ciphertext additions merge units;
+    + {e operation-aware split}: multiplication-defined members are split
+      from the rest of each unit (the multiplication prefix always has
+      proactive-rescaling headroom);
+    + {e user-aware split} (backward, to fixpoint): members consumed by
+      different sets of units are separated. *)
+
+type t = private {
+  unit_of : int array; (** unit id per value; -1 for non-ciphertext values *)
+  units : (int * int list) list; (** unit id, members *)
+  edges : edge array;
+  use_def_edges : int; (** total ciphertext use-def edges (the naïve space) *)
+}
+
+and edge = {
+  src : int; (** defining unit *)
+  dst : int; (** consuming unit *)
+  sites : (int * int) list; (** (op id, operand index) pairs crossing the edge *)
+}
+
+val generate : ?phases:int -> Hecate_ir.Prog.t -> t
+(** Analyze an unmanaged program (homomorphic ops only). [phases] (default
+    3) truncates the algorithm for ablation studies: 1 = definition-aware
+    merge only, 2 = adds the operation-aware split, 3 = the full
+    algorithm. *)
+
+val unit_count : t -> int
+val edge_count : t -> int
+
+val naive_edges : Hecate_ir.Prog.t -> edge array
+(** One single-site edge per ciphertext use-def pair: the exploration space
+    of the naïve scheme in Table III. *)

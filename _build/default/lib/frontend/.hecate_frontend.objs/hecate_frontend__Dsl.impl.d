@@ -1,0 +1,1 @@
+lib/frontend/dsl.ml: Array Float Fun Hecate_ir List

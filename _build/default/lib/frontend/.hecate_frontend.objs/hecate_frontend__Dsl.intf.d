@@ -1,0 +1,1 @@
+lib/frontend/dsl.mli: Hecate_ir

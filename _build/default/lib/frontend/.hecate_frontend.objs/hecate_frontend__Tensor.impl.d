@@ -1,0 +1,1 @@
+lib/frontend/tensor.ml: Array Dsl List

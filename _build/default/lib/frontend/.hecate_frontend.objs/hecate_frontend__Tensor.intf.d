@@ -1,0 +1,1 @@
+lib/frontend/tensor.mli: Dsl Hecate_ir

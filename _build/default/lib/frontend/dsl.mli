@@ -1,0 +1,76 @@
+(** Embedded vector-program DSL (the role of the paper's Python frontend).
+
+    Programs compute over packed slot vectors. Expressions are plain value
+    ids in an underlying {!Hecate_ir.Prog.Builder}; all combinators are pure
+    wrappers that emit operations. Higher-level helpers implement the
+    packing idioms the benchmarks need: rotation-tree reductions,
+    replication, masking, baby-step/giant-step matrix-vector products and
+    2-D convolution taps. *)
+
+type t
+type expr = Hecate_ir.Prog.value
+
+val create : ?name:string -> slot_count:int -> unit -> t
+val slot_count : t -> int
+
+val input : t -> string -> expr
+val const_vector : t -> float array -> expr
+val const_scalar : t -> float -> expr
+
+val add : t -> expr -> expr -> expr
+val sub : t -> expr -> expr -> expr
+val mul : t -> expr -> expr -> expr
+val neg : t -> expr -> expr
+val rotate : t -> expr -> int -> expr
+(** Positive amounts rotate slots left: slot [i] of the result is slot
+    [i + amount] of the operand. *)
+
+val square : t -> expr -> expr
+val scale_by : t -> expr -> float -> expr
+(** Multiply by a scalar constant. *)
+
+val add_many : t -> expr list -> expr
+(** Balanced addition tree. @raise Invalid_argument on the empty list. *)
+
+val output : t -> expr -> unit
+val finish : t -> Hecate_ir.Prog.t
+
+(** {2 Packing helpers} *)
+
+val replicate : t -> expr -> width:int -> expr
+(** [replicate d x ~width] assumes [x] occupies slots [0..width) (zero
+    elsewhere, [width] a power of two dividing the slot count) and copies it
+    into every width-aligned block by rotation doubling. *)
+
+val reduce_sum : t -> expr -> width:int -> expr
+(** [reduce_sum d x ~width] is the rotation-tree windowed sum: slot [i] of
+    the result holds [x_i + x_(i+1) + ... + x_(i+width-1)] (wrapping),
+    computed in log2 [width] rotate-and-add steps ([width] a power of two).
+    With [width = slot_count] every slot holds the total sum. *)
+
+val mask : t -> expr -> (int -> bool) -> expr
+(** Multiply by the 0/1 plaintext vector selecting the slots where the
+    predicate holds. *)
+
+val matvec : t -> rows:int -> cols:int -> (int -> int -> float) -> expr -> expr
+(** [matvec d ~rows ~cols w x] computes the dense product [y_j = sum_i
+    w j i * x_i] with the baby-step/giant-step diagonal method. [x] must
+    occupy slots [0..cols); the result occupies slots [0..rows). Uses
+    [O(sqrt dim)] rotations and [dim] plaintext multiplies, where [dim] is
+    the padded power-of-two dimension. *)
+
+val conv2d :
+  t ->
+  image:expr ->
+  img_width:int ->
+  stride:int ->
+  taps:(int * int * float) list ->
+  expr
+(** [conv2d d ~image ~img_width ~stride ~taps] applies a stencil: each tap
+    [(dy, dx, w)] contributes [w * rotate(image, (dy*img_width + dx) *
+    stride)]. Row-major packed images; wrap-around at image boundaries (the
+    usual packed-FHE convention — callers mask the valid region if needed). *)
+
+val avg_pool2x2 : t -> expr -> img_width:int -> stride:int -> expr
+(** Average over the 2x2 stencil at the given dilation; the result is valid
+    on the sub-grid of doubled stride. *)

@@ -1,0 +1,95 @@
+type ctx = { d : Dsl.t }
+
+type t = {
+  ctx : ctx;
+  rows : int;
+  cols : int;
+  pitch : int; (* slots between consecutive rows, before dilation *)
+  dil : int; (* dilation: slot distance between logically adjacent columns *)
+  expr : Dsl.expr;
+}
+
+let create ?name ~slot_count () = { d = Dsl.create ?name ~slot_count () }
+let dsl c = c.d
+let dims t = (t.rows, t.cols)
+let dilation t = t.dil
+
+let input_image c name ~height ~width =
+  if height * width > Dsl.slot_count c.d then invalid_arg "Tensor.input_image: too large";
+  { ctx = c; rows = height; cols = width; pitch = width; dil = 1; expr = Dsl.input c.d name }
+
+let input_vector c name ~length =
+  if length > Dsl.slot_count c.d then invalid_arg "Tensor.input_vector: too large";
+  { ctx = c; rows = 1; cols = length; pitch = length; dil = 1; expr = Dsl.input c.d name }
+
+let same_layout a b =
+  a.rows = b.rows && a.cols = b.cols && a.pitch = b.pitch && a.dil = b.dil
+
+let lift2 name f a b =
+  if a.ctx != b.ctx then invalid_arg ("Tensor." ^ name ^ ": different contexts");
+  if not (same_layout a b) then invalid_arg ("Tensor." ^ name ^ ": shape or layout mismatch");
+  { a with expr = f a.ctx.d a.expr b.expr }
+
+let add a b = lift2 "add" Dsl.add a b
+let sub a b = lift2 "sub" Dsl.sub a b
+let mul a b = lift2 "mul" Dsl.mul a b
+let square a = { a with expr = Dsl.square a.ctx.d a.expr }
+let scale a c = { a with expr = Dsl.scale_by a.ctx.d a.expr c }
+let add_scalar a c = { a with expr = Dsl.add a.ctx.d a.expr (Dsl.const_scalar a.ctx.d c) }
+
+let conv2d a ~kernel ~bias =
+  let k = Array.length kernel in
+  if k = 0 || Array.exists (fun row -> Array.length row <> k) kernel then
+    invalid_arg "Tensor.conv2d: kernel must be square";
+  if k > a.rows || k > a.cols then invalid_arg "Tensor.conv2d: kernel larger than grid";
+  let taps =
+    List.concat
+      (List.init k (fun dy -> List.init k (fun dx -> (dy, dx, kernel.(dy).(dx)))))
+  in
+  let conv = Dsl.conv2d a.ctx.d ~image:a.expr ~img_width:a.pitch ~stride:a.dil ~taps in
+  let conv = if bias = 0. then conv else Dsl.add a.ctx.d conv (Dsl.const_scalar a.ctx.d bias) in
+  { a with rows = a.rows - k + 1; cols = a.cols - k + 1; expr = conv }
+
+let avg_pool2x2 a =
+  if a.rows < 2 || a.cols < 2 then invalid_arg "Tensor.avg_pool2x2: grid too small";
+  let pooled = Dsl.avg_pool2x2 a.ctx.d a.expr ~img_width:a.pitch ~stride:a.dil in
+  { a with rows = a.rows / 2; cols = a.cols / 2; dil = 2 * a.dil; expr = pooled }
+
+let compact a =
+  if a.dil = 1 && a.rows = 1 then a
+  else begin
+    let d = a.ctx.d in
+    let pieces =
+      List.concat
+        (List.init a.rows (fun r ->
+             List.init a.cols (fun c ->
+                 let src = ((r * a.pitch) + c) * a.dil in
+                 let dst = (r * a.cols) + c in
+                 let masked = Dsl.mask d a.expr (fun s -> s = src) in
+                 Dsl.rotate d masked (src - dst))))
+    in
+    {
+      a with
+      rows = 1;
+      cols = a.rows * a.cols;
+      pitch = a.rows * a.cols;
+      dil = 1;
+      expr = Dsl.add_many d pieces;
+    }
+  end
+
+let dense a ~weights ~bias =
+  if a.rows <> 1 || a.dil <> 1 then
+    invalid_arg "Tensor.dense: operand must be a dense vector (apply compact first)";
+  let out_dim = Array.length weights in
+  if out_dim = 0 then invalid_arg "Tensor.dense: empty weights";
+  let in_dim = Array.length weights.(0) in
+  if in_dim <> a.cols then invalid_arg "Tensor.dense: weight width does not match the vector";
+  if Array.length bias <> out_dim then invalid_arg "Tensor.dense: bias length mismatch";
+  let d = a.ctx.d in
+  let y = Dsl.matvec d ~rows:out_dim ~cols:in_dim (fun j i -> weights.(j).(i)) a.expr in
+  let y = Dsl.add d y (Dsl.const_vector d bias) in
+  { a with rows = 1; cols = out_dim; pitch = out_dim; dil = 1; expr = y }
+
+let output c t = Dsl.output c.d t.expr
+let finish c = Dsl.finish c.d

@@ -1,0 +1,63 @@
+(** CHET-style tensor frontend: shaped, layout-aware values that lower onto
+    the packed-vector DSL (the paper's Fig. 3 anticipates such frontends on
+    top of HECATE IR).
+
+    Layout model: a tensor is a logical [rows x cols] grid (vectors are
+    [1 x k]) embedded in the slot vector at a {e dilation}: element [(r, c)]
+    of a grid with row pitch [pitch] and dilation [d] lives at slot
+    [(r * pitch + c) * d]. Convolutions and poolings keep data in place and
+    double the dilation instead of compacting — the standard packed-FHE
+    trick the LeNet benchmark uses — while [compact] gathers a dilated grid
+    into a dense vector for fully-connected layers. *)
+
+type ctx
+type t
+
+val create : ?name:string -> slot_count:int -> unit -> ctx
+val dsl : ctx -> Dsl.t
+(** Escape hatch to the underlying DSL builder. *)
+
+val input_image : ctx -> string -> height:int -> width:int -> t
+(** Row-major dense image (dilation 1, pitch = width). *)
+
+val input_vector : ctx -> string -> length:int -> t
+
+val dims : t -> int * int
+(** logical (rows, cols) *)
+
+val dilation : t -> int
+
+(** {2 Element-wise} *)
+
+val add : t -> t -> t
+(** @raise Invalid_argument on shape or layout mismatch. *)
+
+val sub : t -> t -> t
+val mul : t -> t -> t
+val square : t -> t
+val scale : t -> float -> t
+val add_scalar : t -> float -> t
+
+(** {2 Structured} *)
+
+val conv2d : t -> kernel:float array array -> bias:float -> t
+(** Valid 2-D convolution with a square kernel: the result keeps the
+    operand's grid and dilation; only the top-left
+    [(rows - k + 1) x (cols - k + 1)] region is meaningful. *)
+
+val avg_pool2x2 : t -> t
+(** 2x2 average pooling by dilation doubling: the result's logical grid
+    halves and its dilation doubles. *)
+
+val compact : t -> t
+(** Gather a dilated grid into a dense [1 x (rows*cols)] vector (one mask +
+    rotate + add per element — the fully-connected boundary). Dense inputs
+    are returned unchanged. *)
+
+val dense : t -> weights:float array array -> bias:float array -> t
+(** Fully-connected layer on a dense vector via the BSGS diagonal method.
+    [weights] is [out x in].
+    @raise Invalid_argument if the operand is not dense (run {!compact}). *)
+
+val output : ctx -> t -> unit
+val finish : ctx -> Hecate_ir.Prog.t

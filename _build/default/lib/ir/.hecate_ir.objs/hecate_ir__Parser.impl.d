@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Hashtbl List Printf Prog String Types

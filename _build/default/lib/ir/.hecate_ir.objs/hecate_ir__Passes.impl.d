@@ -1,0 +1,1 @@
+lib/ir/passes.ml: Array Fun Hashtbl List Option Prog Types

@@ -1,0 +1,1 @@
+lib/ir/typing.ml: Array List Printf Prog Result Types

@@ -1,0 +1,1 @@
+lib/ir/typing.mli: Prog Types

@@ -1,0 +1,42 @@
+type t = { last_use : int array; buffer_of : int array; buffer_count : int; peak_live : int }
+
+let analyze (p : Prog.t) =
+  let n = Prog.num_ops p in
+  let last_use = Array.make n (-1) in
+  Prog.iter
+    (fun o -> Array.iter (fun a -> last_use.(a) <- max last_use.(a) o.Prog.id) o.Prog.args)
+    p;
+  (* Outputs stay live to the end of the program. *)
+  List.iter (fun v -> last_use.(v) <- n) p.Prog.outputs;
+  let buffer_of = Array.make n (-1) in
+  let free = Queue.create () in
+  let next_buffer = ref 0 in
+  let live = ref 0 and peak = ref 0 in
+  (* expiring.(i): values whose last use is op i *)
+  let expiring = Array.make (n + 1) [] in
+  Array.iteri (fun v u -> if u >= 0 && u < n then expiring.(u) <- v :: expiring.(u)) last_use;
+  for i = 0 to n - 1 do
+    (* allocate the result buffer *)
+    if last_use.(i) >= 0 then begin
+      let b =
+        match Queue.take_opt free with
+        | Some b -> b
+        | None ->
+            let b = !next_buffer in
+            incr next_buffer;
+            b
+      in
+      buffer_of.(i) <- b;
+      incr live;
+      peak := max !peak !live
+    end;
+    (* release buffers whose final consumer was this op *)
+    List.iter
+      (fun v ->
+        if buffer_of.(v) >= 0 then begin
+          Queue.add buffer_of.(v) free;
+          decr live
+        end)
+      expiring.(i)
+  done;
+  { last_use; buffer_of; buffer_count = !next_buffer; peak_live = !peak }

@@ -1,0 +1,17 @@
+(** Liveness analysis and ciphertext-buffer planning (the memory
+    optimization of the paper's SEAL dialect).
+
+    Ciphertexts dominate FHE memory consumption; reusing dead ciphertext
+    buffers bounds the working set by the peak number of simultaneously live
+    values rather than the program length. *)
+
+type t = private {
+  last_use : int array; (** index of the final consumer of each value, or -1 if unused *)
+  buffer_of : int array; (** buffer id assigned to each value *)
+  buffer_count : int; (** total buffers needed *)
+  peak_live : int; (** maximum number of simultaneously live values *)
+}
+
+val analyze : Prog.t -> t
+(** Greedy linear-scan assignment over the (already topologically ordered)
+    program. Outputs are treated as live to the end. *)

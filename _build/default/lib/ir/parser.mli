@@ -1,0 +1,11 @@
+(** Recursive-descent parser for the textual IR form produced by
+    {!Printer}. Type annotations (after [:]) are accepted and discarded;
+    run {!Typing.check} to recompute them. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Prog.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_file : string -> Prog.t
+(** @raise Sys_error if the file cannot be read. *)

@@ -1,0 +1,253 @@
+(* Rebuild helper: keep ops selected by [keep], remapping operand ids.
+   Assumes every kept op only references kept ops. *)
+let rebuild (p : Prog.t) ~keep =
+  let n = Prog.num_ops p in
+  let remap = Array.make n (-1) in
+  let ops = ref [] in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if keep.(i) then begin
+      let o = Prog.op p i in
+      let args = Array.map (fun a -> remap.(a)) o.Prog.args in
+      ops := { o with Prog.id = !count; args } :: !ops;
+      remap.(i) <- !count;
+      incr count
+    end
+  done;
+  {
+    p with
+    Prog.body = Array.of_list (List.rev !ops);
+    inputs = List.map (fun v -> remap.(v)) p.Prog.inputs;
+    outputs = List.map (fun v -> remap.(v)) p.Prog.outputs;
+  }
+
+let dce (p : Prog.t) =
+  let n = Prog.num_ops p in
+  let live = Array.make n false in
+  let rec mark v =
+    if not live.(v) then begin
+      live.(v) <- true;
+      Array.iter mark (Prog.op p v).Prog.args
+    end
+  in
+  List.iter mark p.Prog.outputs;
+  (* inputs are part of the signature *)
+  List.iter (fun v -> live.(v) <- true) p.Prog.inputs;
+  rebuild p ~keep:live
+
+(* Keys for value numbering. Constants compare by contents. *)
+let cse (p : Prog.t) =
+  let n = Prog.num_ops p in
+  let canon = Array.make n (-1) in
+  let table = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    let o = Prog.op p i in
+    let key = (o.Prog.kind, Array.map (fun a -> canon.(a)) o.Prog.args) in
+    match o.Prog.kind with
+    | Prog.Input _ -> canon.(i) <- i (* never merge distinct inputs *)
+    | _ -> (
+        match Hashtbl.find_opt table key with
+        | Some j -> canon.(i) <- j
+        | None ->
+            Hashtbl.replace table key i;
+            canon.(i) <- i)
+  done;
+  if Array.for_all2 (fun c i -> c = i) canon (Array.init n Fun.id) then p
+  else begin
+    (* Redirect every use to the canonical op, then drop duplicates. *)
+    let redirected =
+      {
+        p with
+        Prog.body =
+          Array.map
+            (fun (o : Prog.op) -> { o with Prog.args = Array.map (fun a -> canon.(a)) o.Prog.args })
+            p.Prog.body;
+        outputs = List.map (fun v -> canon.(v)) p.Prog.outputs;
+      }
+    in
+    dce redirected
+  end
+
+let fold_values slot_count (kind : Prog.kind) (args : Prog.const_value list) =
+  let to_vec = function
+    | Prog.Scalar x -> Array.make slot_count x
+    | Prog.Vector v ->
+        let out = Array.make slot_count 0. in
+        Array.blit v 0 out 0 (min slot_count (Array.length v));
+        out
+  in
+  match (kind, args) with
+  | Prog.Add, [ Prog.Scalar a; Prog.Scalar b ] -> Some (Prog.Scalar (a +. b))
+  | Prog.Sub, [ Prog.Scalar a; Prog.Scalar b ] -> Some (Prog.Scalar (a -. b))
+  | Prog.Mul, [ Prog.Scalar a; Prog.Scalar b ] -> Some (Prog.Scalar (a *. b))
+  | Prog.Negate, [ Prog.Scalar a ] -> Some (Prog.Scalar (-.a))
+  | Prog.Rotate _, [ (Prog.Scalar _ as s) ] -> Some s
+  | Prog.Add, [ a; b ] ->
+      let va = to_vec a and vb = to_vec b in
+      Some (Prog.Vector (Array.init slot_count (fun i -> va.(i) +. vb.(i))))
+  | Prog.Sub, [ a; b ] ->
+      let va = to_vec a and vb = to_vec b in
+      Some (Prog.Vector (Array.init slot_count (fun i -> va.(i) -. vb.(i))))
+  | Prog.Mul, [ a; b ] ->
+      let va = to_vec a and vb = to_vec b in
+      Some (Prog.Vector (Array.init slot_count (fun i -> va.(i) *. vb.(i))))
+  | Prog.Negate, [ a ] ->
+      let va = to_vec a in
+      Some (Prog.Vector (Array.map (fun x -> -.x) va))
+  | Prog.Rotate { amount }, [ a ] ->
+      let va = to_vec a in
+      let r = ((amount mod slot_count) + slot_count) mod slot_count in
+      Some (Prog.Vector (Array.init slot_count (fun i -> va.((i + r) mod slot_count))))
+  | _ -> None
+
+let constant_fold (p : Prog.t) =
+  let n = Prog.num_ops p in
+  let const_of = Array.make n None in
+  let body =
+    Array.map
+      (fun (o : Prog.op) ->
+        match o.Prog.kind with
+        | Prog.Const { value } ->
+            const_of.(o.Prog.id) <- Some value;
+            o
+        | Prog.Add | Prog.Sub | Prog.Mul | Prog.Negate | Prog.Rotate _ -> (
+            let arg_consts = Array.map (fun a -> const_of.(a)) o.Prog.args in
+            if Array.for_all Option.is_some arg_consts then
+              match
+                fold_values p.Prog.slot_count o.Prog.kind
+                  (Array.to_list (Array.map Option.get arg_consts))
+              with
+              | Some value ->
+                  const_of.(o.Prog.id) <- Some value;
+                  { o with Prog.kind = Prog.Const { value }; args = [||] }
+              | None -> o
+            else o)
+        | _ -> o)
+      p.Prog.body
+  in
+  dce { p with Prog.body }
+
+let fold_rotations_once (p : Prog.t) =
+  let n = Prog.num_ops p in
+  let uses = Prog.use_counts p in
+  let norm amount = ((amount mod p.Prog.slot_count) + p.Prog.slot_count) mod p.Prog.slot_count in
+  (* forward pass: each rotate looks through a single-use rotate operand *)
+  let replaced = Array.make n (-1) in
+  let body =
+    Array.map
+      (fun (o : Prog.op) ->
+        let args = o.Prog.args in
+        match o.Prog.kind with
+        | Prog.Rotate { amount } -> (
+            let src = args.(0) in
+            let combined, root =
+              match (Prog.op p src).Prog.kind with
+              | Prog.Rotate { amount = inner } when uses.(src) = 1 ->
+                  (norm (amount + inner), (Prog.op p src).Prog.args.(0))
+              | _ -> (norm amount, src)
+            in
+            if combined = 0 then begin
+              replaced.(o.Prog.id) <- root;
+              (* keep a placeholder op; DCE removes it after redirection *)
+              { o with Prog.kind = Prog.Rotate { amount = 0 }; args = [| root |] }
+            end
+            else { o with Prog.kind = Prog.Rotate { amount = combined }; args = [| root |] })
+        | _ -> o)
+      p.Prog.body
+  in
+  (* redirect uses of zero-rotations to their roots *)
+  let rec resolve v = if replaced.(v) >= 0 then resolve replaced.(v) else v in
+  let redirected =
+    {
+      p with
+      Prog.body =
+        Array.map
+          (fun (o : Prog.op) -> { o with Prog.args = Array.map resolve o.Prog.args })
+          body;
+      outputs = List.map resolve p.Prog.outputs;
+    }
+  in
+  dce redirected
+
+(* chains of three or more rotations fold one pair per pass *)
+let fold_rotations p =
+  let rec fix p =
+    let p' = fold_rotations_once p in
+    if Prog.num_ops p' < Prog.num_ops p then fix p' else p'
+  in
+  fix p
+
+let early_modswitch (p : Prog.t) =
+  let n = Prog.num_ops p in
+  let uses = Prog.use_counts p in
+  (* absorbed.(v): number of modswitch layers to fold into the op defining v *)
+  let absorbed = Array.make n 0 in
+  let elided = Array.make n false in
+  let absorbs kind =
+    match kind with
+    | Prog.Add | Prog.Sub | Prog.Mul | Prog.Negate | Prog.Rotate _ | Prog.Rescale | Prog.Upscale _
+    | Prog.Downscale _ | Prog.Encode _ ->
+        true
+    | Prog.Input _ | Prog.Const _ | Prog.Modswitch -> false
+  in
+  for i = n - 1 downto 0 do
+    let o = Prog.op p i in
+    match o.Prog.kind with
+    | Prog.Modswitch ->
+        let x = o.Prog.args.(0) in
+        let def = Prog.op p x in
+        if uses.(x) = 1 && absorbs def.Prog.kind then begin
+          absorbed.(x) <- absorbed.(x) + 1 + absorbed.(i);
+          elided.(i) <- true
+        end
+    | _ -> ()
+  done;
+  if Array.for_all not elided then p
+  else begin
+    let remap = Array.make n (-1) in
+    let ops = ref [] in
+    let count = ref 0 in
+    let emit kind args =
+      let id = !count in
+      ops := { Prog.id; kind; args; ty = Types.Free } :: !ops;
+      incr count;
+      id
+    in
+    for i = 0 to n - 1 do
+      let o = Prog.op p i in
+      if elided.(i) then remap.(i) <- remap.(o.Prog.args.(0))
+      else begin
+        let m = absorbed.(i) in
+        let kind =
+          match o.Prog.kind with
+          | Prog.Encode { scale; level } when m > 0 -> Prog.Encode { scale; level = level + m }
+          | k -> k
+        in
+        let args =
+          Array.map
+            (fun a ->
+              let base = remap.(a) in
+              match o.Prog.kind with
+              | Prog.Encode _ -> base (* absorbed into the level attribute *)
+              | _ ->
+                  let rec wrap v k = if k = 0 then v else wrap (emit Prog.Modswitch [| v |]) (k - 1) in
+                  wrap base m)
+            o.Prog.args
+        in
+        remap.(i) <- emit kind args
+      end
+    done;
+    let out =
+      {
+        p with
+        Prog.body = Array.of_list (List.rev !ops);
+        inputs = List.map (fun v -> remap.(v)) p.Prog.inputs;
+        outputs = List.map (fun v -> remap.(v)) p.Prog.outputs;
+      }
+    in
+    match Prog.validate out with
+    | Ok () -> out
+    | Error msg -> invalid_arg ("Passes.early_modswitch: " ^ msg)
+  end
+
+let default_pipeline p = dce (fold_rotations (constant_fold (cse p)))

@@ -1,0 +1,33 @@
+(** Generic IR cleanup passes.
+
+    All passes preserve program semantics and return a fresh program (the
+    input is never mutated structurally). Types are not recomputed; run
+    {!Typing.check} afterwards if needed. *)
+
+val dce : Prog.t -> Prog.t
+(** Remove operations whose value never reaches an output. Input ops are
+    kept (they are part of the signature). *)
+
+val cse : Prog.t -> Prog.t
+(** Common-subexpression elimination by forward value numbering: operations
+    with identical kind and (already-numbered) operands collapse. *)
+
+val constant_fold : Prog.t -> Prog.t
+(** Fold homomorphic operations whose operands are all constants, evaluating
+    element-wise over the slot vector. *)
+
+val fold_rotations : Prog.t -> Prog.t
+(** Collapse chained rotations: [rotate (rotate x a) b] with a single use
+    becomes [rotate x (a+b)] (dropping it entirely when the combined amount
+    is a multiple of the slot count), and [rotate x 0] becomes [x]. Each
+    rotation costs a key switch, so chains are worth one pass. *)
+
+val early_modswitch : Prog.t -> Prog.t
+(** EVA's early-modswitch optimization: a [modswitch] applied to the single
+    use of an eligible operation is absorbed into that operation's operands
+    (or its attribute, for [encode]), so the operation itself executes at
+    the higher — cheaper — level. Applied transitively in one backward
+    pass. *)
+
+val default_pipeline : Prog.t -> Prog.t
+(** [cse], [constant_fold], [dce] in that order. *)

@@ -1,0 +1,16 @@
+(** Textual form of HECATE IR programs.
+
+    Example:
+    {v
+    func main(%0: cipher, %1: cipher) slots=4096 {
+      %2 = mul %0, %1 : cipher<40,0>
+      %3 = rescale %2 : cipher<20,1>
+      return %3
+    }
+    v}
+
+    Type annotations are printed when known; {!Parser.parse} accepts and
+    ignores them (types are recomputed by the checker). *)
+
+val pp : Format.formatter -> Prog.t -> unit
+val to_string : Prog.t -> string

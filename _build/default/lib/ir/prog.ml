@@ -1,0 +1,197 @@
+type value = int
+type const_value = Scalar of float | Vector of float array
+
+type kind =
+  | Input of { name : string }
+  | Const of { value : const_value }
+  | Encode of { scale : float; level : int }
+  | Add
+  | Sub
+  | Mul
+  | Negate
+  | Rotate of { amount : int }
+  | Rescale
+  | Modswitch
+  | Upscale of { target_scale : float }
+  | Downscale of { waterline : float }
+
+type op = { id : value; kind : kind; args : value array; mutable ty : Types.t }
+
+type t = {
+  name : string;
+  slot_count : int;
+  body : op array;
+  inputs : value list;
+  outputs : value list;
+}
+
+let op p v =
+  if v < 0 || v >= Array.length p.body then invalid_arg "Prog.op: value id out of range";
+  p.body.(v)
+
+let num_ops p = Array.length p.body
+let iter f p = Array.iter f p.body
+
+let arity = function
+  | Input _ | Const _ -> 0
+  | Encode _ | Negate | Rotate _ | Rescale | Modswitch | Upscale _ | Downscale _ -> 1
+  | Add | Sub | Mul -> 2
+
+let kind_name = function
+  | Input _ -> "input"
+  | Const _ -> "const"
+  | Encode _ -> "encode"
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Negate -> "negate"
+  | Rotate _ -> "rotate"
+  | Rescale -> "rescale"
+  | Modswitch -> "modswitch"
+  | Upscale _ -> "upscale"
+  | Downscale _ -> "downscale"
+
+let is_homomorphic = function
+  | Input _ | Const _ | Add | Sub | Mul | Negate | Rotate _ -> true
+  | Encode _ | Rescale | Modswitch | Upscale _ | Downscale _ -> false
+
+let validate p =
+  let n = Array.length p.body in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec check i =
+    if i >= n then Ok ()
+    else
+      let o = p.body.(i) in
+      if o.id <> i then err "op at index %d has id %d" i o.id
+      else if Array.length o.args <> arity o.kind then
+        err "op %d (%s): expected %d operands, got %d" i (kind_name o.kind) (arity o.kind)
+          (Array.length o.args)
+      else if Array.exists (fun a -> a < 0 || a >= i) o.args then
+        err "op %d (%s): operand does not precede use" i (kind_name o.kind)
+      else check (i + 1)
+  in
+  match check 0 with
+  | Error _ as e -> e
+  | Ok () ->
+      if List.exists (fun v -> v < 0 || v >= n) p.outputs then Error "output id out of range"
+      else if p.outputs = [] then Error "program has no outputs"
+      else if
+        List.exists
+          (fun v -> v >= n || (match p.body.(v).kind with Input _ -> false | _ -> true))
+          p.inputs
+      then Error "input list does not point at input ops"
+      else Ok ()
+
+let use_counts p =
+  let counts = Array.make (Array.length p.body) 0 in
+  iter (fun o -> Array.iter (fun a -> counts.(a) <- counts.(a) + 1) o.args) p;
+  List.iter (fun v -> counts.(v) <- counts.(v) + 1) p.outputs;
+  counts
+
+let users p =
+  let u = Array.make (Array.length p.body) [] in
+  iter (fun o -> Array.iter (fun a -> u.(a) <- o.id :: u.(a)) o.args) p;
+  Array.map List.rev u
+
+module Builder = struct
+  type prog = t
+
+  type t = {
+    name : string;
+    slot_count : int;
+    mutable ops : op list; (* reversed *)
+    mutable count : int;
+    mutable inputs : value list; (* reversed *)
+    mutable outputs : value list; (* reversed *)
+  }
+
+  let create ?(name = "main") ~slot_count () =
+    { name; slot_count; ops = []; count = 0; inputs = []; outputs = [] }
+
+  let emit b kind args =
+    let id = b.count in
+    b.ops <- { id; kind; args; ty = Types.Free } :: b.ops;
+    b.count <- id + 1;
+    id
+
+  let input b name =
+    let id = emit b (Input { name }) [||] in
+    b.inputs <- id :: b.inputs;
+    id
+
+  let const_scalar b x = emit b (Const { value = Scalar x }) [||]
+  let const_vector b v = emit b (Const { value = Vector (Array.copy v) }) [||]
+  let add b x y = emit b Add [| x; y |]
+  let sub b x y = emit b Sub [| x; y |]
+  let mul b x y = emit b Mul [| x; y |]
+  let negate b x = emit b Negate [| x |]
+  let rotate b x amount = emit b (Rotate { amount }) [| x |]
+  let output b v = b.outputs <- v :: b.outputs
+
+  let finish b =
+    let p =
+      {
+        name = b.name;
+        slot_count = b.slot_count;
+        body = Array.of_list (List.rev b.ops);
+        inputs = List.rev b.inputs;
+        outputs = List.rev b.outputs;
+      }
+    in
+    match validate p with
+    | Ok () -> p
+    | Error msg -> invalid_arg ("Prog.Builder.finish: " ^ msg)
+end
+
+module Rewriter = struct
+  type prog = t
+
+  type t = {
+    src : prog;
+    mutable ops : op list; (* reversed *)
+    mutable count : int;
+    mapping : (value, value) Hashtbl.t;
+    tys : (value, Types.t) Hashtbl.t;
+    mutable new_inputs : value list; (* reversed *)
+  }
+
+  let create src =
+    {
+      src;
+      ops = [];
+      count = 0;
+      mapping = Hashtbl.create 64;
+      tys = Hashtbl.create 64;
+      new_inputs = [];
+    }
+
+  let emit r kind args ty =
+    let id = r.count in
+    r.ops <- { id; kind; args; ty } :: r.ops;
+    r.count <- id + 1;
+    Hashtbl.replace r.tys id ty;
+    (match kind with Input _ -> r.new_inputs <- id :: r.new_inputs | _ -> ());
+    id
+
+  let mapped r v = Hashtbl.find r.mapping v
+  let set_mapped r ~old_value v = Hashtbl.replace r.mapping old_value v
+
+  let ty r v =
+    match Hashtbl.find_opt r.tys v with
+    | Some t -> t
+    | None -> invalid_arg "Prog.Rewriter.ty: unknown value"
+
+  let finish r =
+    let p =
+      {
+        name = r.src.name;
+        slot_count = r.src.slot_count;
+        body = Array.of_list (List.rev r.ops);
+        inputs = List.rev r.new_inputs;
+        outputs = List.map (mapped r) r.src.outputs;
+      }
+    in
+    match validate p with
+    | Ok () -> p
+    | Error msg -> invalid_arg ("Prog.Rewriter.finish: " ^ msg)
+end

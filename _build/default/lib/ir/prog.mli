@@ -1,0 +1,102 @@
+(** HECATE IR programs (paper §IV-A, Fig. 4).
+
+    A program is a single function over packed vectors: an SSA DAG of
+    operations in topological order. Each operation defines exactly one
+    value, identified by its index-independent integer id. Homomorphic
+    operations ([add], [sub], [mul], [negate], [rotate], [const]) mirror the
+    plaintext semantics; opaque operations ([rescale], [modswitch],
+    [upscale], [downscale], [encode]) only manage scale and level. *)
+
+type value = int
+(** Id of the operation defining the value. *)
+
+type const_value = Scalar of float | Vector of float array
+
+type kind =
+  | Input of { name : string }
+  | Const of { value : const_value }
+  | Encode of { scale : float; level : int }
+      (** Encode a free operand as a plaintext at the given scale/level. *)
+  | Add
+  | Sub
+  | Mul
+  | Negate
+  | Rotate of { amount : int } (** positive amounts rotate slots left *)
+  | Rescale
+  | Modswitch
+  | Upscale of { target_scale : float } (** absolute target scale, log2 *)
+  | Downscale of { waterline : float }
+
+type op = { id : value; kind : kind; args : value array; mutable ty : Types.t }
+
+type t = {
+  name : string;
+  slot_count : int;
+  body : op array; (** topological order; [body.(i).id = i] *)
+  inputs : value list;
+  outputs : value list;
+}
+
+val op : t -> value -> op
+(** @raise Invalid_argument on out-of-range ids. *)
+
+val num_ops : t -> int
+val iter : (op -> unit) -> t -> unit
+val validate : t -> (unit, string) result
+(** Structural well-formedness: ids match indices, operands precede uses,
+    arities are correct, inputs/outputs are in range. *)
+
+val use_counts : t -> int array
+(** Number of uses of each value (outputs count as one use each). *)
+
+val users : t -> value list array
+(** For each value, ids of the operations that consume it (in order). *)
+
+val is_homomorphic : kind -> bool
+(** True for operations with a plaintext counterpart; false for the opaque
+    scale-management operations. *)
+
+val kind_name : kind -> string
+
+(** Mutable builder for constructing programs. *)
+module Builder : sig
+  type prog = t
+  type t
+
+  val create : ?name:string -> slot_count:int -> unit -> t
+  val input : t -> string -> value
+  val const_scalar : t -> float -> value
+  val const_vector : t -> float array -> value
+  val add : t -> value -> value -> value
+  val sub : t -> value -> value -> value
+  val mul : t -> value -> value -> value
+  val negate : t -> value -> value
+  val rotate : t -> value -> int -> value
+  val output : t -> value -> unit
+  val finish : t -> prog
+  (** @raise Invalid_argument if the program fails {!validate}. *)
+end
+
+module Rewriter : sig
+  (** Incremental program rewriting: walk an existing program op by op while
+      emitting a new one, with the freedom to insert extra operations around
+      any use. *)
+
+  type prog = t
+  type t
+
+  val create : prog -> t
+  val emit : t -> kind -> value array -> Types.t -> value
+  (** Append a new op with explicit type; returns its id in the new program. *)
+
+  val mapped : t -> value -> value
+  (** New id standing for an old value. @raise Not_found before it is set. *)
+
+  val set_mapped : t -> old_value:value -> value -> unit
+  val ty : t -> value -> Types.t
+  (** Type of a value of the {e new} program. *)
+
+  val finish : t -> prog
+  (** Rebuilds with the original outputs (remapped).
+      @raise Invalid_argument if validation fails. *)
+end

@@ -1,0 +1,29 @@
+type t = Free | Plain of scaled | Cipher of scaled
+and scaled = { scale : float; level : int }
+
+let is_scaled = function Free -> false | Plain _ | Cipher _ -> true
+let is_cipher = function Cipher _ -> true | Free | Plain _ -> false
+let scaled_of = function Free -> None | Plain s | Cipher s -> Some s
+
+let scale_exn = function
+  | Free -> invalid_arg "Types.scale_exn: free type has no scale"
+  | Plain s | Cipher s -> s.scale
+
+let level_exn = function
+  | Free -> invalid_arg "Types.level_exn: free type has no level"
+  | Plain s | Cipher s -> s.level
+
+let scale_close a b = Float.abs (a -. b) < 0.01
+
+let equal a b =
+  match (a, b) with
+  | Free, Free -> true
+  | Plain x, Plain y | Cipher x, Cipher y -> x.level = y.level && scale_close x.scale y.scale
+  | (Free | Plain _ | Cipher _), _ -> false
+
+let pp fmt = function
+  | Free -> Format.fprintf fmt "free"
+  | Plain { scale; level } -> Format.fprintf fmt "plain<%g,%d>" scale level
+  | Cipher { scale; level } -> Format.fprintf fmt "cipher<%g,%d>" scale level
+
+let to_string t = Format.asprintf "%a" pp t

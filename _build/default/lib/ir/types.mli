@@ -1,0 +1,35 @@
+(** The HECATE type system (paper §IV-B).
+
+    A value is [free] (not encoded), [plain] (encoded, not encrypted) or
+    [cipher] (encoded and encrypted). Plain and cipher values carry a scale
+    and a rescaling level; the paper calls these the {e scaled} types.
+    Scales are tracked in log2 throughout the compiler. *)
+
+type t =
+  | Free
+  | Plain of scaled
+  | Cipher of scaled
+
+and scaled = { scale : float; (** log2 of the scale *) level : int }
+
+val is_scaled : t -> bool
+val is_cipher : t -> bool
+
+val scaled_of : t -> scaled option
+(** The scale/level payload of a plain or cipher type. *)
+
+val scale_exn : t -> float
+(** @raise Invalid_argument on [Free]. *)
+
+val level_exn : t -> int
+(** @raise Invalid_argument on [Free]. *)
+
+val scale_close : float -> float -> bool
+(** Log-scale equality up to the drift that near-power-of-two rescaling
+    primes introduce (tolerance 0.01 bits). *)
+
+val equal : t -> t -> bool
+(** Type equality, with {!scale_close} on scales. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,31 @@
+(** Typing rules for scale-managed HECATE IR (paper §IV-B, Eq. 1-6).
+
+    The checker enforces the RNS-CKKS constraints:
+    - C1: every scale stays below the modulus remaining at its level
+      (checked when [max_log_q] is supplied);
+    - C2: rescaling and downscaling never push a ciphertext scale below the
+      waterline;
+    - C3: binary operations require equal operand levels, and additions
+      equal operand scales.
+
+    Scales are in log2. *)
+
+type config = {
+  sf : float; (** log2 of the rescaling factor [S_f] (the rescale prime size) *)
+  waterline : float; (** log2 of the waterline [S_w] *)
+  max_level : int option; (** number of rescaling primes available, if fixed *)
+  max_log_q : float; (** total log2 ciphertext modulus for C1; [infinity] to skip *)
+}
+
+val config : ?max_level:int -> ?max_log_q:float -> sf:float -> waterline:float -> unit -> config
+
+val infer : config -> Prog.kind -> Types.t array -> (Types.t, string) result
+(** Result type of one operation from its operand types. *)
+
+val check : config -> Prog.t -> (Types.t array, string) result
+(** Type the whole program (storing types on the ops as a side effect) and
+    verify every constraint, including that outputs are ciphertexts. Returns
+    the type of every value. *)
+
+val check_exn : config -> Prog.t -> Types.t array
+(** @raise Invalid_argument with the verifier message on failure. *)

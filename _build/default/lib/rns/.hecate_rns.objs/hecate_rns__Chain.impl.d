@@ -1,0 +1,1 @@
+lib/rns/chain.ml: Array Hecate_support

@@ -1,0 +1,1 @@
+lib/rns/chain.mli: Hecate_support

@@ -1,0 +1,1 @@
+lib/rns/poly.ml: Array Chain Hecate_support

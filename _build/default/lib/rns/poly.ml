@@ -1,0 +1,253 @@
+module M = Hecate_support.Modarith
+module Ntt = Hecate_support.Ntt
+module Bigint = Hecate_support.Bigint
+
+type domain = Coeff | Eval
+
+type t = {
+  chain : Chain.t;
+  level_count : int;
+  with_special : bool;
+  domain : domain;
+  data : int array array;
+}
+
+let component_count p = p.level_count + if p.with_special then 1 else 0
+
+let modulus_at p i =
+  if p.with_special && i = p.level_count then Chain.special_prime p.chain else Chain.prime p.chain i
+
+let table_at p i =
+  if p.with_special && i = p.level_count then Chain.special_table p.chain else Chain.table p.chain i
+
+let zero chain ~level_count ~with_special domain =
+  if level_count < 1 || level_count > Chain.length chain then
+    invalid_arg "Poly.zero: bad level count";
+  let comps = level_count + if with_special then 1 else 0 in
+  let n = Chain.degree chain in
+  { chain; level_count; with_special; domain; data = Array.init comps (fun _ -> Array.make n 0) }
+
+let copy p = { p with data = Array.map Array.copy p.data }
+
+let check_compatible name a b =
+  if
+    a.chain != b.chain || a.level_count <> b.level_count || a.with_special <> b.with_special
+    || a.domain <> b.domain
+  then invalid_arg ("Poly." ^ name ^ ": incompatible operands")
+
+let of_centered_coeffs chain ~level_count ~with_special coeffs =
+  let n = Chain.degree chain in
+  if Array.length coeffs <> n then invalid_arg "Poly.of_centered_coeffs: wrong length";
+  let p = zero chain ~level_count ~with_special Coeff in
+  for i = 0 to component_count p - 1 do
+    let q = modulus_at p i in
+    let dst = p.data.(i) in
+    for t = 0 to n - 1 do
+      dst.(t) <- M.reduce ~q coeffs.(t)
+    done
+  done;
+  p
+
+let map2 name f a b =
+  check_compatible name a b;
+  let out = copy a in
+  for i = 0 to component_count a - 1 do
+    let q = modulus_at a i in
+    let da = a.data.(i) and db = b.data.(i) and dst = out.data.(i) in
+    for t = 0 to Array.length da - 1 do
+      dst.(t) <- f ~q da.(t) db.(t)
+    done
+  done;
+  out
+
+let add a b = map2 "add" M.add a b
+let sub a b = map2 "sub" M.sub a b
+
+let neg a =
+  let out = copy a in
+  for i = 0 to component_count a - 1 do
+    let q = modulus_at a i in
+    let dst = out.data.(i) in
+    for t = 0 to Array.length dst - 1 do
+      dst.(t) <- M.neg ~q dst.(t)
+    done
+  done;
+  out
+
+let mul a b =
+  if a.domain <> Eval || b.domain <> Eval then invalid_arg "Poly.mul: operands must be in Eval domain";
+  map2 "mul" M.mul a b
+
+let mul_scalar a c =
+  if c < 0 then invalid_arg "Poly.mul_scalar: negative scalar";
+  let out = copy a in
+  for i = 0 to component_count a - 1 do
+    let q = modulus_at a i in
+    let k = c mod q in
+    let dst = out.data.(i) in
+    for t = 0 to Array.length dst - 1 do
+      dst.(t) <- M.mul ~q dst.(t) k
+    done
+  done;
+  out
+
+let mul_component_scalars a ks =
+  if Array.length ks <> component_count a then
+    invalid_arg "Poly.mul_component_scalars: wrong scalar count";
+  let out = copy a in
+  for i = 0 to component_count a - 1 do
+    let q = modulus_at a i in
+    let k = ks.(i) in
+    if k < 0 || k >= q then invalid_arg "Poly.mul_component_scalars: scalar not reduced";
+    let dst = out.data.(i) in
+    for t = 0 to Array.length dst - 1 do
+      dst.(t) <- M.mul ~q dst.(t) k
+    done
+  done;
+  out
+
+let to_eval p =
+  match p.domain with
+  | Eval -> p
+  | Coeff ->
+      let out = { (copy p) with domain = Eval } in
+      for i = 0 to component_count p - 1 do
+        Ntt.forward (table_at p i) out.data.(i)
+      done;
+      out
+
+let to_coeff p =
+  match p.domain with
+  | Coeff -> p
+  | Eval ->
+      let out = { (copy p) with domain = Coeff } in
+      for i = 0 to component_count p - 1 do
+        Ntt.inverse (table_at p i) out.data.(i)
+      done;
+      out
+
+let automorphism p ~galois =
+  if p.domain <> Coeff then invalid_arg "Poly.automorphism: operand must be in Coeff domain";
+  if galois land 1 = 0 then invalid_arg "Poly.automorphism: galois element must be odd";
+  let n = Chain.degree p.chain in
+  let two_n = 2 * n in
+  let out = zero p.chain ~level_count:p.level_count ~with_special:p.with_special Coeff in
+  for i = 0 to component_count p - 1 do
+    let q = modulus_at p i in
+    let src = p.data.(i) and dst = out.data.(i) in
+    for j = 0 to n - 1 do
+      let k = j * galois mod two_n in
+      if k < n then dst.(k) <- M.add ~q dst.(k) src.(j)
+      else dst.(k - n) <- M.sub ~q dst.(k - n) src.(j)
+    done
+  done;
+  out
+
+let rescale_last p =
+  if p.domain <> Coeff then invalid_arg "Poly.rescale_last: operand must be in Coeff domain";
+  if p.with_special then invalid_arg "Poly.rescale_last: special component present";
+  if p.level_count < 2 then invalid_arg "Poly.rescale_last: nothing to drop";
+  let dropped = p.level_count - 1 in
+  let q_last = Chain.prime p.chain dropped in
+  let last = p.data.(dropped) in
+  let out = zero p.chain ~level_count:dropped ~with_special:false Coeff in
+  let n = Chain.degree p.chain in
+  for i = 0 to dropped - 1 do
+    let q = Chain.prime p.chain i in
+    let inv = Chain.rescale_inv p.chain ~dropped i in
+    let src = p.data.(i) and dst = out.data.(i) in
+    for t = 0 to n - 1 do
+      let c = M.to_centered ~q:q_last last.(t) in
+      dst.(t) <- M.mul ~q (M.sub ~q src.(t) (M.reduce ~q c)) inv
+    done
+  done;
+  out
+
+let drop_last p =
+  if p.with_special then invalid_arg "Poly.drop_last: special component present";
+  if p.level_count < 2 then invalid_arg "Poly.drop_last: nothing to drop";
+  {
+    p with
+    level_count = p.level_count - 1;
+    data = Array.map Array.copy (Array.sub p.data 0 (p.level_count - 1));
+  }
+
+let mod_down_special p =
+  if p.domain <> Coeff then invalid_arg "Poly.mod_down_special: operand must be in Coeff domain";
+  if not p.with_special then invalid_arg "Poly.mod_down_special: no special component";
+  let sp = Chain.special_prime p.chain in
+  let last = p.data.(p.level_count) in
+  let out = zero p.chain ~level_count:p.level_count ~with_special:false Coeff in
+  let n = Chain.degree p.chain in
+  for i = 0 to p.level_count - 1 do
+    let q = Chain.prime p.chain i in
+    let inv = Chain.special_inv p.chain i in
+    let src = p.data.(i) and dst = out.data.(i) in
+    for t = 0 to n - 1 do
+      let c = M.to_centered ~q:sp last.(t) in
+      dst.(t) <- M.mul ~q (M.sub ~q src.(t) (M.reduce ~q c)) inv
+    done
+  done;
+  out
+
+let lift_digit p ~digit ~with_special =
+  if p.domain <> Coeff then invalid_arg "Poly.lift_digit: operand must be in Coeff domain";
+  if digit < 0 || digit >= p.level_count then invalid_arg "Poly.lift_digit: bad digit index";
+  let q_digit = Chain.prime p.chain digit in
+  let src = p.data.(digit) in
+  let out = zero p.chain ~level_count:p.level_count ~with_special Coeff in
+  let n = Chain.degree p.chain in
+  for i = 0 to component_count out - 1 do
+    let q = modulus_at out i in
+    let dst = out.data.(i) in
+    for t = 0 to n - 1 do
+      dst.(t) <- M.reduce ~q (M.to_centered ~q:q_digit src.(t))
+    done
+  done;
+  out
+
+let restrict_levels p ~level_count =
+  if level_count < 1 || level_count > p.level_count then
+    invalid_arg "Poly.restrict_levels: bad level count";
+  if level_count = p.level_count then p
+  else
+    let chain_part = Array.sub p.data 0 level_count in
+    let data =
+      if p.with_special then Array.append chain_part [| p.data.(p.level_count) |] else chain_part
+    in
+    { p with level_count; data = Array.map Array.copy data }
+
+let crt_reconstruct_centered p =
+  if p.domain <> Coeff then invalid_arg "Poly.crt_reconstruct_centered: Coeff domain required";
+  if p.with_special then invalid_arg "Poly.crt_reconstruct_centered: special component present";
+  let k = p.level_count in
+  let n = Chain.degree p.chain in
+  let q_prod = Chain.modulus_product p.chain ~upto:k in
+  let out = Array.make n 0. in
+  let digits = Array.make k 0 in
+  for t = 0 to n - 1 do
+    (* Garner mixed-radix digits *)
+    for i = 0 to k - 1 do
+      let q = Chain.prime p.chain i in
+      let u = ref (p.data.(i).(t)) in
+      for j = 0 to i - 1 do
+        u := M.mul ~q (M.sub ~q !u (M.reduce ~q digits.(j))) (Chain.garner_inv p.chain i j)
+      done;
+      digits.(i) <- !u
+    done;
+    (* Horner accumulation from most significant digit *)
+    let big = ref (Bigint.of_int digits.(k - 1)) in
+    for i = k - 2 downto 0 do
+      big := Bigint.add_int (Bigint.mul_int !big (Chain.prime p.chain i)) digits.(i)
+    done;
+    (* centered: value > Q/2 iff 2*value > Q *)
+    let doubled = Bigint.mul_int !big 2 in
+    if Bigint.compare doubled q_prod > 0 then out.(t) <- -.Bigint.to_float (Bigint.sub q_prod !big)
+    else out.(t) <- Bigint.to_float !big
+  done;
+  out
+
+let equal a b =
+  a.chain == b.chain && a.level_count = b.level_count && a.with_special = b.with_special
+  && a.domain = b.domain
+  && Array.for_all2 (fun x y -> x = y) a.data b.data

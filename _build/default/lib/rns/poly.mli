@@ -1,0 +1,93 @@
+(** Polynomials of [Z_Q\[X\]/(X^n + 1)] in RNS (double-CRT) representation.
+
+    A polynomial carries one residue vector per active modulus: the first
+    [level_count] chain primes, plus optionally the special prime. Residues
+    are stored either in coefficient form ([Coeff]) or NTT/evaluation form
+    ([Eval]); operations check that operands agree on basis and domain. *)
+
+type domain = Coeff | Eval
+
+type t = private {
+  chain : Chain.t;
+  level_count : int; (** number of chain primes present, [1 <= level_count <= L] *)
+  with_special : bool;
+  domain : domain;
+  data : int array array;
+      (** [data.(i)] are the residues modulo chain prime [i]; if
+          [with_special] then the final entry holds the special-prime
+          residues. *)
+}
+
+val zero : Chain.t -> level_count:int -> with_special:bool -> domain -> t
+val copy : t -> t
+
+val component_count : t -> int
+(** [level_count + (1 if with_special)]. *)
+
+val modulus_at : t -> int -> int
+(** Modulus of component [i] (the special prime for the last component when
+    present). *)
+
+val of_centered_coeffs : Chain.t -> level_count:int -> with_special:bool -> int array -> t
+(** Build a [Coeff]-domain polynomial from centered integer coefficients
+    (each in [(-2^62, 2^62)]), reducing modulo every active modulus. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+
+val mul : t -> t -> t
+(** Point-wise product; both operands must be in [Eval] domain. *)
+
+val mul_scalar : t -> int -> t
+(** Multiply every residue by a non-negative integer constant (reduced per
+    modulus). Domain-agnostic. *)
+
+val mul_component_scalars : t -> int array -> t
+(** [mul_component_scalars p ks] multiplies component [i] by [ks.(i)], where
+    each [ks.(i)] is already reduced modulo that component's modulus. Used
+    for gadget factors such as [P * w_i] whose integer value exceeds the
+    native range. [Array.length ks] must equal [component_count p]. *)
+
+val to_eval : t -> t
+(** NTT-transform a [Coeff] polynomial (identity on [Eval]). *)
+
+val to_coeff : t -> t
+(** Inverse-NTT an [Eval] polynomial (identity on [Coeff]). *)
+
+val automorphism : t -> galois:int -> t
+(** [automorphism p ~galois:g] applies [X -> X^g] ([g] odd). Operand must be
+    in [Coeff] domain. *)
+
+val rescale_last : t -> t
+(** Exact RNS rescale: divide by the last chain prime with centered rounding
+    and drop it. Requires [Coeff] domain, no special component, and
+    [level_count >= 2]. *)
+
+val drop_last : t -> t
+(** Drop the last chain prime without dividing (modswitch). Domain-agnostic.
+    Requires no special component and [level_count >= 2]. *)
+
+val mod_down_special : t -> t
+(** Divide by the special prime with centered rounding and drop it (the
+    tail of key switching). Requires [Coeff] domain and [with_special]. *)
+
+val lift_digit : t -> digit:int -> with_special:bool -> t
+(** [lift_digit p ~digit:i ~with_special] extracts the RNS digit [i] (the
+    residues modulo [q_i]), lifts each coefficient to its centered
+    representative, and re-reduces modulo every modulus of [p]'s chain-prime
+    basis (optionally extended by the special prime). Requires [Coeff]
+    domain. The result is in [Coeff] domain. *)
+
+val restrict_levels : t -> level_count:int -> t
+(** Keep only the first [level_count] chain components (and the special
+    component when present). Used to evaluate full-basis key material at a
+    reduced ciphertext level. Domain-agnostic. *)
+
+val crt_reconstruct_centered : t -> float array
+(** Exact CRT (Garner) reconstruction of each coefficient to its centered
+    integer value, returned as nearest doubles. Requires [Coeff] domain and
+    no special component. *)
+
+val equal : t -> t -> bool
+(** Structural equality of basis, domain and residues. *)

@@ -1,0 +1,1 @@
+lib/support/bigint.ml: Array List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/support/bigint.mli:

@@ -1,0 +1,1 @@
+lib/support/fft.ml: Array Float

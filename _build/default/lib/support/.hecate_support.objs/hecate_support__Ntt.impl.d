@@ -1,0 +1,1 @@
+lib/support/ntt.ml: Array Modarith Primes

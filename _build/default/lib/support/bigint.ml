@@ -1,0 +1,131 @@
+(* Little-endian limbs in base 2^26. 26-bit limbs keep every intermediate
+   product (limb * 31-bit scalar + carry) within the native 63-bit int. *)
+
+let limb_bits = 26
+let limb_base = 1 lsl limb_bits
+let limb_mask = limb_base - 1
+
+type t = int array (* little-endian, no trailing zero limbs; [||] is zero *)
+
+let zero = [||]
+let one = [| 1 |]
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bigint.of_int: negative";
+  let rec limbs acc n = if n = 0 then List.rev acc else limbs ((n land limb_mask) :: acc) (n lsr limb_bits) in
+  Array.of_list (limbs [] n)
+
+let add_int x n =
+  if n < 0 then invalid_arg "Bigint.add_int: negative";
+  let len = Array.length x in
+  let out = Array.make (len + 3) 0 in
+  Array.blit x 0 out 0 len;
+  let carry = ref n in
+  let i = ref 0 in
+  while !carry <> 0 do
+    let v = out.(!i) + (!carry land limb_mask) in
+    out.(!i) <- v land limb_mask;
+    carry := (!carry lsr limb_bits) + (v lsr limb_bits);
+    incr i
+  done;
+  normalize out
+
+let mul_int x n =
+  if n < 0 then invalid_arg "Bigint.mul_int: negative";
+  if n = 0 then zero
+  else begin
+    let len = Array.length x in
+    let out = Array.make (len + 3) 0 in
+    let carry = ref 0 in
+    for i = 0 to len - 1 do
+      let v = (x.(i) * n) + !carry in
+      out.(i) <- v land limb_mask;
+      carry := v lsr limb_bits
+    done;
+    let i = ref len in
+    while !carry <> 0 do
+      out.(!i) <- !carry land limb_mask;
+      carry := !carry lsr limb_bits;
+      incr i
+    done;
+    normalize out
+  end
+
+let add x y =
+  let lx = Array.length x and ly = Array.length y in
+  let len = max lx ly in
+  let out = Array.make (len + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to len - 1 do
+    let v = (if i < lx then x.(i) else 0) + (if i < ly then y.(i) else 0) + !carry in
+    out.(i) <- v land limb_mask;
+    carry := v lsr limb_bits
+  done;
+  out.(len) <- !carry;
+  normalize out
+
+let compare x y =
+  let lx = Array.length x and ly = Array.length y in
+  if lx <> ly then Stdlib.compare lx ly
+  else begin
+    let rec cmp i = if i < 0 then 0 else if x.(i) <> y.(i) then Stdlib.compare x.(i) y.(i) else cmp (i - 1) in
+    cmp (lx - 1)
+  end
+
+let sub x y =
+  if compare x y < 0 then invalid_arg "Bigint.sub: would be negative";
+  let lx = Array.length x and ly = Array.length y in
+  let out = Array.make lx 0 in
+  let borrow = ref 0 in
+  for i = 0 to lx - 1 do
+    let v = x.(i) - (if i < ly then y.(i) else 0) - !borrow in
+    if v < 0 then begin
+      out.(i) <- v + limb_base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- v;
+      borrow := 0
+    end
+  done;
+  normalize out
+
+let to_float x =
+  let acc = ref 0. in
+  (* Horner from the most significant limb; doubles track the top 53 bits. *)
+  for i = Array.length x - 1 downto 0 do
+    acc := (!acc *. float_of_int limb_base) +. float_of_int x.(i)
+  done;
+  !acc
+
+let to_string x =
+  if Array.length x = 0 then "0"
+  else begin
+    (* Repeated division by 10^9 using int arithmetic on limbs. *)
+    let chunks = ref [] in
+    let cur = ref (Array.copy x) in
+    let divisor = 1_000_000_000 in
+    while Array.length !cur > 0 do
+      let a = !cur in
+      let q = Array.make (Array.length a) 0 in
+      let rem = ref 0 in
+      for i = Array.length a - 1 downto 0 do
+        let v = (!rem lsl limb_bits) lor a.(i) in
+        q.(i) <- v / divisor;
+        rem := v mod divisor
+      done;
+      chunks := !rem :: !chunks;
+      cur := normalize q
+    done;
+    match !chunks with
+    | [] -> "0"
+    | first :: rest ->
+        String.concat "" (string_of_int first :: List.map (Printf.sprintf "%09d") rest)
+  end

@@ -1,0 +1,30 @@
+(** Minimal arbitrary-precision unsigned integers.
+
+    Only the operations needed for CRT reconstruction of RNS residues at
+    decode time (Garner's algorithm followed by centering). Not a general
+    bignum library; zarith is unavailable in this environment. *)
+
+type t
+(** An unsigned arbitrary-precision integer. *)
+
+val zero : t
+val one : t
+val of_int : int -> t
+(** [of_int n] for [n >= 0]. *)
+
+val add_int : t -> int -> t
+(** [add_int x n] with [0 <= n < 2^31]. *)
+
+val mul_int : t -> int -> t
+(** [mul_int x n] with [0 <= n < 2^31]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** [sub x y] requires [x >= y]. @raise Invalid_argument otherwise. *)
+
+val compare : t -> t -> int
+val to_float : t -> float
+(** Nearest-double approximation (exact for values below 2^53). *)
+
+val to_string : t -> string
+(** Decimal representation (for diagnostics and tests). *)

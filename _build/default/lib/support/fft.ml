@@ -1,0 +1,67 @@
+type buffer = { re : float array; im : float array }
+
+let make_buffer n = { re = Array.make n 0.; im = Array.make n 0. }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let bit_reverse_permute { re; im } =
+  let n = Array.length re in
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) in
+      re.(i) <- re.(!j);
+      re.(!j) <- tr;
+      let ti = im.(i) in
+      im.(i) <- im.(!j);
+      im.(!j) <- ti
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done
+
+(* [sign] is -1. for the forward transform, +1. for the inverse. *)
+let transform sign ({ re; im } as buf) =
+  let n = Array.length re in
+  if not (is_pow2 n) then invalid_arg "Fft: length must be a power of two";
+  if Array.length im <> n then invalid_arg "Fft: re/im length mismatch";
+  bit_reverse_permute buf;
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let theta = sign *. 2. *. Float.pi /. float_of_int !len in
+    let wr = cos theta and wi = sin theta in
+    let i = ref 0 in
+    while !i < n do
+      let cr = ref 1. and ci = ref 0. in
+      for k = 0 to half - 1 do
+        let a = !i + k and b = !i + k + half in
+        let tr = (re.(b) *. !cr) -. (im.(b) *. !ci) in
+        let ti = (re.(b) *. !ci) +. (im.(b) *. !cr) in
+        re.(b) <- re.(a) -. tr;
+        im.(b) <- im.(a) -. ti;
+        re.(a) <- re.(a) +. tr;
+        im.(a) <- im.(a) +. ti;
+        let ncr = (!cr *. wr) -. (!ci *. wi) in
+        ci := (!cr *. wi) +. (!ci *. wr);
+        cr := ncr
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let forward buf = transform (-1.) buf
+
+let inverse buf =
+  transform 1. buf;
+  let n = Array.length buf.re in
+  let inv_n = 1. /. float_of_int n in
+  for i = 0 to n - 1 do
+    buf.re.(i) <- buf.re.(i) *. inv_n;
+    buf.im.(i) <- buf.im.(i) *. inv_n
+  done

@@ -1,0 +1,21 @@
+(** Iterative radix-2 complex FFT.
+
+    Used by the CKKS canonical-embedding encoder. Lengths must be powers of
+    two. Arrays are transformed in place; real and imaginary parts live in
+    separate float arrays to avoid boxing. *)
+
+type buffer = { re : float array; im : float array }
+(** A complex vector of length [Array.length re = Array.length im]. *)
+
+val make_buffer : int -> buffer
+(** [make_buffer n] allocates a zeroed complex vector of length [n]. *)
+
+val forward : buffer -> unit
+(** In-place forward DFT with kernel [exp (-2πi·jk/n)] (no normalisation). *)
+
+val inverse : buffer -> unit
+(** In-place inverse DFT with kernel [exp (+2πi·jk/n)] and [1/n]
+    normalisation. [inverse (forward v) = v] up to rounding. *)
+
+val bit_reverse_permute : buffer -> unit
+(** Expose the shared bit-reversal permutation (used by tests). *)

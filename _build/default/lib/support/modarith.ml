@@ -1,0 +1,37 @@
+let max_modulus_bits = 31
+
+let add ~q a b =
+  let s = a + b in
+  if s >= q then s - q else s
+
+let sub ~q a b =
+  let d = a - b in
+  if d < 0 then d + q else d
+
+let neg ~q a = if a = 0 then 0 else q - a
+
+let mul ~q a b = a * b mod q
+
+let pow ~q b e =
+  assert (e >= 0);
+  let rec loop acc b e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul ~q acc b else acc in
+      loop acc (mul ~q b b) (e lsr 1)
+  in
+  loop 1 (b mod q) e
+
+let inv ~q a =
+  let a = a mod q in
+  if a = 0 then invalid_arg "Modarith.inv: zero has no inverse";
+  (* Fermat: q is prime. *)
+  pow ~q a (q - 2)
+
+let reduce ~q a =
+  let r = a mod q in
+  if r < 0 then r + q else r
+
+let to_centered ~q a = if a > q / 2 then a - q else a
+
+let of_centered ~q a = reduce ~q a

@@ -1,0 +1,38 @@
+(** Modular arithmetic over word-sized odd prime moduli.
+
+    All moduli handled by this module are at most 31 bits wide so that the
+    product of two residues fits in OCaml's 63-bit native [int] without
+    overflow. Residues are kept in canonical form, i.e. in [\[0, q)]. *)
+
+val max_modulus_bits : int
+(** Largest supported modulus width in bits (31). *)
+
+val add : q:int -> int -> int -> int
+(** [add ~q a b] is [(a + b) mod q] for canonical [a], [b]. *)
+
+val sub : q:int -> int -> int -> int
+(** [sub ~q a b] is [(a - b) mod q], canonical. *)
+
+val neg : q:int -> int -> int
+(** [neg ~q a] is [(-a) mod q], canonical. *)
+
+val mul : q:int -> int -> int -> int
+(** [mul ~q a b] is [(a * b) mod q]. Requires [q < 2^31]. *)
+
+val pow : q:int -> int -> int -> int
+(** [pow ~q b e] is [b^e mod q] by square-and-multiply. [e >= 0]. *)
+
+val inv : q:int -> int -> int
+(** [inv ~q a] is the multiplicative inverse of [a] modulo the prime [q].
+    @raise Invalid_argument if [a = 0 mod q]. *)
+
+val reduce : q:int -> int -> int
+(** [reduce ~q a] maps any native integer (possibly negative) to canonical
+    form in [\[0, q)]. *)
+
+val to_centered : q:int -> int -> int
+(** [to_centered ~q a] maps a canonical residue to the centered representative
+    in [(-q/2, q/2\]]. *)
+
+val of_centered : q:int -> int -> int
+(** Inverse of {!to_centered}; same as [reduce]. *)

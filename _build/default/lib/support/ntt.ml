@@ -1,0 +1,102 @@
+type table = {
+  p : int;
+  n : int;
+  psi_rev : int array; (* psi^bitrev(i), i = 0..n-1 *)
+  psi_inv_rev : int array; (* psi^{-bitrev(i)} *)
+  n_inv : int;
+}
+
+let prime t = t.p
+let degree t = t.n
+
+let bitrev i bits =
+  let r = ref 0 and x = ref i in
+  for _ = 1 to bits do
+    r := (!r lsl 1) lor (!x land 1);
+    x := !x lsr 1
+  done;
+  !r
+
+let make_table ~p ~n =
+  if n land (n - 1) <> 0 || n <= 0 then invalid_arg "Ntt.make_table: n must be a power of two";
+  let bits =
+    let rec log2 acc v = if v = 1 then acc else log2 (acc + 1) (v lsr 1) in
+    log2 0 n
+  in
+  let psi = Primes.primitive_root_2n ~p ~n in
+  let psi_inv = Modarith.inv ~q:p psi in
+  let pow_table root =
+    let a = Array.make n 1 in
+    for i = 1 to n - 1 do
+      a.(i) <- Modarith.mul ~q:p a.(i - 1) root
+    done;
+    let rev = Array.make n 0 in
+    for i = 0 to n - 1 do
+      rev.(i) <- a.(bitrev i bits)
+    done;
+    rev
+  in
+  { p; n; psi_rev = pow_table psi; psi_inv_rev = pow_table psi_inv; n_inv = Modarith.inv ~q:p n }
+
+(* Longa–Naehrig iterative negacyclic NTT (CT butterflies, decimation in
+   time), with the psi powers folded into the twiddles so no pre/post scaling
+   by psi^i is needed. *)
+let forward t a =
+  let p = t.p and n = t.n in
+  if Array.length a <> n then invalid_arg "Ntt.forward: wrong length";
+  let tlen = ref n and m = ref 1 in
+  while !m < n do
+    tlen := !tlen / 2;
+    for i = 0 to !m - 1 do
+      let j1 = 2 * i * !tlen in
+      let j2 = j1 + !tlen - 1 in
+      let s = t.psi_rev.(!m + i) in
+      for j = j1 to j2 do
+        let u = a.(j) in
+        let v = Modarith.mul ~q:p a.(j + !tlen) s in
+        a.(j) <- Modarith.add ~q:p u v;
+        a.(j + !tlen) <- Modarith.sub ~q:p u v
+      done
+    done;
+    m := !m * 2
+  done
+
+let inverse t a =
+  let p = t.p and n = t.n in
+  if Array.length a <> n then invalid_arg "Ntt.inverse: wrong length";
+  let tlen = ref 1 and m = ref n in
+  while !m > 1 do
+    let j1 = ref 0 in
+    let h = !m / 2 in
+    for i = 0 to h - 1 do
+      let j2 = !j1 + !tlen - 1 in
+      let s = t.psi_inv_rev.(h + i) in
+      for j = !j1 to j2 do
+        let u = a.(j) in
+        let v = a.(j + !tlen) in
+        a.(j) <- Modarith.add ~q:p u v;
+        a.(j + !tlen) <- Modarith.mul ~q:p (Modarith.sub ~q:p u v) s
+      done;
+      j1 := !j1 + (2 * !tlen)
+    done;
+    tlen := !tlen * 2;
+    m := h
+  done;
+  for i = 0 to n - 1 do
+    a.(i) <- Modarith.mul ~q:p a.(i) t.n_inv
+  done
+
+let pointwise_mul t dst a b =
+  let p = t.p in
+  for i = 0 to t.n - 1 do
+    dst.(i) <- Modarith.mul ~q:p a.(i) b.(i)
+  done
+
+let negacyclic_mul t a b =
+  let fa = Array.copy a and fb = Array.copy b in
+  forward t fa;
+  forward t fb;
+  let dst = Array.make t.n 0 in
+  pointwise_mul t dst fa fb;
+  inverse t dst;
+  dst

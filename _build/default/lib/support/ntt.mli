@@ -1,0 +1,32 @@
+(** Negacyclic number-theoretic transform modulo an NTT-friendly prime.
+
+    A table caches the powers of a primitive [2n]-th root of unity [ψ] in
+    bit-reversed order (Longa–Naehrig layout). Point-wise multiplication of
+    two forward-transformed vectors followed by {!inverse} computes the
+    product in [Z_p\[X\]/(X^n + 1)]. *)
+
+type table
+(** Precomputed twiddle factors for one (prime, degree) pair. *)
+
+val make_table : p:int -> n:int -> table
+(** [make_table ~p ~n] builds tables for degree [n] (a power of two) and
+    prime [p ≡ 1 (mod 2n)]. *)
+
+val prime : table -> int
+val degree : table -> int
+
+val forward : table -> int array -> unit
+(** In-place forward negacyclic NTT. Input and output are canonical residues.
+    The output ordering is an internal (bit-reversed) one; it is consistent
+    between {!forward} and {!inverse} and suitable for point-wise products. *)
+
+val inverse : table -> int array -> unit
+(** In-place inverse transform; [inverse t (forward t a) = a]. *)
+
+val pointwise_mul : table -> int array -> int array -> int array -> unit
+(** [pointwise_mul t dst a b] sets [dst.(i) <- a.(i) * b.(i) mod p]. [dst]
+    may alias [a] or [b]. *)
+
+val negacyclic_mul : table -> int array -> int array -> int array
+(** Reference entry point: full negacyclic polynomial product of two
+    coefficient vectors (allocates; transforms copies). *)

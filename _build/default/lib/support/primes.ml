@@ -1,0 +1,76 @@
+(* Deterministic Miller–Rabin. The witness set {2,3,5,7,11,13,17,19,23,29,31,37}
+   is complete for all integers below 3.3 * 10^24, far beyond our 31-bit
+   moduli. Modular products stay within 62 bits for the values we test. *)
+let witnesses = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ]
+
+let is_prime n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n mod 2 = 0 then false
+  else begin
+    let d = ref (n - 1) and r = ref 0 in
+    while !d mod 2 = 0 do
+      d := !d / 2;
+      incr r
+    done;
+    let strong_probable_prime a =
+      let a = a mod n in
+      if a = 0 then true
+      else begin
+        let x = ref (Modarith.pow ~q:n a !d) in
+        if !x = 1 || !x = n - 1 then true
+        else begin
+          let ok = ref false in
+          (try
+             for _ = 1 to !r - 1 do
+               x := Modarith.mul ~q:n !x !x;
+               if !x = n - 1 then begin
+                 ok := true;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          !ok
+        end
+      end
+    in
+    List.for_all strong_probable_prime witnesses
+  end
+
+let ntt_primes_avoiding ~bits ~n ~count ~avoid =
+  if bits > Modarith.max_modulus_bits then
+    invalid_arg "Primes.ntt_primes: modulus too wide for native ints";
+  if bits < 4 then invalid_arg "Primes.ntt_primes: modulus too narrow";
+  let step = 2 * n in
+  let top = 1 lsl bits in
+  let lo = 1 lsl (bits - 1) in
+  (* Largest candidate ≡ 1 (mod 2n) strictly below 2^bits. *)
+  let start = ((top - 2) / step * step) + 1 in
+  let rec collect acc remaining candidate =
+    if remaining = 0 then List.rev acc
+    else if candidate <= lo then
+      invalid_arg
+        (Printf.sprintf "Primes.ntt_primes: only %d of %d primes of %d bits for n=%d"
+           (count - remaining) count bits n)
+    else if is_prime candidate && not (List.mem candidate avoid) then
+      collect (candidate :: acc) (remaining - 1) (candidate - step)
+    else collect acc remaining (candidate - step)
+  in
+  collect [] count start
+
+let ntt_primes ~bits ~n ~count = ntt_primes_avoiding ~bits ~n ~count ~avoid:[]
+
+let primitive_root_2n ~p ~n =
+  let order = 2 * n in
+  if (p - 1) mod order <> 0 then
+    invalid_arg "Primes.primitive_root_2n: p is not NTT-friendly for n";
+  let cofactor = (p - 1) / order in
+  (* Try small bases until g = base^cofactor has exact order 2n, i.e.
+     g^n = -1 (mod p). *)
+  let rec search base =
+    if base >= p then invalid_arg "Primes.primitive_root_2n: no root found"
+    else
+      let g = Modarith.pow ~q:p base cofactor in
+      if g > 1 && Modarith.pow ~q:p g n = p - 1 then g else search (base + 1)
+  in
+  search 2

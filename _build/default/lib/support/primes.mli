@@ -1,0 +1,24 @@
+(** Prime generation for NTT-friendly modulus chains.
+
+    RNS-CKKS needs primes [p ≡ 1 (mod 2N)] so that the negacyclic NTT of
+    degree [N] exists modulo [p]. All primes are at most
+    {!Modarith.max_modulus_bits} bits. *)
+
+val is_prime : int -> bool
+(** Deterministic Miller–Rabin, valid for the full native [int] range used
+    here (moduli below 2^31 and small auxiliary values). *)
+
+val ntt_primes : bits:int -> n:int -> count:int -> int list
+(** [ntt_primes ~bits ~n ~count] returns [count] distinct primes
+    [p ≡ 1 (mod 2n)] of width exactly [bits] bits, closest to [2^bits] from
+    below, in decreasing order.
+    @raise Invalid_argument if [bits > Modarith.max_modulus_bits] or not
+    enough primes exist. *)
+
+val ntt_primes_avoiding : bits:int -> n:int -> count:int -> avoid:int list -> int list
+(** Like {!ntt_primes} but skipping any prime in [avoid] (used to pick the
+    special key-switching prime disjoint from the ciphertext chain). *)
+
+val primitive_root_2n : p:int -> n:int -> int
+(** [primitive_root_2n ~p ~n] is a primitive [2n]-th root of unity modulo the
+    prime [p] (requires [p ≡ 1 (mod 2n)]). *)

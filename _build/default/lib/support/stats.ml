@@ -1,0 +1,46 @@
+let check_nonempty name a = if Array.length a = 0 then invalid_arg ("Stats." ^ name ^ ": empty input")
+
+let mean a =
+  check_nonempty "mean" a;
+  Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let variance a =
+  let m = mean a in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. a /. float_of_int (Array.length a)
+
+let rmse a b =
+  if Array.length a <> Array.length b then invalid_arg "Stats.rmse: length mismatch";
+  check_nonempty "rmse" a;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt (!acc /. float_of_int (Array.length a))
+
+let max_abs_diff a b =
+  if Array.length a <> Array.length b then invalid_arg "Stats.max_abs_diff: length mismatch";
+  let m = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    m := Float.max !m (Float.abs (a.(i) -. b.(i)))
+  done;
+  !m
+
+let geomean a =
+  check_nonempty "geomean" a;
+  let acc = Array.fold_left (fun acc x ->
+      if x <= 0. then invalid_arg "Stats.geomean: non-positive value";
+      acc +. log x) 0. a
+  in
+  exp (acc /. float_of_int (Array.length a))
+
+let relative_error ~actual ~estimate = Float.abs (estimate -. actual) /. actual
+
+let percentile xs p =
+  check_nonempty "percentile" xs;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))

@@ -1,0 +1,22 @@
+(** Small statistics helpers used by the accuracy and estimator harnesses. *)
+
+val mean : float array -> float
+(** Arithmetic mean. @raise Invalid_argument on empty input. *)
+
+val variance : float array -> float
+(** Population variance. *)
+
+val rmse : float array -> float array -> float
+(** Root-mean-square error between two equal-length vectors. *)
+
+val max_abs_diff : float array -> float array -> float
+(** Largest absolute element-wise difference. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive values. *)
+
+val relative_error : actual:float -> estimate:float -> float
+(** [|estimate - actual| / actual]. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], nearest-rank on a sorted copy. *)

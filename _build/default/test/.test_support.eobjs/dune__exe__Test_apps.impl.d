@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Float Hecate Hecate_apps Hecate_backend Hecate_ir Hecate_support List Printf

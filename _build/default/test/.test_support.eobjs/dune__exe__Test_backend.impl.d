@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Astring Format Hecate Hecate_apps Hecate_backend Hecate_ir Hecate_support List Printf QCheck QCheck_alcotest

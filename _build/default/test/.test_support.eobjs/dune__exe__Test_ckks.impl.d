@@ -1,0 +1,1 @@
+test/test_ckks.ml: Alcotest Array Float Hecate_ckks Hecate_rns Hecate_support Lazy Option Printf Unix

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Hashtbl Hecate Hecate_apps Hecate_ir Hecate_support List Option Printf QCheck QCheck_alcotest

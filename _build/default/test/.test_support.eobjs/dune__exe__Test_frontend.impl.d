@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Float Hecate_backend Hecate_frontend Hecate_ir Hecate_support List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Astring Hecate_ir List QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_noise.ml: Alcotest Array Float Hecate Hecate_apps Hecate_ir List

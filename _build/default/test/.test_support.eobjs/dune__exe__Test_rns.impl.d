@@ -1,0 +1,1 @@
+test/test_rns.ml: Alcotest Array Float Hecate_rns Hecate_support Lazy List Printf QCheck QCheck_alcotest

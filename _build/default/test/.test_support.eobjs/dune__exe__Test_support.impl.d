@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Float Fun Gen Hashtbl Hecate_support List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Hecate Hecate_backend Hecate_frontend Hecate_support List Printf

@@ -1,0 +1,5 @@
+  $ ../../bin/hecatec.exe info fig2.hec
+  $ ../../bin/hecatec.exe compile fig2.hec -s hecate | grep -E 'downscale|mul %5|mul %6'
+  $ ../../bin/hecatec.exe compile fig2.hec -s eva | grep -c downscale
+  $ ../../bin/hecatec.exe dump sf -o sf.hec
+  $ ../../bin/hecatec.exe info sf.hec | head -2

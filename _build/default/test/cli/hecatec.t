@@ -1,0 +1,33 @@
+Structural statistics of the running example:
+
+  $ ../../bin/hecatec.exe info fig2.hec
+  ops:            7
+  use-def edges:  10
+  inputs:         2
+  outputs:        1
+  SMUs:           5
+  SMU edges:      5
+  peak live:      3 ciphertexts
+  buffers needed: 3
+
+HECATE finds the Fig. 2c plan (proactive downscale, both cubing
+multiplications at level 1):
+
+  $ ../../bin/hecatec.exe compile fig2.hec -s hecate | grep -E 'downscale|mul %5|mul %6'
+    %5 = downscale %4, 0x1.4p+4 : cipher<20,1>
+    %6 = mul %5, %5 : cipher<40,1>
+    %7 = mul %6, %5 : cipher<60,1>
+
+EVA never downscales:
+
+  $ ../../bin/hecatec.exe compile fig2.hec -s eva | grep -c downscale
+  0
+  [1]
+
+Exported benchmarks round-trip through the parser:
+
+  $ ../../bin/hecatec.exe dump sf -o sf.hec
+  wrote sf.hec (42 ops)
+  $ ../../bin/hecatec.exe info sf.hec | head -2
+  ops:            42
+  use-def edges:  54

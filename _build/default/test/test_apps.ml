@@ -1,0 +1,216 @@
+(* Tests for the benchmark applications: reference semantics against
+   independent NumPy-style reimplementations, program shape, and
+   compilability under every scheme. *)
+
+module Apps = Hecate_apps.Apps
+module Prog = Hecate_ir.Prog
+module Driver = Hecate.Driver
+module Reference = Hecate_backend.Reference
+module Prng = Hecate_support.Prng
+
+let check = Alcotest.check
+
+let run_ref (b : Apps.t) = List.hd (Reference.execute b.Apps.prog ~inputs:b.Apps.inputs)
+
+(* independent pixel-level Sobel on a wrapped image *)
+let sobel_pixel img size r c =
+  let at dy dx = img.(((r + dy + size) mod size * size) + ((c + dx + size) mod size)) in
+  (* taps use wrap-around *)
+  ignore at;
+  let px dy dx = ((r * size + c + dy * size + dx) mod (size*size) + (size*size)) mod (size*size) in
+  let v dy dx = img.(px dy dx) in
+  let gx = -.v (-1) (-1) +. v (-1) 1 -. (2. *. v 0 (-1)) +. (2. *. v 0 1) -. v 1 (-1) +. v 1 1 in
+  let gy = -.v (-1) (-1) -. (2. *. v (-1) 0) -. v (-1) 1 +. v 1 (-1) +. (2. *. v 1 0) +. v 1 1 in
+  (gx *. gx) +. (gy *. gy)
+
+let test_sobel_semantics () =
+  let size = 8 in
+  let b = Apps.sobel ~size () in
+  let img = List.assoc "image" b.Apps.inputs in
+  let out = run_ref b in
+  (* interior pixels only (rotation wrap = slot-linear wrap, which the
+     pixel-level model reproduces away from the vector ends) *)
+  for r = 1 to size - 2 do
+    for c = 1 to size - 2 do
+      let expected = sobel_pixel img size r c in
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "pixel %d,%d" r c)
+        expected
+        out.((r * size) + c)
+    done
+  done
+
+let test_harris_response_definition () =
+  (* spot-check: response = det - 0.04 trace^2 with 3x3 box sums of the
+     gradient products; validated on one interior pixel *)
+  let size = 8 in
+  let b = Apps.harris ~size () in
+  let img = List.assoc "image" b.Apps.inputs in
+  let out = run_ref b in
+  let slots = size * size in
+  let v arr s = arr.(((s mod slots) + slots) mod slots) in
+  (* the app folds a 1/4 normalization into the gradient stencils *)
+  let gx s =
+    0.25
+    *. (-.v img (s - size - 1) +. v img (s - size + 1) -. (2. *. v img (s - 1))
+       +. (2. *. v img (s + 1)) -. v img (s + size - 1) +. v img (s + size + 1))
+  in
+  let gy s =
+    0.25
+    *. (-.v img (s - size - 1) -. (2. *. v img (s - size)) -. v img (s - size + 1)
+       +. v img (s + size - 1) +. (2. *. v img (s + size)) +. v img (s + size + 1))
+  in
+  let s0 = (4 * size) + 4 in
+  let box f =
+    let acc = ref 0. in
+    for dy = -1 to 1 do
+      for dx = -1 to 1 do
+        acc := !acc +. f (s0 + (dy * size) + dx)
+      done
+    done;
+    !acc
+  in
+  let sxx = box (fun s -> gx s *. gx s) in
+  let syy = box (fun s -> gy s *. gy s) in
+  let sxy = box (fun s -> gx s *. gy s) in
+  let expected = (sxx *. syy) -. (sxy *. sxy) -. (0.04 *. ((sxx +. syy) ** 2.)) in
+  check (Alcotest.float 1e-6) "harris response" expected out.(s0)
+
+let test_mlp_semantics () =
+  (* the MLP prog must agree with a dense two-layer forward pass; rebuild
+     the same weights from the same seed by reading the consts is brittle,
+     so instead check structural facts and output magnitude *)
+  let b = Apps.mlp ~in_dim:16 ~hidden:8 ~out_dim:4 () in
+  let out = run_ref b in
+  check Alcotest.bool "outputs bounded" true
+    (Array.for_all (fun x -> Float.abs x < 100.) (Array.sub out 0 4));
+  check Alcotest.bool "not identically zero" true
+    (Array.exists (fun x -> Float.abs x > 1e-12) (Array.sub out 0 4))
+
+let test_lenet_structure () =
+  let b = Apps.lenet ~reduced:true () in
+  let p = b.Apps.prog in
+  check Alcotest.bool "program is large" true (Prog.num_ops p > 1000);
+  check Alcotest.int "classifier outputs" 10 b.Apps.valid_slots;
+  let out = run_ref b in
+  check Alcotest.bool "logits finite" true
+    (Array.for_all Float.is_finite (Array.sub out 0 10))
+
+let test_lenet_paper_size_op_count () =
+  (* the full LeNet should be in the paper's op-count regime (11735 uses
+     reported; ours is the same order of magnitude) *)
+  let b = Apps.lenet () in
+  let uses =
+    Array.fold_left
+      (fun acc (o : Prog.op) -> acc + Array.length o.Prog.args)
+      0 b.Apps.prog.Prog.body
+  in
+  check Alcotest.bool (Printf.sprintf "uses = %d in [4000, 40000]" uses) true
+    (uses >= 4000 && uses <= 40000)
+
+(* gradient-descent reference in plain OCaml *)
+let lr_reference ~epochs ~samples x y =
+  let w = ref 0.1 and b = ref 0.05 in
+  let lr = 0.5 in
+  for _ = 1 to epochs do
+    let gw = ref 0. and gb = ref 0. in
+    for i = 0 to samples - 1 do
+      let err = (!w *. x.(i)) +. !b -. y.(i) in
+      gw := !gw +. (err *. x.(i));
+      gb := !gb +. err
+    done;
+    w := !w -. (lr *. 2. /. float_of_int samples *. !gw);
+    b := !b -. (lr *. 2. /. float_of_int samples *. !gb)
+  done;
+  (!w, !b)
+
+let test_linear_regression_semantics () =
+  let samples = 256 in
+  let b = Apps.linear_regression ~epochs:2 ~samples () in
+  let x = List.assoc "x" b.Apps.inputs and y = List.assoc "y" b.Apps.inputs in
+  let w, bias = lr_reference ~epochs:2 ~samples x y in
+  let out = run_ref b in
+  for i = 0 to 9 do
+    check (Alcotest.float 1e-9) "prediction" ((w *. x.(i)) +. bias) out.(i)
+  done
+
+let test_regression_epochs_grow_program () =
+  let p2 = (Apps.linear_regression ~epochs:2 ~samples:256 ()).Apps.prog in
+  let p3 = (Apps.linear_regression ~epochs:3 ~samples:256 ()).Apps.prog in
+  check Alcotest.bool "E3 larger than E2" true (Prog.num_ops p3 > Prog.num_ops p2)
+
+let test_polynomial_regression_learns () =
+  (* data is generated from a quadratic: a few steps of GD must reduce the
+     squared error versus the initial parameters *)
+  let samples = 512 in
+  let b = Apps.polynomial_regression ~epochs:3 ~samples () in
+  let x = List.assoc "x" b.Apps.inputs and y = List.assoc "y" b.Apps.inputs in
+  let out = run_ref b in
+  let mse pred =
+    let acc = ref 0. in
+    for i = 0 to samples - 1 do
+      let d = pred i -. y.(i) in
+      acc := !acc +. (d *. d)
+    done;
+    !acc /. float_of_int samples
+  in
+  let initial i = (0.1 *. x.(i) *. x.(i)) +. (0.1 *. x.(i)) +. 0.05 in
+  check Alcotest.bool "training reduced the error" true
+    (mse (fun i -> out.(i)) < mse initial)
+
+let test_all_benchmarks_compile_all_schemes () =
+  (* every reduced benchmark must compile and typecheck under every scheme;
+     LeNet is exercised separately (slow) *)
+  let benches =
+    [
+      Apps.sobel ~size:8 ();
+      Apps.harris ~size:8 ();
+      Apps.mlp ~in_dim:16 ~hidden:8 ~out_dim:4 ();
+      Apps.linear_regression ~epochs:2 ~samples:128 ();
+      Apps.polynomial_regression ~epochs:2 ~samples:128 ();
+    ]
+  in
+  List.iter
+    (fun (b : Apps.t) ->
+      List.iter
+        (fun scheme ->
+          let c = Driver.compile scheme ~sf_bits:28 ~waterline_bits:20. b.Apps.prog in
+          check Alcotest.bool
+            (b.Apps.name ^ "/" ^ Driver.scheme_name scheme ^ " produced ops")
+            true
+            (Prog.num_ops c.Driver.prog > 0))
+        Driver.all_schemes)
+    benches
+
+let test_suites_cover_eight () =
+  check Alcotest.int "paper suite" 8 (List.length (Apps.paper_suite ()));
+  check Alcotest.int "reduced suite" 8 (List.length (Apps.reduced_suite ()));
+  let names = List.map (fun (b : Apps.t) -> b.Apps.name) (Apps.paper_suite ()) in
+  check
+    Alcotest.(list string)
+    "names" [ "SF"; "HCD"; "MLP"; "LeNet"; "LR E2"; "LR E3"; "PR E2"; "PR E3" ]
+    names
+
+let () =
+  Alcotest.run "hecate_apps"
+    [
+      ( "image",
+        [
+          Alcotest.test_case "sobel semantics" `Quick test_sobel_semantics;
+          Alcotest.test_case "harris response" `Quick test_harris_response_definition;
+        ] );
+      ( "learning",
+        [
+          Alcotest.test_case "mlp output" `Quick test_mlp_semantics;
+          Alcotest.test_case "lenet structure" `Quick test_lenet_structure;
+          Alcotest.test_case "lenet op count" `Slow test_lenet_paper_size_op_count;
+          Alcotest.test_case "linear regression" `Quick test_linear_regression_semantics;
+          Alcotest.test_case "epochs grow program" `Quick test_regression_epochs_grow_program;
+          Alcotest.test_case "polynomial regression learns" `Quick test_polynomial_regression_learns;
+        ] );
+      ( "suite",
+        [
+          Alcotest.test_case "all compile" `Quick test_all_benchmarks_compile_all_schemes;
+          Alcotest.test_case "eight benchmarks" `Quick test_suites_cover_eight;
+        ] );
+    ]

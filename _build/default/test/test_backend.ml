@@ -1,0 +1,488 @@
+(* Tests for the backend: reference interpreter, CKKS interpreter (compiled
+   programs execute to the right values under every scheme), profiling and
+   the waterline-search harness. *)
+
+module Prog = Hecate_ir.Prog
+module B = Prog.Builder
+module Driver = Hecate.Driver
+module Costmodel = Hecate.Costmodel
+module Interp = Hecate_backend.Interp
+module Reference = Hecate_backend.Reference
+module Accuracy = Hecate_backend.Accuracy
+module Profile = Hecate_backend.Profile
+module Harness = Hecate_backend.Harness
+module Apps = Hecate_apps.Apps
+module Prng = Hecate_support.Prng
+module Stats = Hecate_support.Stats
+
+let check = Alcotest.check
+
+let fig2 () =
+  let b = B.create ~name:"fig2" ~slot_count:64 () in
+  let x = B.input b "x" and y = B.input b "y" in
+  let z = B.add b (B.mul b x x) (B.mul b y y) in
+  B.output b (B.mul b (B.mul b z z) z);
+  B.finish b
+
+let fig2_inputs =
+  let g = Prng.create ~seed:0xF162 in
+  [
+    ("x", Array.init 64 (fun _ -> Prng.float01 g -. 0.5));
+    ("y", Array.init 64 (fun _ -> Prng.float01 g -. 0.5));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Reference interpreter                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_reference_fig2 () =
+  let out = List.hd (Reference.execute (fig2 ()) ~inputs:fig2_inputs) in
+  let x = List.assoc "x" fig2_inputs and y = List.assoc "y" fig2_inputs in
+  for i = 0 to 63 do
+    let z = (x.(i) *. x.(i)) +. (y.(i) *. y.(i)) in
+    check (Alcotest.float 1e-12) "cube" (z *. z *. z) out.(i)
+  done
+
+let test_reference_opaque_ops_transparent () =
+  (* scale management ops must not affect reference semantics *)
+  let p =
+    Hecate_ir.Parser.parse
+      {|
+func f(%0: cipher "x") slots=4 {
+  %1 = mul %0, %0
+  %2 = rescale %1
+  %3 = modswitch %2
+  %4 = upscale %3, 40
+  %5 = downscale %4, 20
+  return %5
+}
+|}
+  in
+  let out = List.hd (Reference.execute p ~inputs:[ ("x", [| 3.; -2.; 0.5; 0. |]) ]) in
+  check Alcotest.(array (float 1e-12)) "squares" [| 9.; 4.; 0.25; 0. |] out
+
+let test_reference_missing_input () =
+  match Reference.execute (fig2 ()) ~inputs:[ ("x", [| 1. |]) ] with
+  | _ -> Alcotest.fail "expected missing input error"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* CKKS interpreter on compiled programs                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_scheme scheme =
+  let c = Driver.compile scheme ~sf_bits:28 ~waterline_bits:20. (fig2 ()) in
+  let eval =
+    Interp.context ~params:c.Driver.params
+      ~rotations:(Interp.required_rotations c.Driver.prog) ()
+  in
+  Accuracy.measure eval ~waterline_bits:20. c.Driver.prog ~inputs:fig2_inputs ~valid_slots:64
+
+let test_execute_all_schemes_accurate () =
+  List.iter
+    (fun scheme ->
+      let acc = run_scheme scheme in
+      check Alcotest.bool
+        (Driver.scheme_name scheme ^ " under error bound")
+        true
+        (acc.Accuracy.rmse < 0x1p-8))
+    Driver.all_schemes
+
+let test_execute_reports_classes () =
+  let c = Driver.compile Driver.Hecate ~sf_bits:28 ~waterline_bits:20. (fig2 ()) in
+  let eval =
+    Interp.context ~params:c.Driver.params
+      ~rotations:(Interp.required_rotations c.Driver.prog) ()
+  in
+  let r = Interp.execute eval ~waterline_bits:20. c.Driver.prog ~inputs:fig2_inputs in
+  check Alcotest.bool "timed" true (r.Interp.elapsed_seconds > 0.);
+  check Alcotest.bool "mul class present" true
+    (List.mem_assoc Costmodel.Cipher_mul r.Interp.per_class);
+  check Alcotest.bool "liveness bounded" true (r.Interp.peak_live <= Prog.num_ops c.Driver.prog)
+
+let test_rotation_program_executes () =
+  let b = B.create ~name:"rot" ~slot_count:64 () in
+  let x = B.input b "x" in
+  B.output b (B.mul b (B.add b x (B.rotate b x 3)) x);
+  let p = B.finish b in
+  let c = Driver.compile Driver.Pars ~sf_bits:28 ~waterline_bits:20. p in
+  check Alcotest.(list int) "rotations detected" [ 3 ]
+    (Interp.required_rotations c.Driver.prog);
+  let eval = Interp.context ~params:c.Driver.params ~rotations:[ 3 ] () in
+  let inputs = [ ("x", Array.init 64 (fun i -> 0.01 *. float_of_int i)) ] in
+  let acc = Accuracy.measure eval ~waterline_bits:20. c.Driver.prog ~inputs ~valid_slots:64 in
+  check Alcotest.bool "accurate" true (acc.Accuracy.rmse < 1e-2)
+
+let test_context_degree_check () =
+  let types = [| Hecate_ir.Types.Cipher { Hecate_ir.Types.scale = 20.; level = 0 } |] in
+  let params = Hecate.Paramselect.select ~sf_bits:28 ~types ~slot_count:1024 () in
+  match Interp.context ~exec_n:512 ~params ~rotations:[] () with
+  | _ -> Alcotest.fail "expected degree rejection"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Profiling                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_shape () =
+  let model = Profile.cached_model ~reps:2 ~n:512 ~levels:2 ~q0_bits:30 ~sf_bits:28 () in
+  (* measured model must preserve the level-speedup shape *)
+  let l0 = model.Costmodel.cost Costmodel.Cipher_mul ~num_primes:3 ~n:512 in
+  let l2 = model.Costmodel.cost Costmodel.Cipher_mul ~num_primes:1 ~n:512 in
+  check Alcotest.bool "positive" true (l0 > 0. && l2 > 0.);
+  check Alcotest.bool "fewer primes faster" true (l2 < l0)
+
+let test_profile_cache_reused () =
+  let m1 = Profile.cached_model ~reps:2 ~n:512 ~levels:2 ~q0_bits:30 ~sf_bits:28 () in
+  let m2 = Profile.cached_model ~reps:2 ~n:512 ~levels:2 ~q0_bits:30 ~sf_bits:28 () in
+  check Alcotest.bool "same model object" true (m1 == m2)
+
+(* ------------------------------------------------------------------ *)
+(* Harness                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_harness_waterlines () =
+  check Alcotest.int "36 waterlines" 36 (List.length Harness.default_waterlines);
+  check (Alcotest.float 1e-9) "low end" 10. (List.hd Harness.default_waterlines);
+  check (Alcotest.float 1e-9) "high end" 27.5
+    (List.nth Harness.default_waterlines 35)
+
+let test_harness_estimate_ranking () =
+  let bench = Apps.sobel ~size:8 () in
+  let ranked = Harness.estimate_only ~waterlines:[ 18.; 20.; 22. ] ~scheme:Driver.Eva bench in
+  check Alcotest.bool "candidates compiled" true (List.length ranked >= 2);
+  let costs = List.map (fun (_, c) -> c.Driver.estimated_seconds) ranked in
+  check Alcotest.bool "sorted ascending" true (List.sort compare costs = costs)
+
+let test_harness_search_finds_feasible () =
+  let bench = Apps.sobel ~size:8 () in
+  match Harness.search ~waterlines:[ 16.; 20.; 24. ] ~scheme:Driver.Hecate bench with
+  | None -> Alcotest.fail "expected a feasible configuration"
+  | Some s ->
+      check Alcotest.bool "meets bound" true (s.Harness.rmse <= 0x1p-8);
+      check Alcotest.bool "timed" true (s.Harness.actual_seconds > 0.)
+
+let test_harness_impossible_bound () =
+  let bench = Apps.sobel ~size:8 () in
+  match Harness.search ~waterlines:[ 16. ] ~error_bound:1e-300 ~scheme:Driver.Eva bench with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected infeasibility"
+
+(* ------------------------------------------------------------------ *)
+(* Estimator-vs-actual sanity (the Fig. 8 property, one data point)     *)
+(* ------------------------------------------------------------------ *)
+
+let test_estimator_tracks_actual () =
+  (* size 16 -> millisecond-scale execution, where wall-clock noise does not
+     swamp the comparison *)
+  let bench = Apps.sobel ~size:16 () in
+  match
+    Harness.search ~waterlines:[ 20.; 22. ] ~use_profiled_model:true ~scheme:Driver.Eva bench
+  with
+  | None -> Alcotest.fail "expected feasible config"
+  | Some s ->
+      let rel =
+        Stats.relative_error ~actual:s.Harness.actual_seconds
+          ~estimate:s.Harness.estimated_seconds_exec
+      in
+      check Alcotest.bool
+        (Printf.sprintf "relative error %.1f%% within 50%%" (100. *. rel))
+        true (rel < 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule lowering (the SEAL dialect)                                *)
+(* ------------------------------------------------------------------ *)
+
+module Schedule = Hecate_backend.Schedule
+
+let test_schedule_lowering_shape () =
+  let c = Driver.compile Driver.Hecate ~sf_bits:28 ~waterline_bits:20. (fig2 ()) in
+  let s = Schedule.lower c.Driver.prog in
+  check Alcotest.int "one instruction per op plus outputs"
+    (Prog.num_ops c.Driver.prog - 0 + 1 (* output marker *))
+    (Array.length s.Schedule.instructions);
+  check Alcotest.bool "buffers fewer than ops" true
+    (s.Schedule.cipher_buffers < Prog.num_ops c.Driver.prog);
+  check Alcotest.int "one output" 1 s.Schedule.output_count;
+  (* the listing mentions the downscale lowering *)
+  let text = Format.asprintf "%a" Schedule.pp s in
+  check Alcotest.bool "downscale listed" true
+    (Astring.String.is_infix ~affix:"downscale" text)
+
+let test_schedule_execution_matches_interp () =
+  let c = Driver.compile Driver.Hecate ~sf_bits:28 ~waterline_bits:20. (fig2 ()) in
+  let rotations = Interp.required_rotations c.Driver.prog in
+  let eval = Interp.context ~params:c.Driver.params ~rotations () in
+  let via_interp =
+    (Interp.execute eval ~waterline_bits:20. c.Driver.prog ~inputs:fig2_inputs).Interp.outputs
+  in
+  let s = Schedule.lower c.Driver.prog in
+  let via_schedule = Schedule.execute eval ~waterline_bits:20. s ~inputs:fig2_inputs in
+  List.iter2
+    (fun a b ->
+      (* decryptions of independent encryptions differ only by noise *)
+      check Alcotest.bool "same results" true (Stats.max_abs_diff a b < 1e-2))
+    via_interp via_schedule
+
+let test_schedule_buffer_reuse () =
+  (* a long multiply chain must run in a handful of buffers *)
+  let b = B.create ~name:"chain" ~slot_count:64 () in
+  let x = B.input b "x" in
+  let rec chain v i = if i = 0 then v else chain (B.mul b v v) (i - 1) in
+  B.output b (chain x 6);
+  let c = Driver.compile Driver.Eva ~sf_bits:28 ~waterline_bits:20. (B.finish b) in
+  let s = Schedule.lower c.Driver.prog in
+  check Alcotest.bool "constant-size pool" true (s.Schedule.cipher_buffers <= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Noise model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Noisemodel = Hecate.Noisemodel
+
+let test_noise_model_predicts_measurement () =
+  (* predicted output error within a moderate factor of the measured RMSE
+     on the running example under EVA (no downscales: the model's
+     worst-case multiplier-rounding term does not apply, so the comparison
+     is tight) *)
+  let c = Driver.compile Driver.Eva ~sf_bits:28 ~waterline_bits:20. (fig2 ()) in
+  let acc = run_scheme Driver.Eva in
+  let ncfg = Noisemodel.default_config ~n:128 in
+  let predicted = (Noisemodel.analyze ncfg c.Driver.prog).Noisemodel.predicted_rmse in
+  let ratio = predicted /. acc.Accuracy.rmse in
+  check Alcotest.bool
+    (Printf.sprintf "prediction within 30x (ratio %.2f)" ratio)
+    true
+    (ratio > 1. /. 30. && ratio < 30.)
+
+let test_noise_model_waterline_monotone () =
+  (* over the noise-dominated range, higher waterline -> lower predicted
+     error for the same program shape *)
+  let pred wl =
+    let c = Driver.compile Driver.Eva ~sf_bits:28 ~waterline_bits:wl (fig2 ()) in
+    (Noisemodel.analyze (Noisemodel.default_config ~n:1024) c.Driver.prog)
+      .Noisemodel.predicted_rmse
+  in
+  check Alcotest.bool "16 < 12" true (pred 16. < pred 12.);
+  check Alcotest.bool "20 < 16" true (pred 20. < pred 16.)
+
+let test_noise_aware_exploration () =
+  (* an absurdly tight budget rejects every neighbour: the climb stays at
+     the baseline; a loose budget behaves like plain HECATE *)
+  let prog = fig2 () in
+  let loose = Driver.compile ~noise_budget_bits:100. Driver.Hecate ~sf_bits:28 ~waterline_bits:20. prog in
+  let plain = Driver.compile Driver.Hecate ~sf_bits:28 ~waterline_bits:20. prog in
+  check (Alcotest.float 1e-9) "loose budget = plain hecate" plain.Driver.estimated_seconds
+    loose.Driver.estimated_seconds
+
+(* ------------------------------------------------------------------ *)
+(* Ablation flags                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_ablate_downscale_analysis () =
+  (* the trigger program from test_core: step (e) disabled must produce no
+     pre-multiplication downscale *)
+  let b = B.create ~slot_count:8 () in
+  let x = B.input b "x" and y = B.input b "y" in
+  let xy = B.mul b x y in
+  B.output b (B.mul b xy xy);
+  let prog = B.finish b in
+  let count_downscales (c : Driver.compiled) =
+    Array.fold_left
+      (fun n (o : Prog.op) -> match o.Prog.kind with Prog.Downscale _ -> n + 1 | _ -> n)
+      0 c.Driver.prog.Prog.body
+  in
+  let with_e = Driver.compile Driver.Pars ~sf_bits:28 ~waterline_bits:20. prog in
+  let without_e =
+    Driver.compile ~downscale_analysis:false Driver.Pars ~sf_bits:28 ~waterline_bits:20. prog
+  in
+  check Alcotest.bool "step (e) downscales" true (count_downscales with_e > 0);
+  check Alcotest.int "ablated: none" 0 (count_downscales without_e)
+
+let test_ablate_smu_phases () =
+  let prog = (Hecate_apps.Apps.sobel ~size:8 ()).Hecate_apps.Apps.prog in
+  let units n = Hecate.Smu.unit_count (Hecate.Smu.generate ~phases:n prog) in
+  check Alcotest.bool "phase 2 refines phase 1" true (units 2 >= units 1);
+  check Alcotest.bool "phase 3 refines phase 2" true (units 3 >= units 2)
+
+let test_ablate_early_modswitch () =
+  let p =
+    Hecate_ir.Parser.parse
+      {|
+func f(%0: cipher "x", %1: cipher "y") slots=4 {
+  %2 = mul %0, %1
+  %3 = modswitch %2
+  %4 = mul %3, %3
+  return %4
+}
+|}
+  in
+  let cfg = Hecate_ir.Typing.config ~sf:28. ~waterline:20. () in
+  ignore (Hecate_ir.Typing.check_exn cfg p);
+  let hoisted, _ = Driver.finalize ~cfg p in
+  let kept, _ = Driver.finalize ~early_modswitch:false ~cfg p in
+  let first_consumer_kind (q : Prog.t) =
+    Prog.kind_name (Prog.op q 2).Prog.kind
+  in
+  check Alcotest.string "hoisted" "modswitch" (first_consumer_kind hoisted);
+  check Alcotest.string "kept in place" "mul" (first_consumer_kind kept)
+
+(* ------------------------------------------------------------------ *)
+(* Property: compilation preserves plaintext semantics                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Random DAG programs over two inputs: the reference semantics of the
+   compiled program (where scale management is transparent) must equal the
+   reference semantics of the source, for every scheme. *)
+let random_program seed =
+  let g = Prng.create ~seed in
+  let b = B.create ~name:"rand" ~slot_count:16 () in
+  let x = B.input b "x" and y = B.input b "y" in
+  let pool = ref [ (x, 0); (y, 0) ] in
+  (* track multiplicative budget so chains stay shallow *)
+  let pick () = List.nth !pool (Prng.int_below g (List.length !pool)) in
+  let n_ops = 3 + Prng.int_below g 12 in
+  for _ = 1 to n_ops do
+    let v, depth = pick () in
+    let w, depth' = pick () in
+    let node =
+      match Prng.int_below g 6 with
+      | 0 -> (B.add b v w, max depth depth')
+      | 1 -> (B.sub b v w, max depth depth')
+      | 2 when depth + depth' <= 3 -> (B.mul b v w, depth + depth' + 1)
+      | 2 -> (B.add b v w, max depth depth')
+      | 3 -> (B.negate b v, depth)
+      | 4 -> (B.rotate b v (1 + Prng.int_below g 15), depth)
+      | _ -> (B.mul b v (B.const_scalar b (0.25 +. Prng.float01 g)), depth)
+    in
+    pool := node :: !pool
+  done;
+  let out, _ = List.hd !pool in
+  B.output b out;
+  B.finish b
+
+let prop_compile_preserves_semantics =
+  QCheck.Test.make ~name:"compilation preserves plaintext semantics" ~count:40
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let prog = random_program seed in
+      let inputs =
+        let g = Prng.create ~seed:(seed + 1) in
+        [
+          ("x", Array.init 16 (fun _ -> Prng.float01 g -. 0.5));
+          ("y", Array.init 16 (fun _ -> Prng.float01 g -. 0.5));
+        ]
+      in
+      let expected = Reference.execute prog ~inputs in
+      List.for_all
+        (fun scheme ->
+          let c = Driver.compile scheme ~sf_bits:28 ~waterline_bits:20. prog in
+          let got = Reference.execute c.Driver.prog ~inputs in
+          List.for_all2 (fun a b -> Stats.max_abs_diff a b < 1e-9) expected got)
+        Driver.all_schemes)
+
+let prop_compiled_random_runs_on_ckks =
+  (* a smaller sample actually executes under encryption *)
+  QCheck.Test.make ~name:"random programs execute accurately on CKKS" ~count:5
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let prog = random_program seed in
+      let inputs =
+        let g = Prng.create ~seed:(seed + 1) in
+        [
+          ("x", Array.init 16 (fun _ -> Prng.float01 g -. 0.5));
+          ("y", Array.init 16 (fun _ -> Prng.float01 g -. 0.5));
+        ]
+      in
+      let c = Driver.compile Driver.Hecate ~sf_bits:28 ~waterline_bits:24. prog in
+      let eval =
+        Interp.context ~params:c.Driver.params
+          ~rotations:(Interp.required_rotations c.Driver.prog) ()
+      in
+      let acc =
+        Accuracy.measure eval ~waterline_bits:24. c.Driver.prog ~inputs ~valid_slots:16
+      in
+      acc.Accuracy.rmse < 1e-2)
+
+let prop_print_parse_roundtrip =
+  (* textual IR round-trips for arbitrary compiled programs, including every
+     scale-management op and hex-float attributes *)
+  QCheck.Test.make ~name:"print/parse roundtrip on compiled programs" ~count:25
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let prog = random_program seed in
+      let c = Driver.compile Driver.Hecate ~sf_bits:28 ~waterline_bits:20. prog in
+      let text = Hecate_ir.Printer.to_string c.Driver.prog in
+      let parsed = Hecate_ir.Parser.parse text in
+      let cfg = Hecate_ir.Typing.config ~sf:28. ~waterline:20. () in
+      ignore (Hecate_ir.Typing.check_exn cfg parsed);
+      Prog.num_ops parsed = Prog.num_ops c.Driver.prog
+      && Hecate_ir.Printer.to_string parsed = text)
+
+let prop_schedule_buffers_bounded =
+  QCheck.Test.make ~name:"schedule buffer pool bounded by peak liveness" ~count:25
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let prog = random_program seed in
+      let c = Driver.compile Driver.Eva ~sf_bits:28 ~waterline_bits:20. prog in
+      let s = Schedule.lower c.Driver.prog in
+      let live = Hecate_ir.Liveness.analyze c.Driver.prog in
+      s.Schedule.cipher_buffers <= live.Hecate_ir.Liveness.peak_live + 1)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "hecate_backend"
+    [
+      ( "reference",
+        [
+          Alcotest.test_case "fig2 semantics" `Quick test_reference_fig2;
+          Alcotest.test_case "opaque ops transparent" `Quick test_reference_opaque_ops_transparent;
+          Alcotest.test_case "missing input" `Quick test_reference_missing_input;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "all schemes accurate" `Quick test_execute_all_schemes_accurate;
+          Alcotest.test_case "class stats" `Quick test_execute_reports_classes;
+          Alcotest.test_case "rotations" `Quick test_rotation_program_executes;
+          Alcotest.test_case "degree check" `Quick test_context_degree_check;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "shape" `Quick test_profile_shape;
+          Alcotest.test_case "cache" `Quick test_profile_cache_reused;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "waterline grid" `Quick test_harness_waterlines;
+          Alcotest.test_case "estimate ranking" `Quick test_harness_estimate_ranking;
+          Alcotest.test_case "search feasible" `Quick test_harness_search_finds_feasible;
+          Alcotest.test_case "impossible bound" `Quick test_harness_impossible_bound;
+          Alcotest.test_case "estimator tracks actual" `Slow test_estimator_tracks_actual;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "lowering shape" `Quick test_schedule_lowering_shape;
+          Alcotest.test_case "matches interp" `Quick test_schedule_execution_matches_interp;
+          Alcotest.test_case "buffer reuse" `Quick test_schedule_buffer_reuse;
+        ] );
+      ( "noise",
+        [
+          Alcotest.test_case "predicts measurement" `Quick test_noise_model_predicts_measurement;
+          Alcotest.test_case "waterline monotone" `Quick test_noise_model_waterline_monotone;
+          Alcotest.test_case "noise-aware exploration" `Quick test_noise_aware_exploration;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "downscale analysis" `Quick test_ablate_downscale_analysis;
+          Alcotest.test_case "smu phases" `Quick test_ablate_smu_phases;
+          Alcotest.test_case "early modswitch" `Quick test_ablate_early_modswitch;
+        ] );
+      ( "properties",
+        [
+          qtest prop_compile_preserves_semantics;
+          qtest prop_compiled_random_runs_on_ckks;
+          qtest prop_print_parse_roundtrip;
+          qtest prop_schedule_buffers_bounded;
+        ] );
+    ]

@@ -1,0 +1,573 @@
+(* Tests for the hecate core: code generation (EVA waterline vs PARS), SMU
+   generation (Algorithm 1, Fig. 6), the explorer, parameter selection and
+   the estimator. *)
+
+module Types = Hecate_ir.Types
+module Prog = Hecate_ir.Prog
+module Typing = Hecate_ir.Typing
+module B = Prog.Builder
+module Codegen = Hecate.Codegen
+module Smu = Hecate.Smu
+module Explore = Hecate.Explore
+module Estimator = Hecate.Estimator
+module Paramselect = Hecate.Paramselect
+module Costmodel = Hecate.Costmodel
+module Driver = Hecate.Driver
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let cfg = Typing.config ~sf:28. ~waterline:20. ()
+let ty = Alcotest.testable Types.pp Types.equal
+let cipher scale level = Types.Cipher { Types.scale; level }
+
+(* the running example of the paper: (x^2 + y^2)^3 *)
+let fig2 () =
+  let b = B.create ~name:"fig2" ~slot_count:8 () in
+  let x = B.input b "x" and y = B.input b "y" in
+  let z = B.add b (B.mul b x x) (B.mul b y y) in
+  B.output b (B.mul b (B.mul b z z) z);
+  B.finish b
+
+let kinds p = Array.map (fun (o : Prog.op) -> Prog.kind_name o.Prog.kind) p.Prog.body
+let count_kind p name = Array.fold_left (fun n k -> if k = name then n + 1 else n) 0 (kinds p)
+
+let output_ty p =
+  ignore (Typing.check_exn cfg p);
+  (Prog.op p (List.hd p.Prog.outputs)).Prog.ty
+
+(* ------------------------------------------------------------------ *)
+(* Code generation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_eva_fig2 () =
+  (* EVA (Fig. 2a): reactive rescale after z^2, modswitch on z *)
+  let p = Codegen.waterline cfg (fig2 ()) in
+  ignore (Typing.check_exn cfg p);
+  check Alcotest.bool "uses rescale" true (count_kind p "rescale" > 0);
+  check Alcotest.bool "uses modswitch" true (count_kind p "modswitch" > 0);
+  check Alcotest.int "never downscales" 0 (count_kind p "downscale")
+
+let test_pars_fig2 () =
+  (* PARS (Fig. 2c): proactive downscale of z, both cubing muls at level 1,
+     cumulative scale 2^60. Raw PARS emits one downscale per use; CSE merges
+     them into the single shared downscale of the paper's plan. *)
+  let p = Hecate_ir.Passes.cse (Codegen.pars cfg (fig2 ())) in
+  check ty "result is cipher<60,1>" (cipher 60. 1) (output_ty p);
+  check Alcotest.int "exactly one downscale" 1 (count_kind p "downscale")
+
+let test_pars_lower_peak_than_eva () =
+  (* PARS reaches a chain at most as long as EVA's on the running example *)
+  let types_of p = Typing.check_exn cfg p in
+  let eva = Paramselect.select ~sf_bits:28 ~types:(types_of (Codegen.waterline cfg (fig2 ()))) ~slot_count:8 () in
+  let pars = Paramselect.select ~sf_bits:28 ~types:(types_of (Codegen.pars cfg (fig2 ()))) ~slot_count:8 () in
+  check Alcotest.bool "chain not longer" true
+    (pars.Paramselect.chain_levels <= eva.Paramselect.chain_levels)
+
+let test_codegen_rejects_managed_input () =
+  let p = Codegen.pars cfg (fig2 ()) in
+  match Codegen.pars cfg p with
+  | _ -> Alcotest.fail "expected rejection of an already-managed program"
+  | exception Invalid_argument _ -> ()
+
+let test_codegen_free_operands () =
+  (* const * cipher and const + cipher get encoded plaintexts *)
+  let b = B.create ~slot_count:8 () in
+  let x = B.input b "x" in
+  let scaled = B.mul b x (B.const_scalar b 0.5) in
+  B.output b (B.add b scaled (B.const_scalar b 1.)) ;
+  let src = B.finish b in
+  List.iter
+    (fun gen ->
+      let p = gen cfg ?hook:None src in
+      ignore (Typing.check_exn cfg p);
+      check Alcotest.bool "has encodes" true (count_kind p "encode" >= 2))
+    [ Codegen.waterline; (fun cfg ?hook p -> Codegen.pars cfg ?hook p) ]
+
+let test_codegen_deep_chain () =
+  (* x^16 by repeated squaring: every squaring forces a rescale eventually;
+     both schemes must produce typable code with levels increasing *)
+  let b = B.create ~slot_count:8 () in
+  let x = B.input b "x" in
+  let rec sq v i = if i = 0 then v else sq (B.mul b v v) (i - 1) in
+  B.output b (sq x 4);
+  let src = B.finish b in
+  List.iter
+    (fun gen ->
+      let p = gen cfg ?hook:None src in
+      let t = output_ty p in
+      check Alcotest.bool "level grew" true (Types.level_exn t >= 2);
+      check Alcotest.bool "scale above waterline" true (Types.scale_exn t >= 20. -. 1e-6))
+    [ Codegen.waterline; (fun cfg ?hook p -> Codegen.pars cfg ?hook p) ]
+
+let test_codegen_rotation_passthrough () =
+  let b = B.create ~slot_count:8 () in
+  let x = B.input b "x" in
+  B.output b (B.add b (B.rotate b x 1) x);
+  let src = B.finish b in
+  let p = Codegen.pars cfg src in
+  check ty "rotate preserves type" (cipher 20. 0) (output_ty p)
+
+let test_codegen_hook_forces_ops () =
+  (* forcing one op on each mul operand must still typecheck *)
+  let hook ~op_id:_ ~operand:_ = 1 in
+  let p = Codegen.pars cfg ~hook (fig2 ()) in
+  ignore (Typing.check_exn cfg p);
+  check Alcotest.bool "extra management ops present" true
+    (count_kind p "downscale" + count_kind p "modswitch" + count_kind p "rescale" > 1)
+
+let test_pars_downscale_analysis_trigger () =
+  (* two fresh inputs multiply at 20+20=40 <= 28+40: no pre-downscale; but
+     values at scale 40 multiply at 80 > 68: pre-downscale fires *)
+  let b = B.create ~slot_count:8 () in
+  let x = B.input b "x" and y = B.input b "y" in
+  let xy = B.mul b x y in (* scale 40 *)
+  let xy2 = B.mul b xy xy in (* would be 80 *)
+  B.output b xy2;
+  let p = Codegen.pars cfg (B.finish b) in
+  check Alcotest.bool "pre-downscale fired" true (count_kind p "downscale" >= 1);
+  ignore (Typing.check_exn cfg p)
+
+(* ------------------------------------------------------------------ *)
+(* SMU generation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_smu_fig6 () =
+  (* Fig. 6: (x^2 + y^2) * z ends with units {x,y}, {z}, {x2,y2}, {x2+y2},
+     {(x2+y2)z} — 5 units *)
+  let b = B.create ~slot_count:8 () in
+  let x = B.input b "x" and y = B.input b "y" and z = B.input b "z" in
+  let x2 = B.mul b x x and y2 = B.mul b y y in
+  let s = B.add b x2 y2 in
+  B.output b (B.mul b s z);
+  let p = B.finish b in
+  let smu = Smu.generate p in
+  check Alcotest.int "five units" 5 (Smu.unit_count smu);
+  let unit_of v = smu.Smu.unit_of.(v) in
+  check Alcotest.int "x and y together" (unit_of 0) (unit_of 1);
+  check Alcotest.bool "z separate" true (unit_of 2 <> unit_of 0);
+  check Alcotest.int "x2 and y2 together (definition merge)" (unit_of 3) (unit_of 4);
+  check Alcotest.bool "x2+y2 split from x2 (operation split)" true (unit_of 5 <> unit_of 3)
+
+let test_smu_rotation_stays () =
+  (* rotations do not change scale: parallel rotations consumed by the same
+     unit stay grouped with their source through the user-aware split *)
+  let b = B.create ~slot_count:8 () in
+  let x = B.input b "x" in
+  let r1 = B.rotate b x 1 in
+  let r2 = B.rotate b x 2 in
+  B.output b (B.mul b (B.add b r1 r2) x);
+  let smu = Smu.generate (B.finish b) in
+  check Alcotest.int "parallel rotations grouped" smu.Smu.unit_of.(1) smu.Smu.unit_of.(2)
+
+let test_smu_edges_fewer_than_uses () =
+  let bench = fig2 () in
+  let smu = Smu.generate bench in
+  check Alcotest.bool "edge reduction" true (Smu.edge_count smu <= smu.Smu.use_def_edges);
+  check Alcotest.bool "uses counted" true (smu.Smu.use_def_edges >= 6)
+
+let test_smu_plain_addition_merges () =
+  (* cipher + const stays in the cipher's unit (definition-aware merge);
+     parallel plain additions with the same consumer remain grouped *)
+  let b = B.create ~slot_count:8 () in
+  let x = B.input b "x" in
+  let y = B.add b x (B.const_scalar b 1.) in
+  let z = B.add b x (B.const_scalar b 2.) in
+  B.output b (B.mul b y z);
+  let smu = Smu.generate (B.finish b) in
+  check Alcotest.int "parallel plain adds grouped" smu.Smu.unit_of.(2) smu.Smu.unit_of.(4)
+
+let test_smu_naive_edges () =
+  let bench = fig2 () in
+  let smu = Smu.generate bench in
+  let naive = Smu.naive_edges bench in
+  check Alcotest.int "one edge per use" smu.Smu.use_def_edges (Array.length naive);
+  Array.iter (fun (e : Smu.edge) -> check Alcotest.int "single site" 1 (List.length e.Smu.sites)) naive
+
+let prop_smu_partition =
+  (* units partition exactly the ciphertext values; edges reference units *)
+  QCheck.Test.make ~name:"SMU units partition cipher values" ~count:30
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      (* little random DAG *)
+      let g = Hecate_support.Prng.create ~seed in
+      let b = B.create ~slot_count:16 () in
+      let x = B.input b "x" and y = B.input b "y" in
+      let pool = ref [ x; y ] in
+      let pick () = List.nth !pool (Hecate_support.Prng.int_below g (List.length !pool)) in
+      for _ = 1 to 8 + Hecate_support.Prng.int_below g 8 do
+        let v = pick () and w = pick () in
+        let node =
+          match Hecate_support.Prng.int_below g 4 with
+          | 0 -> B.add b v w
+          | 1 -> B.mul b v w
+          | 2 -> B.rotate b v (1 + Hecate_support.Prng.int_below g 7)
+          | _ -> B.mul b v (B.const_scalar b 0.5)
+        in
+        pool := node :: !pool
+      done;
+      B.output b (List.hd !pool);
+      let p = B.finish b in
+      let smu = Smu.generate p in
+      (* each unit id appears once; members are disjoint and cover exactly
+         the values with unit_of >= 0 *)
+      let seen = Hashtbl.create 16 in
+      let ok = ref true in
+      List.iter
+        (fun (u, members) ->
+          List.iter
+            (fun v ->
+              if Hashtbl.mem seen v then ok := false;
+              Hashtbl.replace seen v ();
+              if smu.Smu.unit_of.(v) <> u then ok := false)
+            members)
+        smu.Smu.units;
+      Array.iteri
+        (fun v u ->
+          match u with
+          | -1 -> if Hashtbl.mem seen v then ok := false
+          | _ -> if not (Hashtbl.mem seen v) then ok := false)
+        smu.Smu.unit_of;
+      Array.iter
+        (fun (e : Smu.edge) ->
+          if e.Smu.src = e.Smu.dst then ok := false;
+          if e.Smu.sites = [] then ok := false)
+        smu.Smu.edges;
+      !ok)
+
+let test_smu_deterministic () =
+  let p = (Hecate_apps.Apps.sobel ~size:8 ()).Hecate_apps.Apps.prog in
+  let a = Smu.generate p and b = Smu.generate p in
+  check Alcotest.(array int) "same unit assignment" a.Smu.unit_of b.Smu.unit_of
+
+(* ------------------------------------------------------------------ *)
+(* Parameter selection                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_paramselect_basic () =
+  let types = [| cipher 20. 0; cipher 40. 1; cipher 20. 2 |] in
+  let p = Paramselect.select ~sf_bits:28 ~types ~slot_count:64 () in
+  (* scale 40 + margin 6 at level 1: 46 <= 30 + (L-1)*28 -> L >= 1.57 -> 2 *)
+  check Alcotest.int "levels" 2 p.Paramselect.chain_levels;
+  check (Alcotest.float 1e-9) "log q" (30. +. 56.) p.Paramselect.log_q;
+  check Alcotest.int "primes at level 1" 2 (Paramselect.num_primes_at p ~level:1)
+
+let test_paramselect_scales_with_depth () =
+  let shallow = Paramselect.select ~sf_bits:28 ~types:[| cipher 20. 1 |] ~slot_count:8 () in
+  let deep = Paramselect.select ~sf_bits:28 ~types:[| cipher 20. 9 |] ~slot_count:8 () in
+  check Alcotest.bool "deeper needs more" true
+    (deep.Paramselect.chain_levels > shallow.Paramselect.chain_levels);
+  check Alcotest.bool "secure degree grows" true
+    (deep.Paramselect.secure_n >= shallow.Paramselect.secure_n)
+
+let test_paramselect_c1_headroom () =
+  (* every scale must fit under the remaining modulus at its level *)
+  let types = [| cipher 75. 0; cipher 47. 1 |] in
+  let p = Paramselect.select ~sf_bits:28 ~types ~slot_count:8 () in
+  Array.iter
+    (fun t ->
+      let s = Option.get (Types.scaled_of t) in
+      let remaining =
+        float_of_int p.Paramselect.q0_bits
+        +. float_of_int ((p.Paramselect.chain_levels - s.Types.level) * p.Paramselect.sf_bits)
+      in
+      check Alcotest.bool "headroom" true (s.Types.scale +. 6. <= remaining +. 1e-9))
+    types
+
+(* ------------------------------------------------------------------ *)
+(* Estimator                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let model = Costmodel.analytic ()
+
+let test_cost_monotone_in_primes () =
+  List.iter
+    (fun cls ->
+      let c1 = model.Costmodel.cost cls ~num_primes:2 ~n:4096 in
+      let c2 = model.Costmodel.cost cls ~num_primes:8 ~n:4096 in
+      check Alcotest.bool (Costmodel.class_name cls ^ " grows with primes") true (c2 > c1))
+    Costmodel.classes
+
+let test_cost_monotone_in_degree () =
+  List.iter
+    (fun cls ->
+      let c1 = model.Costmodel.cost cls ~num_primes:4 ~n:1024 in
+      let c2 = model.Costmodel.cost cls ~num_primes:4 ~n:8192 in
+      check Alcotest.bool (Costmodel.class_name cls ^ " grows with degree") true (c2 > c1))
+    Costmodel.classes
+
+let test_cost_mul_quadratic () =
+  (* key switching makes cipher mul superlinear in the prime count *)
+  let c l = model.Costmodel.cost Costmodel.Cipher_mul ~num_primes:l ~n:4096 in
+  check Alcotest.bool "superlinear" true (c 16 /. c 8 > 2.5)
+
+let test_cost_level_speedup_factor () =
+  (* the paper's observation: level-1 mul is about 2.25x faster than level-0
+     at an 11-prime chain; our structural model shows a clear speedup too *)
+  let l0 = model.Costmodel.cost Costmodel.Cipher_mul ~num_primes:11 ~n:16384 in
+  let l1 = model.Costmodel.cost Costmodel.Cipher_mul ~num_primes:10 ~n:16384 in
+  check Alcotest.bool "higher level cheaper" true (l0 /. l1 > 1.1)
+
+let test_estimate_fig2_pars_cheaper () =
+  let run gen =
+    let p = gen cfg ?hook:None (fig2 ()) in
+    let types = Typing.check_exn cfg p in
+    let params = Paramselect.select ~sf_bits:28 ~types ~slot_count:8 () in
+    Estimator.estimate ~model ~params ~n:8192 p
+  in
+  check Alcotest.bool "pars estimated faster" true
+    (run (fun cfg ?hook p -> Codegen.pars cfg ?hook p) < run Codegen.waterline)
+
+let test_estimate_requires_types () =
+  let p = fig2 () in
+  (* unmanaged program: mul operands are untyped (Free) *)
+  let params = Paramselect.select ~sf_bits:28 ~types:[| cipher 20. 0 |] ~slot_count:8 () in
+  match Estimator.estimate ~model ~params ~n:1024 p with
+  | _ -> Alcotest.fail "expected failure on untyped ops"
+  | exception Invalid_argument _ -> ()
+
+let test_table_model_overrides () =
+  let table = Hashtbl.create 4 in
+  Hashtbl.replace table (Costmodel.Cipher_mul, 3, 1024) 42.;
+  let m = Costmodel.of_table table ~fallback:model in
+  check (Alcotest.float 0.) "measured value used" 42.
+    (m.Costmodel.cost Costmodel.Cipher_mul ~num_primes:3 ~n:1024);
+  (* unmeasured prime count: rescaled from the nearest measurement *)
+  let extrapolated = m.Costmodel.cost Costmodel.Cipher_mul ~num_primes:4 ~n:1024 in
+  let shape3 = model.Costmodel.cost Costmodel.Cipher_mul ~num_primes:3 ~n:1024 in
+  let shape4 = model.Costmodel.cost Costmodel.Cipher_mul ~num_primes:4 ~n:1024 in
+  check (Alcotest.float 1e-6) "shape-scaled" (42. *. shape4 /. shape3) extrapolated
+
+let test_estimate_additive () =
+  (* the program estimate is exactly the sum of per-op charges *)
+  let p = Codegen.pars cfg (fig2 ()) in
+  let types = Typing.check_exn cfg p in
+  ignore types;
+  let params = Paramselect.select ~sf_bits:28 ~types ~slot_count:8 () in
+  let total = Estimator.estimate ~model ~params ~n:2048 p in
+  let by_hand = ref 0. in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      let arg_tys = Array.map (fun a -> (Prog.op p a).Prog.ty) o.Prog.args in
+      by_hand := !by_hand +. Estimator.per_op_seconds ~model ~params ~n:2048 o arg_tys)
+    p;
+  check (Alcotest.float 1e-12) "additive" !by_hand total
+
+let test_estimate_free_ops_cost_nothing () =
+  let b = B.create ~slot_count:8 () in
+  let x = B.input b "x" in
+  B.output b (B.mul b x (B.const_scalar b 0.5));
+  let p = Codegen.pars cfg (B.finish b) in
+  let types = Typing.check_exn cfg p in
+  ignore types;
+  let params = Paramselect.select ~sf_bits:28 ~types ~slot_count:8 () in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      let arg_tys = Array.map (fun a -> (Prog.op p a).Prog.ty) o.Prog.args in
+      let c = Estimator.per_op_seconds ~model ~params ~n:2048 o arg_tys in
+      match o.Prog.kind with
+      | Prog.Input _ | Prog.Const _ -> check (Alcotest.float 0.) "free" 0. c
+      | _ -> check Alcotest.bool "charged" true (c > 0.))
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2: the three hand-written plans, ordered by the estimator       *)
+(* ------------------------------------------------------------------ *)
+
+(* plan (a): EVA's — rescale z^2 twice (sf=28), modswitch z, mul at level 2 *)
+let fig2_plan_a =
+  {|
+func a(%0: cipher "x", %1: cipher "y") slots=8 {
+  %2 = mul %0, %0
+  %3 = mul %1, %1
+  %4 = add %2, %3
+  %5 = mul %4, %4
+  %6 = rescale %5
+  %7 = rescale %6
+  %8 = modswitch %4
+  %9 = modswitch %8
+  %10 = mul %7, %9
+  return %10
+}
+|}
+
+(* plan (b): downscale z after squaring it — one mul at level 0 *)
+let fig2_plan_b =
+  {|
+func b(%0: cipher "x", %1: cipher "y") slots=8 {
+  %2 = mul %0, %0
+  %3 = mul %1, %1
+  %4 = add %2, %3
+  %5 = mul %4, %4
+  %6 = rescale %5
+  %7 = rescale %6
+  %8 = downscale %4, 20
+  %9 = modswitch %8
+  %10 = mul %7, %9
+  return %10
+}
+|}
+
+(* plan (c): HECATE's — downscale z first, both muls at level 1 *)
+let fig2_plan_c =
+  {|
+func c(%0: cipher "x", %1: cipher "y") slots=8 {
+  %2 = mul %0, %0
+  %3 = mul %1, %1
+  %4 = add %2, %3
+  %5 = downscale %4, 20
+  %6 = mul %5, %5
+  %7 = mul %6, %5
+  return %7
+}
+|}
+
+let estimate_plan text =
+  let p = Hecate_ir.Parser.parse text in
+  let types = Typing.check_exn cfg p in
+  let params = Paramselect.select ~sf_bits:28 ~types ~slot_count:8 () in
+  Estimator.estimate ~model ~params ~n:16384 p
+
+let test_fig2_three_plans () =
+  let a = estimate_plan fig2_plan_a in
+  let b = estimate_plan fig2_plan_b in
+  let c = estimate_plan fig2_plan_c in
+  (* the paper's argument: (c) beats (b) beats (a) because more of the
+     expensive multiplications execute at higher levels *)
+  check Alcotest.bool (Printf.sprintf "c (%.4f) <= b (%.4f)" c b) true (c <= b +. 1e-12);
+  check Alcotest.bool (Printf.sprintf "b (%.4f) <= a (%.4f)" b a) true (b <= a +. 1e-12);
+  (* and HECATE's search discovers plan (c) automatically *)
+  let auto = Driver.compile Driver.Hecate ~sf_bits:28 ~waterline_bits:20. (fig2 ()) in
+  let auto_est = Driver.estimate_at auto ~n:16384 in
+  check Alcotest.bool "search matches the hand plan" true
+    (Float.abs (auto_est -. c) /. auto_est < 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* Explorer and driver                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_hill_climb_improves () =
+  let prog = fig2 () in
+  let smu = Smu.generate prog in
+  let codegen ~hook = fst (Driver.finalize ~cfg (Codegen.waterline cfg ~hook prog)) in
+  let evaluate p =
+    let types = Typing.check_exn cfg p in
+    let params = Paramselect.select ~sf_bits:28 ~types ~slot_count:8 () in
+    Estimator.estimate ~model ~params ~n:8192 p
+  in
+  let r = Explore.hill_climb ~codegen ~evaluate ~edges:smu.Smu.edges () in
+  let base = evaluate (codegen ~hook:Codegen.no_hook) in
+  check Alcotest.bool "no regression" true (r.Explore.best_cost <= base);
+  check Alcotest.bool "explored the neighbourhood" true
+    (r.Explore.plans_explored >= Array.length smu.Smu.edges)
+
+let test_hill_climb_epoch_cap () =
+  let prog = fig2 () in
+  let smu = Smu.generate prog in
+  let codegen ~hook = fst (Driver.finalize ~cfg (Codegen.waterline cfg ~hook prog)) in
+  let evaluate p = float_of_int (Prog.num_ops p) in
+  let r = Explore.hill_climb ~codegen ~evaluate ~edges:smu.Smu.edges ~max_epochs:1 () in
+  check Alcotest.bool "capped" true (r.Explore.epochs <= 1)
+
+let test_driver_all_schemes () =
+  let prog = fig2 () in
+  let results =
+    List.map (fun s -> (s, Driver.compile s ~sf_bits:28 ~waterline_bits:20. prog)) Driver.all_schemes
+  in
+  let est s = (List.assoc s results).Driver.estimated_seconds in
+  check Alcotest.bool "hecate <= eva" true (est Driver.Hecate <= est Driver.Eva +. 1e-12);
+  check Alcotest.bool "hecate <= pars" true (est Driver.Hecate <= est Driver.Pars +. 1e-12);
+  check Alcotest.bool "smse <= eva" true (est Driver.Smse <= est Driver.Eva +. 1e-12);
+  List.iter
+    (fun (s, (c : Driver.compiled)) ->
+      match (s, c.Driver.exploration) with
+      | (Driver.Smse | Driver.Hecate), None -> Alcotest.fail "exploration stats missing"
+      | (Driver.Eva | Driver.Pars), Some _ -> Alcotest.fail "unexpected exploration stats"
+      | _ -> ())
+    results
+
+let test_driver_naive_explores_more () =
+  let prog = fig2 () in
+  let smart = Driver.compile Driver.Hecate ~sf_bits:28 ~waterline_bits:20. prog in
+  let naive =
+    Driver.compile Driver.Hecate ~naive_exploration:true ~sf_bits:28 ~waterline_bits:20. prog
+  in
+  let plans c =
+    match c.Driver.exploration with Some e -> e.Driver.plans_explored | None -> 0
+  in
+  check Alcotest.bool "naive explores at least as many plans" true (plans naive >= plans smart);
+  check Alcotest.bool "naive no better" true
+    (naive.Driver.estimated_seconds >= smart.Driver.estimated_seconds -. 1e-12)
+
+let test_driver_output_types_valid () =
+  List.iter
+    (fun scheme ->
+      let c = Driver.compile scheme ~sf_bits:28 ~waterline_bits:20. (fig2 ()) in
+      let tys = Typing.check_exn cfg c.Driver.prog in
+      Array.iter
+        (fun t ->
+          match Types.scaled_of t with
+          | Some s ->
+              check Alcotest.bool "C2 everywhere" true (s.Types.scale >= 20. -. 0.01);
+              check Alcotest.bool "level within chain" true
+                (s.Types.level <= c.Driver.params.Paramselect.chain_levels)
+          | None -> ())
+        tys)
+    Driver.all_schemes
+
+let () =
+  Alcotest.run "hecate_core"
+    [
+      ( "codegen",
+        [
+          Alcotest.test_case "EVA on fig2" `Quick test_eva_fig2;
+          Alcotest.test_case "PARS matches Fig. 2c" `Quick test_pars_fig2;
+          Alcotest.test_case "PARS chain no longer" `Quick test_pars_lower_peak_than_eva;
+          Alcotest.test_case "rejects managed input" `Quick test_codegen_rejects_managed_input;
+          Alcotest.test_case "free operands encoded" `Quick test_codegen_free_operands;
+          Alcotest.test_case "deep chains" `Quick test_codegen_deep_chain;
+          Alcotest.test_case "rotation passthrough" `Quick test_codegen_rotation_passthrough;
+          Alcotest.test_case "plan hook" `Quick test_codegen_hook_forces_ops;
+          Alcotest.test_case "downscale analysis trigger" `Quick test_pars_downscale_analysis_trigger;
+        ] );
+      ( "smu",
+        [
+          Alcotest.test_case "Fig. 6 example" `Quick test_smu_fig6;
+          Alcotest.test_case "rotation stays in unit" `Quick test_smu_rotation_stays;
+          Alcotest.test_case "edges <= uses" `Quick test_smu_edges_fewer_than_uses;
+          Alcotest.test_case "plain addition merges" `Quick test_smu_plain_addition_merges;
+          Alcotest.test_case "naive edges" `Quick test_smu_naive_edges;
+          Alcotest.test_case "deterministic" `Quick test_smu_deterministic;
+          qtest prop_smu_partition;
+        ] );
+      ( "paramselect",
+        [
+          Alcotest.test_case "basic" `Quick test_paramselect_basic;
+          Alcotest.test_case "depth scaling" `Quick test_paramselect_scales_with_depth;
+          Alcotest.test_case "C1 headroom" `Quick test_paramselect_c1_headroom;
+        ] );
+      ( "estimator",
+        [
+          Alcotest.test_case "monotone in primes" `Quick test_cost_monotone_in_primes;
+          Alcotest.test_case "monotone in degree" `Quick test_cost_monotone_in_degree;
+          Alcotest.test_case "mul superlinear" `Quick test_cost_mul_quadratic;
+          Alcotest.test_case "level speedup" `Quick test_cost_level_speedup_factor;
+          Alcotest.test_case "fig2: pars cheaper" `Quick test_estimate_fig2_pars_cheaper;
+          Alcotest.test_case "requires types" `Quick test_estimate_requires_types;
+          Alcotest.test_case "table model" `Quick test_table_model_overrides;
+          Alcotest.test_case "estimate additive" `Quick test_estimate_additive;
+          Alcotest.test_case "free ops uncharged" `Quick test_estimate_free_ops_cost_nothing;
+        ] );
+      ( "fig2-plans",
+        [ Alcotest.test_case "estimator orders the three plans" `Quick test_fig2_three_plans ] );
+      ( "explore",
+        [
+          Alcotest.test_case "hill climb improves" `Quick test_hill_climb_improves;
+          Alcotest.test_case "epoch cap" `Quick test_hill_climb_epoch_cap;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "all schemes" `Quick test_driver_all_schemes;
+          Alcotest.test_case "naive explores more" `Quick test_driver_naive_explores_more;
+          Alcotest.test_case "output types valid" `Quick test_driver_output_types_valid;
+        ] );
+    ]

@@ -1,0 +1,488 @@
+(* Tests for hecate_ir: types, program structure, typing rules (Table I /
+   Eq. 1-6), printer/parser round-trips, passes, liveness. *)
+
+module Types = Hecate_ir.Types
+module Prog = Hecate_ir.Prog
+module Typing = Hecate_ir.Typing
+module Printer = Hecate_ir.Printer
+module Parser = Hecate_ir.Parser
+module Passes = Hecate_ir.Passes
+module Liveness = Hecate_ir.Liveness
+module B = Prog.Builder
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let cfg = Typing.config ~sf:28. ~waterline:20. ()
+let cipher scale level = Types.Cipher { Types.scale; level }
+let plain scale level = Types.Plain { Types.scale; level }
+
+let infer_ok kind args =
+  match Typing.infer cfg kind args with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "expected well-typed, got: %s" e
+
+let infer_err kind args =
+  match Typing.infer cfg kind args with
+  | Ok t -> Alcotest.failf "expected type error, got %s" (Types.to_string t)
+  | Error e -> e
+
+let ty = Alcotest.testable Types.pp Types.equal
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_types_basics () =
+  check Alcotest.bool "free not scaled" false (Types.is_scaled Types.Free);
+  check Alcotest.bool "plain scaled" true (Types.is_scaled (plain 20. 0));
+  check Alcotest.bool "cipher is cipher" true (Types.is_cipher (cipher 20. 1));
+  check Alcotest.bool "plain not cipher" false (Types.is_cipher (plain 20. 1));
+  check (Alcotest.float 0.) "scale_exn" 23. (Types.scale_exn (cipher 23. 0));
+  check Alcotest.int "level_exn" 4 (Types.level_exn (plain 20. 4));
+  check Alcotest.bool "scale_close tolerance" true (Types.scale_close 20. 20.005);
+  check Alcotest.bool "scale_close distinguishes" false (Types.scale_close 20. 20.5);
+  check ty "equal up to drift" (cipher 20. 1) (cipher 20.001 1)
+
+(* ------------------------------------------------------------------ *)
+(* Typing rules: Table I semantics                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_rule_rescale () =
+  (* rescale: scale j -> j - sf (log2), level k -> k+1 *)
+  check ty "rescale effect" (cipher 30. 1) (infer_ok Prog.Rescale [| cipher 58. 0 |]);
+  (* C2: result below waterline rejected *)
+  let e = infer_err Prog.Rescale [| cipher 40. 0 |] in
+  check Alcotest.bool "waterline violation reported" true
+    (Astring.String.is_infix ~affix:"waterline" e)
+
+let test_rule_rescale_cipher_only () =
+  ignore (infer_err Prog.Rescale [| plain 58. 0 |]);
+  ignore (infer_err Prog.Rescale [| Types.Free |])
+
+let test_rule_modswitch () =
+  check ty "modswitch keeps scale" (cipher 33. 3) (infer_ok Prog.Modswitch [| cipher 33. 2 |]);
+  check ty "modswitch on plain" (plain 33. 3) (infer_ok Prog.Modswitch [| plain 33. 2 |])
+
+let test_rule_downscale () =
+  (* downscale: scale -> waterline, level+1; only legal when rescale is not *)
+  check ty "downscale effect" (cipher 20. 1)
+    (infer_ok (Prog.Downscale { waterline = 20. }) [| cipher 40. 0 |]);
+  (* rescale applicable (40+28=68-28=40 >= 20+28=48...): scale 50: 50-28=22>=20 *)
+  let e = infer_err (Prog.Downscale { waterline = 20. }) [| cipher 50. 0 |] in
+  check Alcotest.bool "prefers rescale" true (Astring.String.is_infix ~affix:"rescale" e);
+  (* already at waterline: use modswitch *)
+  let e = infer_err (Prog.Downscale { waterline = 20. }) [| cipher 20. 0 |] in
+  check Alcotest.bool "prefers modswitch" true (Astring.String.is_infix ~affix:"modswitch" e);
+  ignore (infer_err (Prog.Downscale { waterline = 20. }) [| plain 40. 0 |])
+
+let test_rule_upscale () =
+  check ty "upscale to target" (cipher 44. 2)
+    (infer_ok (Prog.Upscale { target_scale = 44. }) [| cipher 40. 2 |]);
+  ignore (infer_err (Prog.Upscale { target_scale = 30. }) [| cipher 40. 2 |])
+
+let test_rule_mul () =
+  (* scales multiply (add in log2); levels must match *)
+  check ty "mul scales add" (cipher 45. 1) (infer_ok Prog.Mul [| cipher 25. 1; cipher 20. 1 |]);
+  check ty "cipher x plain" (cipher 45. 1) (infer_ok Prog.Mul [| cipher 25. 1; plain 20. 1 |]);
+  check ty "plain x plain stays plain" (plain 45. 1)
+    (infer_ok Prog.Mul [| plain 25. 1; plain 20. 1 |]);
+  let e = infer_err Prog.Mul [| cipher 25. 0; cipher 20. 1 |] in
+  check Alcotest.bool "C3 reported" true (Astring.String.is_infix ~affix:"C3" e)
+
+let test_rule_add () =
+  check ty "add keeps scale" (cipher 25. 1) (infer_ok Prog.Add [| cipher 25. 1; cipher 25. 1 |]);
+  ignore (infer_err Prog.Add [| cipher 25. 1; cipher 26. 1 |]);
+  ignore (infer_err Prog.Sub [| cipher 25. 0; cipher 25. 1 |]);
+  ignore (infer_err Prog.Add [| Types.Free; cipher 25. 1 |])
+
+let test_rule_encode () =
+  check ty "encode" (plain 22. 3) (infer_ok (Prog.Encode { scale = 22.; level = 3 }) [| Types.Free |]);
+  (* C2 on encode *)
+  ignore (infer_err (Prog.Encode { scale = 10.; level = 0 }) [| Types.Free |]);
+  ignore (infer_err (Prog.Encode { scale = 22.; level = 0 }) [| cipher 22. 0 |])
+
+let test_rule_c1 () =
+  let cfg = Typing.config ~sf:28. ~waterline:20. ~max_log_q:100. () in
+  (* scale 90 at level 1 exceeds 100 - 28 = 72 remaining bits *)
+  match Typing.infer cfg Prog.Mul [| cipher 45. 1; cipher 45. 1 |] with
+  | Ok _ -> Alcotest.fail "expected C1 violation"
+  | Error e -> check Alcotest.bool "C1 reported" true (Astring.String.is_infix ~affix:"C1" e)
+
+let test_rule_level_bound () =
+  let cfg = Typing.config ~sf:28. ~waterline:20. ~max_level:2 () in
+  match Typing.infer cfg Prog.Modswitch [| cipher 20. 2 |] with
+  | Ok _ -> Alcotest.fail "expected level bound violation"
+  | Error _ -> ()
+
+let prop_downscale_rescale_disjoint =
+  (* exactly one of rescale/downscale/modswitch applies at every scale:
+     the planner's operation choice is total and unambiguous *)
+  QCheck.Test.make ~name:"scale-management choice is total" ~count:200
+    QCheck.(float_bound_inclusive 60.)
+    (fun s ->
+      let s = 20. +. s in
+      let rescale_ok = Result.is_ok (Typing.infer cfg Prog.Rescale [| cipher s 0 |]) in
+      let downscale_ok =
+        Result.is_ok (Typing.infer cfg (Prog.Downscale { waterline = 20. }) [| cipher s 0 |])
+      in
+      let modswitch_ok = Result.is_ok (Typing.infer cfg Prog.Modswitch [| cipher s 0 |]) in
+      (* modswitch always applies; rescale and downscale never both apply *)
+      modswitch_ok && not (rescale_ok && downscale_ok))
+
+(* ------------------------------------------------------------------ *)
+(* Program structure                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let small_prog () =
+  let b = B.create ~name:"t" ~slot_count:16 () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let c = B.const_scalar b 2. in
+  let m = B.mul b x y in
+  let s = B.add b m c in
+  B.output b s;
+  B.finish b
+
+let test_prog_structure () =
+  let p = small_prog () in
+  check Alcotest.int "op count" 5 (Prog.num_ops p);
+  check Alcotest.int "inputs" 2 (List.length p.Prog.inputs);
+  check Alcotest.(list int) "outputs" [ 4 ] p.Prog.outputs;
+  check Alcotest.bool "validates" true (Result.is_ok (Prog.validate p))
+
+let test_prog_use_counts () =
+  let p = small_prog () in
+  let counts = Prog.use_counts p in
+  check Alcotest.int "x used once" 1 counts.(0);
+  check Alcotest.int "mul used once" 1 counts.(3);
+  check Alcotest.int "output counted" 1 counts.(4)
+
+let test_prog_users () =
+  let p = small_prog () in
+  let users = Prog.users p in
+  check Alcotest.(list int) "x feeds mul" [ 3 ] users.(0);
+  check Alcotest.(list int) "mul feeds add" [ 4 ] users.(3)
+
+let test_validate_rejects () =
+  let bad =
+    {
+      Prog.name = "bad";
+      slot_count = 4;
+      body = [| { Prog.id = 0; kind = Prog.Add; args = [| 0; 0 |]; ty = Types.Free } |];
+      inputs = [];
+      outputs = [ 0 ];
+    }
+  in
+  check Alcotest.bool "self-reference rejected" true (Result.is_error (Prog.validate bad))
+
+let test_builder_rejects_no_output () =
+  let b = B.create ~slot_count:4 () in
+  ignore (B.input b "x");
+  match B.finish b with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Printer / parser                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let managed_prog () =
+  (* the Fig. 2 example, compiled by hand into the HECATE plan *)
+  Parser.parse
+    {|
+func fig2(%0: cipher "x", %1: cipher "y") slots=8 {
+  %2 = mul %0, %0
+  %3 = mul %1, %1
+  %4 = add %2, %3
+  %5 = downscale %4, 20
+  %6 = mul %5, %5
+  %7 = mul %6, %5
+  return %7
+}
+|}
+
+let test_parse_basic () =
+  let p = managed_prog () in
+  check Alcotest.int "ops" 8 (Prog.num_ops p);
+  check Alcotest.int "slots" 8 p.Prog.slot_count;
+  match (Prog.op p 5).Prog.kind with
+  | Prog.Downscale { waterline } -> check (Alcotest.float 0.) "attr" 20. waterline
+  | _ -> Alcotest.fail "expected downscale"
+
+let test_parse_typecheck () =
+  let p = managed_prog () in
+  let tys = Typing.check_exn cfg p in
+  check ty "z type" (cipher 40. 0) tys.(4);
+  check ty "downscaled" (cipher 20. 1) tys.(5);
+  check ty "final" (cipher 60. 1) tys.(7)
+
+let test_print_parse_roundtrip () =
+  let p = managed_prog () in
+  ignore (Typing.check_exn cfg p);
+  let text = Printer.to_string p in
+  let p2 = Parser.parse text in
+  check Alcotest.int "same op count" (Prog.num_ops p) (Prog.num_ops p2);
+  ignore (Typing.check_exn cfg p2);
+  let text2 = Printer.to_string p2 in
+  check Alcotest.string "fixpoint" text text2
+
+let test_parse_errors () =
+  let expect_error s =
+    match Parser.parse s with
+    | _ -> Alcotest.fail "expected parse error"
+    | exception Parser.Parse_error _ -> ()
+  in
+  expect_error "func f() slots=4 { return %0 }";
+  expect_error {|func f(%0: cipher "x") slots=4 { %1 = mul %0 return %1 }|};
+  expect_error {|func f(%0: cipher "x") slots=4 { %1 = frobnicate %0 return %1 }|};
+  expect_error {|func f(%0: cipher "x") slots=4 { %1 = negate %0 return %1|}
+
+let test_parse_comments_and_vectors () =
+  let p =
+    Parser.parse
+      {|
+# leading comment
+func f(%0: cipher "x") slots=4 {
+  %1 = const [1.5, -2, 0.25]  # trailing comment
+  %2 = mul %0, %1
+  return %2
+}
+|}
+  in
+  match (Prog.op p 1).Prog.kind with
+  | Prog.Const { value = Prog.Vector v } ->
+      check Alcotest.(array (float 0.)) "vector" [| 1.5; -2.; 0.25 |] v
+  | _ -> Alcotest.fail "expected vector constant"
+
+(* ------------------------------------------------------------------ *)
+(* Passes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_dce () =
+  let b = B.create ~slot_count:4 () in
+  let x = B.input b "x" in
+  let _dead = B.mul b x x in
+  let live = B.add b x x in
+  B.output b live;
+  let p = B.finish b in
+  let p' = Passes.dce p in
+  check Alcotest.int "dead mul removed" 2 (Prog.num_ops p');
+  check Alcotest.bool "still valid" true (Result.is_ok (Prog.validate p'))
+
+let test_cse () =
+  let b = B.create ~slot_count:4 () in
+  let x = B.input b "x" in
+  let m1 = B.mul b x x in
+  let m2 = B.mul b x x in
+  B.output b (B.add b m1 m2);
+  let p = B.finish b in
+  let p' = Passes.cse p in
+  check Alcotest.int "duplicate mul merged" 3 (Prog.num_ops p')
+
+let test_cse_keeps_distinct_inputs () =
+  let b = B.create ~slot_count:4 () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  B.output b (B.add b x y);
+  let p = Passes.cse (B.finish b) in
+  check Alcotest.int "inputs not merged" 3 (Prog.num_ops p)
+
+let test_constant_fold () =
+  let b = B.create ~slot_count:4 () in
+  let x = B.input b "x" in
+  let c = B.mul b (B.const_scalar b 3.) (B.const_scalar b 4.) in
+  B.output b (B.mul b x c);
+  let p = Passes.constant_fold (B.finish b) in
+  (* input, folded const, mul *)
+  check Alcotest.int "const mul folded" 3 (Prog.num_ops p);
+  match (Prog.op p 1).Prog.kind with
+  | Prog.Const { value = Prog.Scalar v } -> check (Alcotest.float 0.) "value" 12. v
+  | _ -> Alcotest.fail "expected folded scalar"
+
+let test_constant_fold_rotate () =
+  let b = B.create ~slot_count:4 () in
+  let x = B.input b "x" in
+  let c = B.rotate b (B.const_vector b [| 1.; 2.; 3.; 4. |]) 1 in
+  B.output b (B.mul b x c);
+  let p = Passes.constant_fold (B.finish b) in
+  match (Prog.op p 1).Prog.kind with
+  | Prog.Const { value = Prog.Vector v } ->
+      check Alcotest.(array (float 0.)) "rotated" [| 2.; 3.; 4.; 1. |] v
+  | _ -> Alcotest.fail "expected folded vector"
+
+let test_early_modswitch () =
+  (* modswitch(mul(a, b)) with a single use becomes mul(ms a, ms b) *)
+  let p =
+    Parser.parse
+      {|
+func f(%0: cipher "x", %1: cipher "y") slots=4 {
+  %2 = mul %0, %1
+  %3 = modswitch %2
+  %4 = mul %3, %3
+  return %4
+}
+|}
+  in
+  ignore (Typing.check_exn cfg p);
+  let p' = Passes.early_modswitch p in
+  ignore (Typing.check_exn cfg p');
+  (* the first op consuming inputs must now be a modswitch *)
+  let kinds = Array.map (fun (o : Prog.op) -> Prog.kind_name o.Prog.kind) p'.Prog.body in
+  check Alcotest.bool "modswitch moved before mul" true
+    (kinds.(2) = "modswitch" && kinds.(3) = "modswitch");
+  (* semantics preserved: the final type is unchanged *)
+  check ty "result type unchanged"
+    (Prog.op p (Prog.num_ops p - 1)).Prog.ty
+    (Prog.op p' (Prog.num_ops p' - 1)).Prog.ty
+
+let test_early_modswitch_multiuse_blocked () =
+  (* the producing op has another user: the modswitch must stay *)
+  let p =
+    Parser.parse
+      {|
+func f(%0: cipher "x") slots=4 {
+  %1 = mul %0, %0
+  %2 = modswitch %1
+  %3 = mul %2, %2
+  %4 = add %1, %1
+  return %3, %4
+}
+|}
+  in
+  let p' = Passes.early_modswitch p in
+  check Alcotest.int "unchanged" (Prog.num_ops p) (Prog.num_ops p')
+
+let test_fold_rotations_chain () =
+  (* a three-deep rotation chain collapses to one rotation *)
+  let b = B.create ~slot_count:16 () in
+  let x = B.input b "x" in
+  B.output b (B.rotate b (B.rotate b (B.rotate b x 3) 5) 2);
+  let p = Passes.fold_rotations (B.finish b) in
+  check Alcotest.int "single op besides input/output" 2 (Prog.num_ops p);
+  match (Prog.op p 1).Prog.kind with
+  | Prog.Rotate { amount } -> check Alcotest.int "combined amount" 10 amount
+  | _ -> Alcotest.fail "expected rotation"
+
+let test_fold_rotations_cancel () =
+  (* rotations summing to the slot count disappear entirely *)
+  let b = B.create ~slot_count:16 () in
+  let x = B.input b "x" in
+  B.output b (B.add b (B.rotate b (B.rotate b x 7) 9) x);
+  let p = Passes.fold_rotations (B.finish b) in
+  let rotations =
+    Array.fold_left
+      (fun n (o : Prog.op) -> match o.Prog.kind with Prog.Rotate _ -> n + 1 | _ -> n)
+      0 p.Prog.body
+  in
+  check Alcotest.int "no rotations left" 0 rotations
+
+let test_fold_rotations_multiuse_blocked () =
+  (* the inner rotation has another consumer: folding must not change it *)
+  let b = B.create ~slot_count:16 () in
+  let x = B.input b "x" in
+  let r1 = B.rotate b x 3 in
+  let r2 = B.rotate b r1 5 in
+  B.output b (B.add b r1 r2);
+  let p = Passes.fold_rotations (B.finish b) in
+  check Alcotest.int "both rotations survive" 4 (Prog.num_ops p)
+
+let test_fold_rotations_semantics () =
+  (* semantics-preserving on a mixed program *)
+  let b = B.create ~slot_count:8 () in
+  let x = B.input b "x" in
+  let e = B.add b (B.rotate b (B.rotate b x 2) 3) (B.rotate b x 5) in
+  B.output b e;
+  let p0 = B.finish b in
+  let p1 = Passes.fold_rotations p0 in
+  check Alcotest.bool "fewer ops" true (Prog.num_ops p1 < Prog.num_ops p0);
+  (* after folding, both sides become rotate-by-5 and CSE can merge them *)
+  let p2 = Passes.cse p1 in
+  check Alcotest.int "cse merges equal rotations" 3 (Prog.num_ops p2)
+
+(* ------------------------------------------------------------------ *)
+(* Liveness                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_liveness_buffers () =
+  (* a chain reuses one buffer pair; peak live stays small *)
+  let b = B.create ~slot_count:4 () in
+  let x = B.input b "x" in
+  let rec chain v i = if i = 0 then v else chain (B.mul b v v) (i - 1) in
+  B.output b (chain x 10);
+  let p = B.finish b in
+  let l = Liveness.analyze p in
+  check Alcotest.bool "buffers reused" true (l.Liveness.buffer_count <= 3);
+  check Alcotest.bool "peak small" true (l.Liveness.peak_live <= 3)
+
+let test_liveness_outputs_live () =
+  let p = small_prog () in
+  let l = Liveness.analyze p in
+  check Alcotest.int "output live to end" (Prog.num_ops p) l.Liveness.last_use.(4)
+
+let test_liveness_wide_program () =
+  (* n independent values all consumed at the end: peak = n + 1 *)
+  let b = B.create ~slot_count:4 () in
+  let x = B.input b "x" in
+  let vs = List.init 6 (fun i -> B.rotate b x (i + 1)) in
+  B.output b (List.fold_left (fun acc v -> B.add b acc v) x vs);
+  let p = B.finish b in
+  let l = Liveness.analyze p in
+  check Alcotest.bool "peak reflects width" true (l.Liveness.peak_live >= 6)
+
+let () =
+  Alcotest.run "hecate_ir"
+    [
+      ( "types",
+        [ Alcotest.test_case "basics" `Quick test_types_basics ] );
+      ( "typing-rules",
+        [
+          Alcotest.test_case "rescale (Table I)" `Quick test_rule_rescale;
+          Alcotest.test_case "rescale cipher-only" `Quick test_rule_rescale_cipher_only;
+          Alcotest.test_case "modswitch (Table I)" `Quick test_rule_modswitch;
+          Alcotest.test_case "downscale (Table I)" `Quick test_rule_downscale;
+          Alcotest.test_case "upscale (Eq. 5)" `Quick test_rule_upscale;
+          Alcotest.test_case "mul (Eq. 1)" `Quick test_rule_mul;
+          Alcotest.test_case "add (Eq. 2)" `Quick test_rule_add;
+          Alcotest.test_case "encode" `Quick test_rule_encode;
+          Alcotest.test_case "C1 enforcement" `Quick test_rule_c1;
+          Alcotest.test_case "level bound" `Quick test_rule_level_bound;
+          qtest prop_downscale_rescale_disjoint;
+        ] );
+      ( "prog",
+        [
+          Alcotest.test_case "structure" `Quick test_prog_structure;
+          Alcotest.test_case "use counts" `Quick test_prog_use_counts;
+          Alcotest.test_case "users" `Quick test_prog_users;
+          Alcotest.test_case "validate rejects" `Quick test_validate_rejects;
+          Alcotest.test_case "builder output required" `Quick test_builder_rejects_no_output;
+        ] );
+      ( "text",
+        [
+          Alcotest.test_case "parse" `Quick test_parse_basic;
+          Alcotest.test_case "parse + typecheck" `Quick test_parse_typecheck;
+          Alcotest.test_case "print/parse roundtrip" `Quick test_print_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments and vectors" `Quick test_parse_comments_and_vectors;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "dce" `Quick test_dce;
+          Alcotest.test_case "cse" `Quick test_cse;
+          Alcotest.test_case "cse inputs distinct" `Quick test_cse_keeps_distinct_inputs;
+          Alcotest.test_case "constant fold" `Quick test_constant_fold;
+          Alcotest.test_case "constant fold rotate" `Quick test_constant_fold_rotate;
+          Alcotest.test_case "early modswitch" `Quick test_early_modswitch;
+          Alcotest.test_case "early modswitch blocked" `Quick test_early_modswitch_multiuse_blocked;
+          Alcotest.test_case "fold rotations chain" `Quick test_fold_rotations_chain;
+          Alcotest.test_case "fold rotations cancel" `Quick test_fold_rotations_cancel;
+          Alcotest.test_case "fold rotations multiuse" `Quick test_fold_rotations_multiuse_blocked;
+          Alcotest.test_case "fold rotations semantics" `Quick test_fold_rotations_semantics;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "buffer reuse" `Quick test_liveness_buffers;
+          Alcotest.test_case "outputs live" `Quick test_liveness_outputs_live;
+          Alcotest.test_case "wide program" `Quick test_liveness_wide_program;
+        ] );
+    ]

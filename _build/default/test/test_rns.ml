@@ -1,0 +1,287 @@
+(* Tests for the RNS layer: modulus chains, double-CRT polynomials, exact
+   rescaling, base extension/reduction, CRT reconstruction, and the bignum
+   that backs it. *)
+
+module Bigint = Hecate_support.Bigint
+module Prng = Hecate_support.Prng
+module M = Hecate_support.Modarith
+module Chain = Hecate_rns.Chain
+module Poly = Hecate_rns.Poly
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let chain = lazy (Chain.create ~n:64 ~q0_bits:30 ~sf_bits:28 ~levels:3 ~special_bits:31)
+
+let random_poly ?(with_special = false) ?(level_count = 4) seed =
+  let c = Lazy.force chain in
+  let g = Prng.create ~seed in
+  let coeffs = Array.init (Chain.degree c) (fun _ -> Prng.int_below g 1000000 - 500000) in
+  (Poly.of_centered_coeffs c ~level_count ~with_special coeffs, coeffs)
+
+(* ------------------------------------------------------------------ *)
+(* Bigint                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bigint_basics () =
+  check Alcotest.string "zero" "0" (Bigint.to_string Bigint.zero);
+  check Alcotest.string "of_int" "123456789" (Bigint.to_string (Bigint.of_int 123456789));
+  check Alcotest.string "add_int carry" "1000000000"
+    (Bigint.to_string (Bigint.add_int (Bigint.of_int 999999999) 1));
+  check Alcotest.string "mul_int" "999999998000000001"
+    (Bigint.to_string (Bigint.mul_int (Bigint.of_int 999999999) 999999999));
+  check (Alcotest.float 1.) "to_float" 1e9 (Bigint.to_float (Bigint.of_int 1_000_000_000))
+
+let test_bigint_big_products () =
+  (* 2^200 via repeated doubling, checked against to_float *)
+  let x = ref Bigint.one in
+  for _ = 1 to 200 do
+    x := Bigint.mul_int !x 2
+  done;
+  check Alcotest.bool "2^200" true (Float.abs ((Bigint.to_float !x /. 0x1p200) -. 1.) < 1e-12)
+
+let test_bigint_sub_compare () =
+  let a = Bigint.mul_int (Bigint.of_int 123456789) 1000000007 in
+  let b = Bigint.of_int 42 in
+  check Alcotest.int "a > b" 1 (Bigint.compare a b);
+  check Alcotest.string "a - a = 0" "0" (Bigint.to_string (Bigint.sub a a));
+  let d = Bigint.sub a b in
+  check Alcotest.string "sub then add roundtrip" (Bigint.to_string a)
+    (Bigint.to_string (Bigint.add d b));
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Bigint.sub: would be negative")
+    (fun () -> ignore (Bigint.sub b a))
+
+let prop_bigint_horner_matches_int =
+  QCheck.Test.make ~name:"bigint arithmetic matches int below 2^62" ~count:300
+    QCheck.(pair (int_bound 0x3FFFFFFF) (int_bound 0x3FFFFFFF))
+    (fun (a, b) ->
+      let big = Bigint.add_int (Bigint.mul_int (Bigint.of_int a) b) a in
+      Bigint.to_string big = string_of_int ((a * b) + a))
+
+(* ------------------------------------------------------------------ *)
+(* Chain                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_chain_structure () =
+  let c = Lazy.force chain in
+  check Alcotest.int "length" 4 (Chain.length c);
+  check Alcotest.int "degree" 64 (Chain.degree c);
+  let ps = Array.to_list (Chain.primes c) in
+  check Alcotest.int "distinct" 4 (List.length (List.sort_uniq compare ps));
+  check Alcotest.bool "special distinct" true (not (List.mem (Chain.special_prime c) ps));
+  List.iteri
+    (fun i p ->
+      check Alcotest.int (Printf.sprintf "prime %d ntt-friendly" i) 1 (p mod (2 * 64)))
+    ps
+
+let test_chain_gadget_weights () =
+  (* w_i = 1 mod q_i and 0 mod q_j (j <> i): the CRT interpolation basis *)
+  let c = Lazy.force chain in
+  for i = 0 to Chain.length c - 1 do
+    for j = 0 to Chain.length c - 1 do
+      let w = Chain.gadget_weight c ~digit:i ~modulus_index:j in
+      if i = j then check Alcotest.int "w_i = 1 mod q_i" 1 w
+      else check Alcotest.int "w_i = 0 mod q_j" 0 w
+    done;
+    (* mod P it is some well-defined residue *)
+    let wp = Chain.gadget_weight c ~digit:i ~modulus_index:(Chain.length c) in
+    check Alcotest.bool "w_i mod P in range" true (wp >= 0 && wp < Chain.special_prime c)
+  done
+
+let test_chain_inverses () =
+  let c = Lazy.force chain in
+  for l = 1 to Chain.length c - 1 do
+    for i = 0 to l - 1 do
+      let q = Chain.prime c i in
+      check Alcotest.int "rescale inverse" 1
+        (M.mul ~q (Chain.rescale_inv c ~dropped:l i) (Chain.prime c l mod q))
+    done
+  done;
+  for i = 0 to Chain.length c - 1 do
+    let q = Chain.prime c i in
+    check Alcotest.int "special inverse" 1
+      (M.mul ~q (Chain.special_inv c i) (Chain.special_prime c mod q))
+  done
+
+let test_chain_log2 () =
+  let c = Lazy.force chain in
+  let expect =
+    Array.fold_left (fun acc p -> acc +. (log (float_of_int p) /. log 2.)) 0. (Chain.primes c)
+  in
+  check (Alcotest.float 1e-9) "log2 q" expect (Chain.log2_q c ~upto:4);
+  check Alcotest.bool "about 30+3*28" true (Float.abs (expect -. 114.) < 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Poly                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_poly_roundtrip_crt () =
+  let p, coeffs = random_poly 1 in
+  let back = Poly.crt_reconstruct_centered p in
+  Array.iteri
+    (fun i c -> check (Alcotest.float 0.) (Printf.sprintf "coeff %d" i) (float_of_int c) back.(i))
+    coeffs
+
+let test_poly_ring_laws () =
+  let c = Lazy.force chain in
+  let p1, _ = random_poly 2 and p2, _ = random_poly 3 and p3, _ = random_poly 4 in
+  let ( +! ) = Poly.add and ( *! ) a b = Poly.mul (Poly.to_eval a) (Poly.to_eval b) in
+  ignore c;
+  check Alcotest.bool "add commutes" true (Poly.equal (p1 +! p2) (p2 +! p1));
+  check Alcotest.bool "mul commutes" true (Poly.equal (p1 *! p2) (p2 *! p1));
+  let lhs = Poly.to_coeff (p1 *! (Poly.to_coeff (p2 +! p3))) in
+  let rhs = Poly.to_coeff (Poly.add (p1 *! p2) (p1 *! p3)) in
+  check Alcotest.bool "distributes" true (Poly.equal lhs rhs);
+  check Alcotest.bool "neg cancels" true
+    (Poly.equal (p1 +! Poly.neg p1) (Poly.sub p1 p1))
+
+let test_poly_ntt_roundtrip () =
+  let p, _ = random_poly 5 in
+  check Alcotest.bool "to_eval/to_coeff roundtrip" true
+    (Poly.equal p (Poly.to_coeff (Poly.to_eval p)))
+
+let test_poly_rescale_exact () =
+  (* rescaling a polynomial that is an exact multiple of the dropped prime
+     divides it exactly *)
+  let c = Lazy.force chain in
+  let q_last = Chain.prime c 3 in
+  let g = Prng.create ~seed:6 in
+  let base = Array.init (Chain.degree c) (fun _ -> Prng.int_below g 20000 - 10000) in
+  let scaled = Array.map (fun x -> x * q_last) base in
+  let p = Poly.of_centered_coeffs c ~level_count:4 ~with_special:false scaled in
+  let r = Poly.rescale_last p in
+  let back = Poly.crt_reconstruct_centered r in
+  Array.iteri
+    (fun i b -> check (Alcotest.float 0.) "exact division" (float_of_int b) back.(i))
+    base
+
+let test_poly_rescale_rounds () =
+  (* otherwise the error after division is at most 1/2 + epsilon *)
+  let c = Lazy.force chain in
+  let q_last = float_of_int (Chain.prime c 3) in
+  let p, coeffs = random_poly 7 in
+  let r = Poly.rescale_last p in
+  let back = Poly.crt_reconstruct_centered r in
+  Array.iteri
+    (fun i orig ->
+      let err = Float.abs (back.(i) -. (float_of_int orig /. q_last)) in
+      check Alcotest.bool (Printf.sprintf "rounded division %d" i) true (err <= 0.5 +. 1e-9))
+    coeffs
+
+let test_poly_drop_last () =
+  let p, coeffs = random_poly 8 in
+  let d = Poly.drop_last p in
+  check Alcotest.int "one fewer component" 3 (Poly.component_count d);
+  (* values preserved mod the smaller modulus: small coefficients intact *)
+  let back = Poly.crt_reconstruct_centered d in
+  Array.iteri
+    (fun i c -> check (Alcotest.float 0.) "value intact" (float_of_int c) back.(i))
+    coeffs
+
+let test_poly_mod_down_special () =
+  (* mod-down divides by P with centered rounding *)
+  let c = Lazy.force chain in
+  let sp = float_of_int (Chain.special_prime c) in
+  let p, coeffs = random_poly ~with_special:true 9 in
+  let r = Poly.mod_down_special p in
+  check Alcotest.bool "no special left" true (not r.Poly.with_special);
+  let back = Poly.crt_reconstruct_centered r in
+  Array.iteri
+    (fun i orig ->
+      let err = Float.abs (back.(i) -. (float_of_int orig /. sp)) in
+      check Alcotest.bool "divided by P" true (err <= 0.5 +. 1e-9))
+    coeffs
+
+let test_poly_automorphism_involution () =
+  (* X -> X^g then X -> X^{g^{-1} mod 2n} is the identity *)
+  let c = Lazy.force chain in
+  let two_n = 2 * Chain.degree c in
+  let g = 5 in
+  (* find inverse of 5 mod 2n *)
+  let rec inv k = if k * g mod two_n = 1 then k else inv (k + 2) in
+  let g_inv = inv 1 in
+  let p, _ = random_poly 10 in
+  let q = Poly.automorphism (Poly.automorphism p ~galois:g) ~galois:g_inv in
+  check Alcotest.bool "involution" true (Poly.equal p q)
+
+let test_poly_automorphism_homomorphic () =
+  (* sigma(a * b) = sigma(a) * sigma(b) *)
+  let a, _ = random_poly 11 and b, _ = random_poly 12 in
+  let mul x y = Poly.to_coeff (Poly.mul (Poly.to_eval x) (Poly.to_eval y)) in
+  let lhs = Poly.automorphism (mul a b) ~galois:5 in
+  let rhs = mul (Poly.automorphism a ~galois:5) (Poly.automorphism b ~galois:5) in
+  check Alcotest.bool "ring homomorphism" true (Poly.equal lhs rhs)
+
+let test_poly_lift_digit () =
+  (* gadget identity: sum_i lift(digit_i) * w_i = p (mod every chain prime) *)
+  let c = Lazy.force chain in
+  let p, _ = random_poly 13 in
+  let acc = ref (Poly.zero c ~level_count:4 ~with_special:false Poly.Coeff) in
+  for i = 0 to 3 do
+    let dig = Poly.lift_digit p ~digit:i ~with_special:false in
+    let weights = Array.init 4 (fun j -> Chain.gadget_weight c ~digit:i ~modulus_index:j) in
+    acc := Poly.add !acc (Poly.mul_component_scalars dig weights)
+  done;
+  check Alcotest.bool "gadget reconstruction" true (Poly.equal !acc p)
+
+let test_poly_restrict_levels () =
+  let p, _ = random_poly ~with_special:true 14 in
+  let r = Poly.restrict_levels p ~level_count:2 in
+  check Alcotest.int "components" 3 (Poly.component_count r);
+  check Alcotest.bool "keeps special" true r.Poly.with_special;
+  check Alcotest.bool "prefix preserved" true
+    (Array.for_all2 ( = ) p.Poly.data.(0) r.Poly.data.(0))
+
+let test_poly_incompatible_rejected () =
+  let p4, _ = random_poly 15 in
+  let p2, _ = random_poly ~level_count:2 16 in
+  (match Poly.add p4 p2 with
+  | _ -> Alcotest.fail "expected incompatibility error"
+  | exception Invalid_argument _ -> ());
+  match Poly.mul p4 p4 with
+  | _ -> Alcotest.fail "expected domain error (Coeff operands)"
+  | exception Invalid_argument _ -> ()
+
+let prop_poly_add_matches_int =
+  QCheck.Test.make ~name:"poly add = coefficient add" ~count:50
+    QCheck.(pair small_int small_int)
+    (fun (s1, s2) ->
+      let p1, c1 = random_poly (100 + s1) and p2, c2 = random_poly (200 + s2) in
+      let sum = Poly.crt_reconstruct_centered (Poly.add p1 p2) in
+      Array.for_all2 (fun s (a, b) -> s = float_of_int (a + b)) sum
+        (Array.map2 (fun a b -> (a, b)) c1 c2))
+
+let () =
+  Alcotest.run "hecate_rns"
+    [
+      ( "bigint",
+        [
+          Alcotest.test_case "basics" `Quick test_bigint_basics;
+          Alcotest.test_case "big products" `Quick test_bigint_big_products;
+          Alcotest.test_case "sub/compare" `Quick test_bigint_sub_compare;
+          qtest prop_bigint_horner_matches_int;
+        ] );
+      ( "chain",
+        [
+          Alcotest.test_case "structure" `Quick test_chain_structure;
+          Alcotest.test_case "gadget weights" `Quick test_chain_gadget_weights;
+          Alcotest.test_case "inverses" `Quick test_chain_inverses;
+          Alcotest.test_case "log2" `Quick test_chain_log2;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "crt roundtrip" `Quick test_poly_roundtrip_crt;
+          Alcotest.test_case "ring laws" `Quick test_poly_ring_laws;
+          Alcotest.test_case "ntt roundtrip" `Quick test_poly_ntt_roundtrip;
+          Alcotest.test_case "rescale exact" `Quick test_poly_rescale_exact;
+          Alcotest.test_case "rescale rounds" `Quick test_poly_rescale_rounds;
+          Alcotest.test_case "drop last" `Quick test_poly_drop_last;
+          Alcotest.test_case "mod down special" `Quick test_poly_mod_down_special;
+          Alcotest.test_case "automorphism involution" `Quick test_poly_automorphism_involution;
+          Alcotest.test_case "automorphism homomorphic" `Quick test_poly_automorphism_homomorphic;
+          Alcotest.test_case "gadget decomposition" `Quick test_poly_lift_digit;
+          Alcotest.test_case "restrict levels" `Quick test_poly_restrict_levels;
+          Alcotest.test_case "incompatible rejected" `Quick test_poly_incompatible_rejected;
+          qtest prop_poly_add_matches_int;
+        ] );
+    ]

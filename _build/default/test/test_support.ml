@@ -1,0 +1,400 @@
+(* Unit and property tests for the hecate_support library. *)
+
+module M = Hecate_support.Modarith
+module P = Hecate_support.Prng
+module F = Hecate_support.Fft
+module Pr = Hecate_support.Primes
+module N = Hecate_support.Ntt
+module S = Hecate_support.Stats
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Modular arithmetic                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let q31 = 2147483647 (* Mersenne prime 2^31 - 1 *)
+let q_small = 97
+
+let test_mod_basic () =
+  check Alcotest.int "add wraps" 1 (M.add ~q:q_small 50 48);
+  check Alcotest.int "sub wraps" 96 (M.sub ~q:q_small 0 1);
+  check Alcotest.int "neg zero" 0 (M.neg ~q:q_small 0);
+  check Alcotest.int "neg" 96 (M.neg ~q:q_small 1);
+  check Alcotest.int "mul" (50 * 48 mod 97) (M.mul ~q:q_small 50 48);
+  check Alcotest.int "pow base case" 1 (M.pow ~q:q_small 13 0);
+  check Alcotest.int "pow fermat" 1 (M.pow ~q:q_small 13 (q_small - 1));
+  check Alcotest.int "reduce negative" (q_small - 3) (M.reduce ~q:q_small (-3));
+  check Alcotest.int "centered high" (-1) (M.to_centered ~q:q_small (q_small - 1));
+  check Alcotest.int "centered low" 5 (M.to_centered ~q:q_small 5)
+
+let test_mod_inverse () =
+  for a = 1 to 96 do
+    let ia = M.inv ~q:q_small a in
+    check Alcotest.int (Printf.sprintf "inv %d" a) 1 (M.mul ~q:q_small a ia)
+  done;
+  Alcotest.check_raises "inv 0 raises"
+    (Invalid_argument "Modarith.inv: zero has no inverse") (fun () ->
+      ignore (M.inv ~q:q_small 0))
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"modmul associative at 31 bits" ~count:500
+    QCheck.(triple (int_bound (q31 - 1)) (int_bound (q31 - 1)) (int_bound (q31 - 1)))
+    (fun (a, b, c) ->
+      M.mul ~q:q31 (M.mul ~q:q31 a b) c = M.mul ~q:q31 a (M.mul ~q:q31 b c))
+
+let prop_centered_roundtrip =
+  QCheck.Test.make ~name:"centered <-> canonical roundtrip" ~count:500
+    QCheck.(int_bound (q31 - 1))
+    (fun a -> M.of_centered ~q:q31 (M.to_centered ~q:q31 a) = a)
+
+(* ------------------------------------------------------------------ *)
+(* PRNG                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let g1 = P.create ~seed:42 and g2 = P.create ~seed:42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (P.bits64 g1) (P.bits64 g2)
+  done
+
+let test_prng_seeds_differ () =
+  let g1 = P.create ~seed:1 and g2 = P.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if P.bits64 g1 = P.bits64 g2 then incr same
+  done;
+  check Alcotest.bool "different streams" true (!same < 4)
+
+let test_prng_copy () =
+  let g = P.create ~seed:7 in
+  ignore (P.bits64 g);
+  let g' = P.copy g in
+  check Alcotest.int64 "copy continues identically" (P.bits64 g) (P.bits64 g')
+
+let test_int_below_range () =
+  let g = P.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = P.int_below g 17 in
+    check Alcotest.bool "in range" true (x >= 0 && x < 17)
+  done
+
+let test_int_below_uniformish () =
+  let g = P.create ~seed:11 in
+  let counts = Array.make 8 0 in
+  let n = 8000 in
+  for _ = 1 to n do
+    let x = P.int_below g 8 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check Alcotest.bool (Printf.sprintf "bucket %d near uniform" i) true
+        (abs (c - (n / 8)) < n / 8 / 2))
+    counts
+
+let test_ternary_support () =
+  let g = P.create ~seed:5 in
+  let seen = Hashtbl.create 3 in
+  for _ = 1 to 300 do
+    let t = P.ternary g in
+    check Alcotest.bool "ternary in {-1,0,1}" true (t >= -1 && t <= 1);
+    Hashtbl.replace seen t ()
+  done;
+  check Alcotest.int "all three values occur" 3 (Hashtbl.length seen)
+
+let test_centered_binomial_moments () =
+  let g = P.create ~seed:13 in
+  let eta = 21 in
+  let n = 20000 in
+  let samples = Array.init n (fun _ -> float_of_int (P.centered_binomial g ~eta)) in
+  let m = S.mean samples and v = S.variance samples in
+  check Alcotest.bool "mean near 0" true (Float.abs m < 0.1);
+  (* variance of centered binomial with parameter eta is eta/2 = 10.5 *)
+  check Alcotest.bool "variance near eta/2" true (Float.abs (v -. 10.5) < 1.0)
+
+let test_gaussian_moments () =
+  let g = P.create ~seed:17 in
+  let n = 20000 in
+  let samples = Array.init n (fun _ -> P.gaussian g ~sigma:3.2) in
+  check Alcotest.bool "mean near 0" true (Float.abs (S.mean samples) < 0.1);
+  check Alcotest.bool "sigma near 3.2" true (Float.abs (sqrt (S.variance samples) -. 3.2) < 0.15)
+
+let test_shuffle_permutation () =
+  let g = P.create ~seed:19 in
+  let a = Array.init 50 Fun.id in
+  P.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "shuffle is a permutation" (Array.init 50 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* FFT                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fft_roundtrip () =
+  let g = P.create ~seed:23 in
+  let n = 256 in
+  let buf = F.make_buffer n in
+  let orig_re = Array.init n (fun _ -> P.float01 g -. 0.5) in
+  let orig_im = Array.init n (fun _ -> P.float01 g -. 0.5) in
+  Array.blit orig_re 0 buf.F.re 0 n;
+  Array.blit orig_im 0 buf.F.im 0 n;
+  F.forward buf;
+  F.inverse buf;
+  for i = 0 to n - 1 do
+    check Alcotest.bool "re roundtrip" true (Float.abs (buf.F.re.(i) -. orig_re.(i)) < 1e-10);
+    check Alcotest.bool "im roundtrip" true (Float.abs (buf.F.im.(i) -. orig_im.(i)) < 1e-10)
+  done
+
+let test_fft_impulse () =
+  (* FFT of a unit impulse is the all-ones vector. *)
+  let n = 64 in
+  let buf = F.make_buffer n in
+  buf.F.re.(0) <- 1.;
+  F.forward buf;
+  for i = 0 to n - 1 do
+    check Alcotest.bool "flat spectrum re" true (Float.abs (buf.F.re.(i) -. 1.) < 1e-12);
+    check Alcotest.bool "flat spectrum im" true (Float.abs buf.F.im.(i) < 1e-12)
+  done
+
+let test_fft_single_tone () =
+  (* A tone e^{+2pi i k0 t / n} lands on bin k0 under the forward kernel
+     e^{-2pi i jk/n}. *)
+  let n = 32 and k0 = 5 in
+  let buf = F.make_buffer n in
+  for t = 0 to n - 1 do
+    let theta = 2. *. Float.pi *. float_of_int (k0 * t) /. float_of_int n in
+    buf.F.re.(t) <- cos theta;
+    buf.F.im.(t) <- sin theta
+  done;
+  F.forward buf;
+  for k = 0 to n - 1 do
+    let mag = sqrt ((buf.F.re.(k) *. buf.F.re.(k)) +. (buf.F.im.(k) *. buf.F.im.(k))) in
+    if k = k0 then check Alcotest.bool "tone bin" true (Float.abs (mag -. float_of_int n) < 1e-9)
+    else check Alcotest.bool "other bins empty" true (mag < 1e-9)
+  done
+
+let test_fft_linearity () =
+  let g = P.create ~seed:29 in
+  let n = 128 in
+  let a = F.make_buffer n and b = F.make_buffer n and s = F.make_buffer n in
+  for i = 0 to n - 1 do
+    a.F.re.(i) <- P.float01 g;
+    b.F.re.(i) <- P.float01 g;
+    s.F.re.(i) <- a.F.re.(i) +. b.F.re.(i)
+  done;
+  F.forward a;
+  F.forward b;
+  F.forward s;
+  for i = 0 to n - 1 do
+    check Alcotest.bool "linear" true
+      (Float.abs (s.F.re.(i) -. a.F.re.(i) -. b.F.re.(i)) < 1e-9)
+  done
+
+let test_fft_bad_length () =
+  let buf = { F.re = Array.make 12 0.; F.im = Array.make 12 0. } in
+  Alcotest.check_raises "non power of two rejected"
+    (Invalid_argument "Fft: length must be a power of two") (fun () -> F.forward buf)
+
+(* ------------------------------------------------------------------ *)
+(* Primes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_is_prime_small () =
+  let primes = [ 2; 3; 5; 7; 11; 13; 97; 7919 ] in
+  let composites = [ 0; 1; 4; 9; 91; 561; 1105; 7917 ] in
+  List.iter (fun p -> check Alcotest.bool (string_of_int p) true (Pr.is_prime p)) primes;
+  List.iter (fun c -> check Alcotest.bool (string_of_int c) false (Pr.is_prime c)) composites
+
+let test_is_prime_carmichael () =
+  (* Carmichael numbers fool Fermat tests but not Miller-Rabin. *)
+  List.iter
+    (fun c -> check Alcotest.bool (string_of_int c) false (Pr.is_prime c))
+    [ 561; 1105; 1729; 2465; 2821; 6601; 8911; 41041; 825265 ]
+
+let test_ntt_primes_properties () =
+  let n = 4096 in
+  let ps = Pr.ntt_primes ~bits:28 ~n ~count:8 in
+  check Alcotest.int "count" 8 (List.length ps);
+  List.iter
+    (fun p ->
+      check Alcotest.bool "prime" true (Pr.is_prime p);
+      check Alcotest.int "ntt friendly" 1 (p mod (2 * n));
+      check Alcotest.bool "28 bits" true (p > 1 lsl 27 && p < 1 lsl 28))
+    ps;
+  let sorted = List.sort (fun a b -> compare b a) ps in
+  check Alcotest.(list int) "decreasing, distinct" sorted ps;
+  check Alcotest.int "distinct" 8 (List.length (List.sort_uniq compare ps))
+
+let test_ntt_primes_avoiding () =
+  let n = 1024 in
+  let base = Pr.ntt_primes ~bits:28 ~n ~count:3 in
+  let avoided = Pr.ntt_primes_avoiding ~bits:28 ~n ~count:3 ~avoid:base in
+  List.iter
+    (fun p -> check Alcotest.bool "not in avoid list" false (List.mem p base))
+    avoided
+
+let test_primitive_root () =
+  let n = 1024 in
+  List.iter
+    (fun p ->
+      let g = Pr.primitive_root_2n ~p ~n in
+      check Alcotest.int "g^n = -1" (p - 1) (M.pow ~q:p g n);
+      check Alcotest.int "g^2n = 1" 1 (M.pow ~q:p g (2 * n)))
+    (Pr.ntt_primes ~bits:28 ~n ~count:4)
+
+(* ------------------------------------------------------------------ *)
+(* NTT                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ntt_table n =
+  let p = List.hd (Pr.ntt_primes ~bits:28 ~n ~count:1) in
+  N.make_table ~p ~n
+
+let test_ntt_roundtrip () =
+  let n = 512 in
+  let t = ntt_table n in
+  let g = P.create ~seed:31 in
+  let a = Array.init n (fun _ -> P.uniform_mod g (N.prime t)) in
+  let b = Array.copy a in
+  N.forward t b;
+  N.inverse t b;
+  check Alcotest.(array int) "roundtrip" a b
+
+(* Schoolbook negacyclic product for cross-validation. *)
+let schoolbook_negacyclic ~q a b =
+  let n = Array.length a in
+  let r = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let k = i + j in
+      let v = M.mul ~q a.(i) b.(j) in
+      if k < n then r.(k) <- M.add ~q r.(k) v
+      else r.(k - n) <- M.sub ~q r.(k - n) v
+    done
+  done;
+  r
+
+let test_ntt_vs_schoolbook () =
+  let n = 64 in
+  let t = ntt_table n in
+  let q = N.prime t in
+  let g = P.create ~seed:37 in
+  for _ = 1 to 5 do
+    let a = Array.init n (fun _ -> P.uniform_mod g q) in
+    let b = Array.init n (fun _ -> P.uniform_mod g q) in
+    check Alcotest.(array int) "matches schoolbook" (schoolbook_negacyclic ~q a b)
+      (N.negacyclic_mul t a b)
+  done
+
+let test_ntt_negacyclic_wrap () =
+  (* X^(n-1) * X = X^n = -1 in the ring. *)
+  let n = 32 in
+  let t = ntt_table n in
+  let q = N.prime t in
+  let a = Array.make n 0 and b = Array.make n 0 in
+  a.(n - 1) <- 1;
+  b.(1) <- 1;
+  let r = N.negacyclic_mul t a b in
+  check Alcotest.int "constant term is -1" (q - 1) r.(0);
+  for i = 1 to n - 1 do
+    check Alcotest.int "other terms zero" 0 r.(i)
+  done
+
+let prop_ntt_convolution_linear =
+  QCheck.Test.make ~name:"ntt mul distributes over addition" ~count:20
+    QCheck.(
+      pair
+        (list_of_size (Gen.return 16) (int_bound 1000))
+        (list_of_size (Gen.return 16) (int_bound 1000)))
+    (fun (la, lb) ->
+      let n = 16 in
+      let t = ntt_table n in
+      let q = N.prime t in
+      let a = Array.of_list la and b = Array.of_list lb in
+      let c = Array.init n (fun i -> i * 7 mod q) in
+      let ab = N.negacyclic_mul t a b and ac = N.negacyclic_mul t a c in
+      let b_plus_c = Array.init n (fun i -> M.add ~q b.(i) c.(i)) in
+      let lhs = N.negacyclic_mul t a b_plus_c in
+      let rhs = Array.init n (fun i -> M.add ~q ab.(i) ac.(i)) in
+      lhs = rhs)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_basic () =
+  check (Alcotest.float 1e-12) "mean" 2.5 (S.mean [| 1.; 2.; 3.; 4. |]);
+  check (Alcotest.float 1e-12) "variance" 1.25 (S.variance [| 1.; 2.; 3.; 4. |]);
+  check (Alcotest.float 1e-12) "rmse zero" 0. (S.rmse [| 1.; 2. |] [| 1.; 2. |]);
+  check (Alcotest.float 1e-12) "rmse" (sqrt 0.5) (S.rmse [| 1.; 2. |] [| 2.; 2. |]);
+  check (Alcotest.float 1e-12) "max_abs_diff" 3. (S.max_abs_diff [| 1.; 5. |] [| 4.; 4. |]);
+  check (Alcotest.float 1e-12) "geomean" 2. (S.geomean [| 1.; 4. |]);
+  check (Alcotest.float 1e-12) "relative error" 0.5 (S.relative_error ~actual:2. ~estimate:3.)
+
+let test_stats_percentile () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  check (Alcotest.float 1e-12) "median" 50. (S.percentile xs 50.);
+  check (Alcotest.float 1e-12) "p100" 100. (S.percentile xs 100.);
+  check (Alcotest.float 1e-12) "p1" 1. (S.percentile xs 1.)
+
+let test_stats_errors () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty input") (fun () ->
+      ignore (S.mean [||]));
+  Alcotest.check_raises "rmse mismatch" (Invalid_argument "Stats.rmse: length mismatch")
+    (fun () -> ignore (S.rmse [| 1. |] [| 1.; 2. |]))
+
+let () =
+  Alcotest.run "hecate_support"
+    [
+      ( "modarith",
+        [
+          Alcotest.test_case "basic ops" `Quick test_mod_basic;
+          Alcotest.test_case "inverses" `Quick test_mod_inverse;
+          qtest prop_mul_assoc;
+          qtest prop_centered_roundtrip;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "int_below range" `Quick test_int_below_range;
+          Alcotest.test_case "int_below uniformity" `Quick test_int_below_uniformish;
+          Alcotest.test_case "ternary support" `Quick test_ternary_support;
+          Alcotest.test_case "centered binomial moments" `Quick test_centered_binomial_moments;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+        ] );
+      ( "fft",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_fft_roundtrip;
+          Alcotest.test_case "impulse" `Quick test_fft_impulse;
+          Alcotest.test_case "single tone" `Quick test_fft_single_tone;
+          Alcotest.test_case "linearity" `Quick test_fft_linearity;
+          Alcotest.test_case "bad length" `Quick test_fft_bad_length;
+        ] );
+      ( "primes",
+        [
+          Alcotest.test_case "small primes" `Quick test_is_prime_small;
+          Alcotest.test_case "carmichael numbers" `Quick test_is_prime_carmichael;
+          Alcotest.test_case "ntt prime properties" `Quick test_ntt_primes_properties;
+          Alcotest.test_case "avoid list" `Quick test_ntt_primes_avoiding;
+          Alcotest.test_case "primitive roots" `Quick test_primitive_root;
+        ] );
+      ( "ntt",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ntt_roundtrip;
+          Alcotest.test_case "vs schoolbook" `Quick test_ntt_vs_schoolbook;
+          Alcotest.test_case "negacyclic wraparound" `Quick test_ntt_negacyclic_wrap;
+          qtest prop_ntt_convolution_linear;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "errors" `Quick test_stats_errors;
+        ] );
+    ]

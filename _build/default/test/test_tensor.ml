@@ -1,0 +1,174 @@
+(* Tests for the CHET-style tensor frontend: shape/layout bookkeeping and
+   numerical agreement with naive dense implementations, via the exact
+   plaintext reference interpreter. *)
+
+module Tensor = Hecate_frontend.Tensor
+module Ref = Hecate_backend.Reference
+module Prng = Hecate_support.Prng
+
+let check = Alcotest.check
+let close = Alcotest.float 1e-9
+
+let random_image g h w = Array.init (h * w) (fun _ -> Prng.float01 g -. 0.5)
+
+(* naive dense reference operations *)
+let conv2d_valid img h w kernel =
+  let k = Array.length kernel in
+  let oh = h - k + 1 and ow = w - k + 1 in
+  Array.init (oh * ow) (fun s ->
+      let r = s / ow and c = s mod ow in
+      let acc = ref 0. in
+      for dy = 0 to k - 1 do
+        for dx = 0 to k - 1 do
+          acc := !acc +. (kernel.(dy).(dx) *. img.(((r + dy) * w) + c + dx))
+        done
+      done;
+      !acc)
+
+let pool2x2 img h w =
+  let oh = h / 2 and ow = w / 2 in
+  Array.init (oh * ow) (fun s ->
+      let r = s / ow and c = s mod ow in
+      0.25
+      *. (img.((2 * r * w) + (2 * c))
+         +. img.((2 * r * w) + (2 * c) + 1)
+         +. img.(((2 * r) + 1) * w + (2 * c))
+         +. img.(((2 * r) + 1) * w + (2 * c) + 1)))
+
+let test_conv_matches_dense () =
+  let g = Prng.create ~seed:1 in
+  let h = 8 and w = 8 in
+  let img = random_image g h w in
+  let kernel = Array.init 3 (fun _ -> Array.init 3 (fun _ -> Prng.float01 g -. 0.5)) in
+  let c = Tensor.create ~slot_count:64 () in
+  let x = Tensor.input_image c "img" ~height:h ~width:w in
+  let y = Tensor.conv2d x ~kernel ~bias:0.25 in
+  check (Alcotest.pair Alcotest.int Alcotest.int) "valid dims" (6, 6) (Tensor.dims y);
+  Tensor.output c y;
+  let out = List.hd (Ref.execute (Tensor.finish c) ~inputs:[ ("img", img) ]) in
+  let expect = conv2d_valid img h w kernel in
+  (* result stays in the original grid: element (r,c) at slot r*w + c *)
+  for r = 0 to 5 do
+    for c = 0 to 5 do
+      check close
+        (Printf.sprintf "(%d,%d)" r c)
+        (expect.((r * 6) + c) +. 0.25)
+        out.((r * w) + c)
+    done
+  done
+
+let test_pool_then_conv_dilation () =
+  (* conv on a pooled grid uses dilation-2 taps; check one output element *)
+  let g = Prng.create ~seed:2 in
+  let h = 8 and w = 8 in
+  let img = random_image g h w in
+  let kernel = Array.init 2 (fun _ -> Array.init 2 (fun _ -> Prng.float01 g -. 0.5)) in
+  let c = Tensor.create ~slot_count:64 () in
+  let x = Tensor.input_image c "img" ~height:h ~width:w in
+  let p = Tensor.avg_pool2x2 x in
+  check Alcotest.int "dilation doubled" 2 (Tensor.dilation p);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "grid halved" (4, 4) (Tensor.dims p);
+  let y = Tensor.conv2d p ~kernel ~bias:0. in
+  Tensor.output c y;
+  let out = List.hd (Ref.execute (Tensor.finish c) ~inputs:[ ("img", img) ]) in
+  let pooled = pool2x2 img h w in
+  let expect = conv2d_valid pooled 4 4 kernel in
+  (* pooled element (r,c) sits at slot (2r*w + 2c); conv result keeps it *)
+  check close "top-left" expect.(0) out.(0);
+  check close "(1,1)" expect.((1 * 3) + 1) out.((2 * w) + 2)
+
+let test_compact_and_dense () =
+  let g = Prng.create ~seed:3 in
+  let h = 4 and w = 4 in
+  let img = random_image g h w in
+  let c = Tensor.create ~slot_count:64 () in
+  let x = Tensor.input_image c "img" ~height:h ~width:w in
+  let p = Tensor.avg_pool2x2 x in
+  let flat = Tensor.compact p in
+  check (Alcotest.pair Alcotest.int Alcotest.int) "dense vector" (1, 4) (Tensor.dims flat);
+  check Alcotest.int "dilation reset" 1 (Tensor.dilation flat);
+  let weights = Array.init 3 (fun _ -> Array.init 4 (fun _ -> Prng.float01 g -. 0.5)) in
+  let bias = Array.init 3 (fun _ -> Prng.float01 g -. 0.5) in
+  let y = Tensor.dense flat ~weights ~bias in
+  Tensor.output c y;
+  let out = List.hd (Ref.execute (Tensor.finish c) ~inputs:[ ("img", img) ]) in
+  let pooled = pool2x2 img h w in
+  for j = 0 to 2 do
+    let e = ref bias.(j) in
+    for i = 0 to 3 do
+      e := !e +. (weights.(j).(i) *. pooled.(i))
+    done;
+    check close (Printf.sprintf "logit %d" j) !e out.(j)
+  done
+
+let test_elementwise_and_square () =
+  let g = Prng.create ~seed:4 in
+  let img = random_image g 4 4 in
+  let c = Tensor.create ~slot_count:16 () in
+  let x = Tensor.input_image c "img" ~height:4 ~width:4 in
+  let y = Tensor.add (Tensor.square x) (Tensor.scale x 2.) in
+  Tensor.output c (Tensor.add_scalar y (-0.5));
+  let out = List.hd (Ref.execute (Tensor.finish c) ~inputs:[ ("img", img) ]) in
+  Array.iteri
+    (fun i v -> check close "x^2 + 2x - 0.5" ((v *. v) +. (2. *. v) -. 0.5) out.(i))
+    img
+
+let test_shape_errors () =
+  let c = Tensor.create ~slot_count:64 () in
+  let a = Tensor.input_image c "a" ~height:4 ~width:4 in
+  let b = Tensor.input_image c "b" ~height:2 ~width:8 in
+  (match Tensor.add a b with
+  | _ -> Alcotest.fail "expected shape mismatch"
+  | exception Invalid_argument _ -> ());
+  (match Tensor.dense a ~weights:[| [| 1. |] |] ~bias:[| 0. |] with
+  | _ -> Alcotest.fail "expected dense-vector requirement"
+  | exception Invalid_argument _ -> ());
+  (match Tensor.conv2d a ~kernel:[| [| 1.; 2. |] |] ~bias:0. with
+  | _ -> Alcotest.fail "expected square kernel requirement"
+  | exception Invalid_argument _ -> ());
+  match Tensor.input_image c "c" ~height:9 ~width:8 with
+  | _ -> Alcotest.fail "expected size rejection"
+  | exception Invalid_argument _ -> ()
+
+let test_tensor_cnn_compiles_and_runs () =
+  (* a miniature CNN written in the tensor layer compiles under HECATE and
+     executes accurately on the CKKS backend *)
+  let g = Prng.create ~seed:5 in
+  let img = Array.map (fun v -> (v +. 0.5) /. 2.) (random_image g 8 8) in
+  let kernel = Array.init 3 (fun _ -> Array.init 3 (fun _ -> (Prng.float01 g -. 0.5) /. 3.)) in
+  let c = Tensor.create ~name:"mini_cnn" ~slot_count:64 () in
+  let x = Tensor.input_image c "img" ~height:8 ~width:8 in
+  let features = Tensor.avg_pool2x2 (Tensor.square (Tensor.conv2d x ~kernel ~bias:0.05)) in
+  let flat = Tensor.compact features in
+  let rows, cols = Tensor.dims flat in
+  check Alcotest.int "flattened" 1 rows;
+  let weights = Array.init 4 (fun _ -> Array.init cols (fun _ -> (Prng.float01 g -. 0.5) /. 4.)) in
+  let bias = Array.make 4 0.01 in
+  Tensor.output c (Tensor.dense flat ~weights ~bias);
+  let prog = Tensor.finish c in
+  let expected = List.hd (Ref.execute prog ~inputs:[ ("img", img) ]) in
+  let compiled = Hecate.Driver.compile Hecate.Driver.Hecate ~sf_bits:28 ~waterline_bits:24. prog in
+  let eval =
+    Hecate_backend.Interp.context ~params:compiled.Hecate.Driver.params
+      ~rotations:(Hecate_backend.Interp.required_rotations compiled.Hecate.Driver.prog) ()
+  in
+  let acc =
+    Hecate_backend.Accuracy.measure eval ~waterline_bits:24. compiled.Hecate.Driver.prog
+      ~inputs:[ ("img", img) ] ~valid_slots:4
+  in
+  check Alcotest.bool "accurate under encryption" true (acc.Hecate_backend.Accuracy.rmse < 1e-2);
+  check Alcotest.bool "reference sane" true (Float.abs expected.(0) < 10.)
+
+let () =
+  Alcotest.run "hecate_tensor"
+    [
+      ( "tensor",
+        [
+          Alcotest.test_case "conv matches dense" `Quick test_conv_matches_dense;
+          Alcotest.test_case "pool dilation" `Quick test_pool_then_conv_dilation;
+          Alcotest.test_case "compact + dense" `Quick test_compact_and_dense;
+          Alcotest.test_case "elementwise" `Quick test_elementwise_and_square;
+          Alcotest.test_case "shape errors" `Quick test_shape_errors;
+          Alcotest.test_case "mini CNN end-to-end" `Quick test_tensor_cnn_compiles_and_runs;
+        ] );
+    ]
