@@ -10,6 +10,8 @@
                                             (the profile behind §VI-C)
      dune exec bench/main.exe ablate     -- design-choice ablations (step (e),
                                             early modswitch, SMU phases)
+     dune exec bench/main.exe explore    -- SMSE exploration engine: per-epoch
+                                            trace, memo-cache hits, throughput
 
    Latencies are measured on the in-repo RNS-CKKS substrate at reduced ring
    degrees (see DESIGN.md); estimated latencies are also reported at the
@@ -335,6 +337,46 @@ let ablate () =
     benches
 
 (* ------------------------------------------------------------------ *)
+(* Exploration engine: per-epoch trace and throughput                  *)
+(* ------------------------------------------------------------------ *)
+
+let explore () =
+  heading "Exploration engine -- per-epoch trace and throughput (HECATE scheme, waterline 20)";
+  Printf.printf
+    "Every epoch evaluates the +-1 neighbourhood of the incumbent plan in\n\
+     parallel; plans revisited across epochs are answered by the memo cache\n\
+     instead of being recompiled. 'plans/s' is compiled candidates per second\n\
+     of exploration wall-clock.\n\n";
+  let benches =
+    [
+      Apps.sobel ~size:16 ();
+      Apps.harris ~size:16 ();
+      Apps.linear_regression ~epochs:2 ~samples:2048 ();
+      Apps.polynomial_regression ~epochs:2 ~samples:2048 ();
+    ]
+  in
+  List.iter
+    (fun (b : Apps.t) ->
+      let c = Driver.compile Driver.Hecate ~sf_bits ~waterline_bits:20. b.Apps.prog in
+      match c.Driver.exploration with
+      | None -> ()
+      | Some e ->
+          Printf.printf
+            "%-8s: %d edges, %d epochs, %d plans compiled, %d cache hits, %.2f s wall \
+             (%.1f plans/s), est %.3f s\n"
+            b.Apps.name e.Driver.smu_edges e.Driver.epochs e.Driver.plans_explored
+            e.Driver.cache_hits e.Driver.elapsed_seconds
+            (float_of_int e.Driver.plans_explored /. Float.max 1e-9 e.Driver.elapsed_seconds)
+            c.Driver.estimated_seconds;
+          List.iter
+            (fun (t : Hecate.Explore.epoch_trace) ->
+              Printf.printf "   epoch %3d: %4d candidates (%3d cached), best %.6f s, %.3f s\n%!"
+                t.Hecate.Explore.epoch t.Hecate.Explore.candidates t.Hecate.Explore.cache_hits
+                t.Hecate.Explore.best_cost t.Hecate.Explore.elapsed_seconds)
+            e.Driver.trace)
+    benches
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the CKKS operations                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -409,17 +451,20 @@ let () =
     | "fig8" -> fig8 ()
     | "ops" -> ops ()
     | "ablate" -> ablate ()
+    | "explore" -> explore ()
     | "all" ->
         fig7 ();
         table2 ();
         table3 ();
         fig8 ();
         fig7_paper ();
+        explore ();
         ablate ();
         ops ()
     | other ->
         Printf.eprintf
-          "unknown subcommand %s (fig7|fig7paper|table2|table3|fig8|ops|ablate|all)\n" other;
+          "unknown subcommand %s (fig7|fig7paper|table2|table3|fig8|explore|ops|ablate|all)\n"
+          other;
         exit 2
   in
   List.iter run cmds;

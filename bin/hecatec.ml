@@ -47,6 +47,16 @@ let sf_arg =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input .hec program.")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for SMSE exploration (default: available cores - 1; \
+               the result is identical for every value).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ]
+         ~doc:"Print the per-epoch exploration trace (candidates, memo-cache hits, \
+               best cost, wall-clock).")
+
 let bench_conv =
   let parse s =
     let pick f = Ok (f ()) in
@@ -64,7 +74,7 @@ let bench_conv =
   in
   Arg.conv (parse, fun fmt (b : Apps.t) -> Format.pp_print_string fmt b.Apps.name)
 
-let report_compiled ?(dump = true) (c : Driver.compiled) =
+let report_compiled ?(dump = true) ?(verbose = false) (c : Driver.compiled) =
   if dump then print_string (Printer.to_string c.Driver.prog);
   Printf.printf "; ops: %d\n" (Prog.num_ops c.Driver.prog);
   Printf.printf "; modulus chain: q0 = %d bits + %d rescale primes x %d bits (log2 Q = %.0f)\n"
@@ -76,13 +86,25 @@ let report_compiled ?(dump = true) (c : Driver.compiled) =
   | None -> ()
   | Some e ->
       Printf.printf "; exploration: %d units, %d edges, %d epochs, %d plans\n" e.Driver.units
-        e.Driver.smu_edges e.Driver.epochs e.Driver.plans_explored
+        e.Driver.smu_edges e.Driver.epochs e.Driver.plans_explored;
+      if verbose then begin
+        Printf.printf "; exploration detail: %d cache hits, %.3f s wall (%.1f plans/s)\n"
+          e.Driver.cache_hits e.Driver.elapsed_seconds
+          (float_of_int e.Driver.plans_explored /. Float.max 1e-9 e.Driver.elapsed_seconds);
+        List.iter
+          (fun (t : Hecate.Explore.epoch_trace) ->
+            Printf.printf
+              ";   epoch %3d: %4d candidates (%d cached), best %.6f s, %.3f s wall\n"
+              t.Hecate.Explore.epoch t.Hecate.Explore.candidates t.Hecate.Explore.cache_hits
+              t.Hecate.Explore.best_cost t.Hecate.Explore.elapsed_seconds)
+          e.Driver.trace
+      end
 
 let compile_cmd =
-  let run file scheme waterline sf show_schedule =
+  let run file scheme waterline sf show_schedule jobs verbose =
     let prog = Parser.parse_file file in
-    let c = Driver.compile scheme ~sf_bits:sf ~waterline_bits:waterline prog in
-    report_compiled c;
+    let c = Driver.compile ?pool_size:jobs scheme ~sf_bits:sf ~waterline_bits:waterline prog in
+    report_compiled ~verbose c;
     if show_schedule then begin
       print_endline "; lowered schedule (SEAL dialect):";
       Format.printf "%a@?" Hecate_backend.Schedule.pp
@@ -95,13 +117,14 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Scale-manage a .hec program and print the result.")
-    Term.(const run $ file_arg $ scheme_arg $ waterline_arg $ sf_arg $ schedule_arg)
+    Term.(const run $ file_arg $ scheme_arg $ waterline_arg $ sf_arg $ schedule_arg
+          $ jobs_arg $ verbose_arg)
 
 let run_cmd =
-  let run file scheme waterline sf seed =
+  let run file scheme waterline sf seed jobs verbose =
     let prog = Parser.parse_file file in
-    let c = Driver.compile scheme ~sf_bits:sf ~waterline_bits:waterline prog in
-    report_compiled ~dump:false c;
+    let c = Driver.compile ?pool_size:jobs scheme ~sf_bits:sf ~waterline_bits:waterline prog in
+    report_compiled ~dump:false ~verbose c;
     (* random inputs in [0,1) for every declared input *)
     let g = Hecate_support.Prng.create ~seed in
     let inputs =
@@ -139,15 +162,16 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a .hec program on the in-repo CKKS backend.")
-    Term.(const run $ file_arg $ scheme_arg $ waterline_arg $ sf_arg $ seed_arg)
+    Term.(const run $ file_arg $ scheme_arg $ waterline_arg $ sf_arg $ seed_arg $ jobs_arg
+          $ verbose_arg)
 
 let bench_cmd =
-  let run bench scheme waterline sf dump =
+  let run bench scheme waterline sf dump jobs verbose =
     let (b : Apps.t) = bench in
     Printf.printf "; benchmark %s (%d ops before scale management)\n" b.Apps.name
       (Prog.num_ops b.Apps.prog);
-    let c = Driver.compile scheme ~sf_bits:sf ~waterline_bits:waterline b.Apps.prog in
-    report_compiled ~dump c
+    let c = Driver.compile ?pool_size:jobs scheme ~sf_bits:sf ~waterline_bits:waterline b.Apps.prog in
+    report_compiled ~dump ~verbose c
   in
   let bench_arg =
     Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH"
@@ -158,7 +182,8 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Compile a built-in benchmark and report statistics.")
-    Term.(const run $ bench_arg $ scheme_arg $ waterline_arg $ sf_arg $ dump_arg)
+    Term.(const run $ bench_arg $ scheme_arg $ waterline_arg $ sf_arg $ dump_arg $ jobs_arg
+          $ verbose_arg)
 
 let dump_cmd =
   let run bench out =

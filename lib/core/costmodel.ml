@@ -51,13 +51,19 @@ let of_table table ~fallback =
     | Some t -> t
     | None ->
         (* Scale the analytic shape to agree with the closest measured prime
-           count at the same degree, if any. *)
+           count at the same degree, if any. The choice must not depend on
+           [Hashtbl.iter] order: equidistant measurements tie-break to the
+           smaller prime count. *)
         let best = ref None in
+        let better l l0 =
+          let d = abs (l - num_primes) and d0 = abs (l0 - num_primes) in
+          d < d0 || (d = d0 && l < l0)
+        in
         Hashtbl.iter
           (fun (c, l, n') t ->
             if c = cls && n' = n then
               match !best with
-              | Some (l0, _) when abs (l0 - num_primes) <= abs (l - num_primes) -> ()
+              | Some (l0, _) when not (better l l0) -> ()
               | _ -> best := Some (l, t))
           table;
         let base = fallback.cost cls ~num_primes ~n in

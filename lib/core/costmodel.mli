@@ -28,7 +28,11 @@ val analytic : ?units_per_second:float -> unit -> t
 val of_table : (op_class * int * int, float) Hashtbl.t -> fallback:t -> t
 (** Model backed by measured samples keyed by [(class, num_primes, n)];
     missing entries fall back to [fallback] rescaled to agree with the
-    nearest measured prime count when one exists. *)
+    nearest measured prime count when one exists. The nearest-neighbour
+    choice is deterministic: when two measured prime counts are
+    equidistant from the query, the smaller one wins (never the hash-table
+    iteration order), so estimates are reproducible run-to-run for the
+    same table contents. *)
 
 val classes : op_class list
 val class_name : op_class -> string

@@ -10,6 +10,9 @@ type exploration_stats = {
   use_def_edges : int;
   epochs : int;
   plans_explored : int;
+  cache_hits : int;
+  trace : Explore.epoch_trace list;
+  elapsed_seconds : float;
 }
 
 type compiled = {
@@ -36,8 +39,8 @@ let finalize ?q0_bits ?(early_modswitch = true) ~cfg prog =
   (prog, params)
 
 let compile ?(model = Costmodel.analytic ()) ?(max_epochs = 100) ?(naive_exploration = false)
-    ?q0_bits ?early_modswitch ?(downscale_analysis = true) ?smu_phases ?noise_budget_bits scheme
-    ~sf_bits ~waterline_bits prog =
+    ?q0_bits ?early_modswitch ?(downscale_analysis = true) ?smu_phases ?noise_budget_bits
+    ?pool_size scheme ~sf_bits ~waterline_bits prog =
   let cfg = Typing.config ~sf:(float_of_int sf_bits) ~waterline:waterline_bits () in
   let prog = Passes.default_pipeline prog in
   let generator ~hook =
@@ -84,9 +87,11 @@ let compile ?(model = Costmodel.analytic ()) ?(max_epochs = 100) ?(naive_explora
   | Smse | Hecate ->
       let smu = Smu.generate ?phases:smu_phases prog in
       let edges = if naive_exploration then Smu.naive_edges prog else smu.Smu.edges in
+      let t0 = Unix.gettimeofday () in
       let result =
-        Explore.hill_climb ~codegen:run_finalized ~evaluate ~edges ~max_epochs ()
+        Explore.hill_climb ~codegen:run_finalized ~evaluate ~edges ~max_epochs ?pool_size ()
       in
+      let explore_seconds = Unix.gettimeofday () -. t0 in
       let best = result.Explore.best_prog in
       let types = Array.map (fun (o : Prog.op) -> o.Prog.ty) best.Prog.body in
       let params =
@@ -104,6 +109,9 @@ let compile ?(model = Costmodel.analytic ()) ?(max_epochs = 100) ?(naive_explora
               use_def_edges = smu.Smu.use_def_edges;
               epochs = result.Explore.epochs;
               plans_explored = result.Explore.plans_explored;
+              cache_hits = result.Explore.cache_hits;
+              trace = result.Explore.trace;
+              elapsed_seconds = explore_seconds;
             };
       }
 

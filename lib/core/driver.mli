@@ -13,7 +13,10 @@ type exploration_stats = {
   smu_edges : int;
   use_def_edges : int;
   epochs : int;
-  plans_explored : int;
+  plans_explored : int; (** candidate programs actually compiled+evaluated *)
+  cache_hits : int; (** candidates answered by the plan memo cache *)
+  trace : Explore.epoch_trace list; (** per-epoch records, in epoch order *)
+  elapsed_seconds : float; (** exploration wall-clock, including the base plan *)
 }
 
 type compiled = {
@@ -35,6 +38,7 @@ val compile :
   ?downscale_analysis:bool ->
   ?smu_phases:int ->
   ?noise_budget_bits:float ->
+  ?pool_size:int ->
   scheme ->
   sf_bits:int ->
   waterline_bits:float ->
@@ -51,6 +55,8 @@ val compile :
     [noise_budget_bits] enables ELASM-style noise-aware exploration: plans
     whose {!Noisemodel}-predicted output error exceeds [2^budget] are
     rejected during the climb (only meaningful for [Smse]/[Hecate]).
+    [pool_size] sets the exploration worker-domain count (see
+    {!Explore.hill_climb}); every pool size returns the same result.
     @raise Invalid_argument if the program cannot be scale-managed. *)
 
 val finalize :

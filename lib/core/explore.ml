@@ -1,4 +1,14 @@
+module Pool = Hecate_support.Pool
+
 type plan = int array
+
+type epoch_trace = {
+  epoch : int;
+  candidates : int;
+  cache_hits : int;
+  best_cost : float;
+  elapsed_seconds : float;
+}
 
 type result = {
   best_plan : plan;
@@ -6,6 +16,8 @@ type result = {
   best_cost : float;
   epochs : int;
   plans_explored : int;
+  cache_hits : int;
+  trace : epoch_trace list;
 }
 
 let hook_of_plan (edges : Smu.edge array) (plan : plan) =
@@ -17,15 +29,35 @@ let hook_of_plan (edges : Smu.edge array) (plan : plan) =
     edges;
   fun ~op_id ~operand -> Option.value ~default:0 (Hashtbl.find_opt table (op_id, operand))
 
-let hill_climb ~codegen ~evaluate ~(edges : Smu.edge array) ?(max_epochs = 100) () =
+(* The ±1 neighbourhood of [plan], in the deterministic tie-break order:
+   ascending edge index, the -1 move (where legal) before the +1 move. *)
+let moves_of (plan : plan) =
+  let acc = ref [] in
+  for i = Array.length plan - 1 downto 0 do
+    let shift delta =
+      let p = Array.copy plan in
+      p.(i) <- p.(i) + delta;
+      p
+    in
+    acc := shift 1 :: !acc;
+    if plan.(i) > 0 then acc := shift (-1) :: !acc
+  done;
+  !acc
+
+let hill_climb ~codegen ~evaluate ~(edges : Smu.edge array) ?(max_epochs = 100)
+    ?pool_size () =
   let num_edges = Array.length edges in
-  let explored = ref 0 in
-  (* Infeasible candidates (the type system rejects the forced plan) get an
-     infinite cost; the zero plan is always feasible. *)
+  (* Infeasible candidates — the type system rejects the forced plan during
+     codegen, or parameter selection / noise estimation rejects the result
+     during evaluation — get an infinite cost. Only the all-zero base plan
+     is required to succeed. [run] must stay safe to call from worker
+     domains: no mutation outside its own frame. *)
   let run plan =
-    incr explored;
-    match codegen ~hook:(hook_of_plan edges plan) with
-    | prog -> (Some prog, evaluate prog)
+    match
+      let prog = codegen ~hook:(hook_of_plan edges plan) in
+      (prog, evaluate prog)
+    with
+    | prog, cost -> (Some prog, cost)
     | exception Invalid_argument _ -> (None, infinity)
   in
   let base_plan = Array.make num_edges 0 in
@@ -34,35 +66,90 @@ let hill_climb ~codegen ~evaluate ~(edges : Smu.edge array) ?(max_epochs = 100) 
     | Some prog, cost -> (prog, cost)
     | None, _ -> invalid_arg "Explore.hill_climb: the unmodified plan failed to compile"
   in
-  let best_plan = ref base_plan and best_prog = ref base_prog and best_cost = ref base_cost in
-  let epochs = ref 0 in
-  let improved = ref true in
-  while !improved && !epochs < max_epochs do
-    improved := false;
-    let candidate_best = ref None in
-    for i = 0 to num_edges - 1 do
-      let plan = Array.copy !best_plan in
-      plan.(i) <- plan.(i) + 1;
-      match run plan with
-      | Some prog, cost when cost < !best_cost -> (
-          match !candidate_best with
-          | Some (_, _, c) when c <= cost -> ()
-          | _ -> candidate_best := Some (plan, prog, cost))
-      | _ -> ()
-    done;
-    match !candidate_best with
-    | Some (plan, prog, cost) ->
-        best_plan := plan;
-        best_prog := prog;
-        best_cost := cost;
-        improved := true;
-        incr epochs
-    | None -> ()
-  done;
+  (* Memoized candidate costs, keyed by plan contents. Only costs are kept:
+     a cached plan can never win an epoch (every previously evaluated plan
+     costs at least the incumbent best), so its program is never needed.
+     The cache is read and written by the coordinating domain only. *)
+  let memo : (plan, float) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.replace memo base_plan base_cost;
+  let explored = ref 1 and cache_hits = ref 0 in
+  let best_plan = ref base_plan
+  and best_prog = ref base_prog
+  and best_cost = ref base_cost in
+  let epochs = ref 0 and trace = ref [] in
+  Pool.with_pool ?size:pool_size (fun pool ->
+      let improved = ref true in
+      while !improved && !epochs < max_epochs do
+        let t0 = Unix.gettimeofday () in
+        let moves = moves_of !best_plan in
+        let epoch_hits = ref 0 in
+        (* Split cached from fresh before dispatch, so hit/miss accounting
+           and the winner rule are independent of the pool size. *)
+        let classified =
+          List.map
+            (fun plan ->
+              match Hashtbl.find_opt memo plan with
+              | Some cost ->
+                  incr epoch_hits;
+                  (plan, `Cached cost)
+              | None -> (plan, `Fresh))
+            moves
+        in
+        let fresh =
+          Array.of_list
+            (List.filter_map
+               (function plan, `Fresh -> Some plan | _, `Cached _ -> None)
+               classified)
+        in
+        let fresh_results = Pool.map_array pool ~f:run fresh in
+        explored := !explored + Array.length fresh;
+        cache_hits := !cache_hits + !epoch_hits;
+        Array.iteri
+          (fun i plan -> Hashtbl.replace memo plan (snd fresh_results.(i)))
+          fresh;
+        (* Deterministic winner: strictly improving, lowest cost; ties fall
+           to the earliest move in [moves] order (lowest edge index, -1
+           before +1). Cached candidates cannot improve, so only fresh
+           results — walked in move order — are considered. *)
+        let winner = ref None in
+        let next_fresh = ref 0 in
+        List.iter
+          (fun (_, cls) ->
+            match cls with
+            | `Cached _ -> ()
+            | `Fresh ->
+                let i = !next_fresh in
+                incr next_fresh;
+                (match fresh_results.(i) with
+                | Some prog, cost when cost < !best_cost -> (
+                    match !winner with
+                    | Some (_, _, c) when c <= cost -> ()
+                    | _ -> winner := Some (fresh.(i), prog, cost))
+                | _ -> ()))
+          classified;
+        (match !winner with
+        | Some (plan, prog, cost) ->
+            best_plan := plan;
+            best_prog := prog;
+            best_cost := cost;
+            incr epochs
+        | None -> improved := false);
+        trace :=
+          {
+            epoch = List.length !trace + 1;
+            candidates = List.length moves;
+            cache_hits = !epoch_hits;
+            best_cost = !best_cost;
+            elapsed_seconds = Unix.gettimeofday () -. t0;
+          }
+          :: !trace
+      done);
   {
     best_plan = !best_plan;
     best_prog = !best_prog;
     best_cost = !best_cost;
     epochs = !epochs;
     plans_explored = !explored;
+    cache_hits = !cache_hits;
+    trace = List.rev !trace;
   }

@@ -4,18 +4,46 @@
     A plan maps every edge of the SMU graph (or every use-def edge, for the
     naïve baseline of Table III) to a degree: the number of extra
     scale-management operations forced on the values crossing that edge.
-    Each epoch evaluates one neighbour per edge (the previous best plan with
-    that edge's degree incremented); the climb stops at a local optimum or
-    at [max_epochs]. *)
+    Each epoch evaluates the full ±1 neighbourhood of the incumbent plan
+    (the degree of each edge incremented, and decremented where positive);
+    the climb stops at a local optimum or at [max_epochs].
+
+    The engine is:
+
+    - {e exception-safe}: an [Invalid_argument] raised by either [codegen]
+      or [evaluate] marks that one candidate infeasible ([infinity] cost)
+      instead of aborting the search — except on the all-zero base plan,
+      which must compile and evaluate (a failure there is a hard error);
+    - {e parallel}: the neighbourhood of each epoch is evaluated
+      concurrently on a {!Hecate_support.Pool} of OCaml 5 domains (each
+      candidate is an independent codegen+evaluate closure);
+    - {e memoized}: candidate costs are cached by plan contents, so plans
+      revisited across epochs (e.g. the previous incumbent, reachable by a
+      −1 move) are never recompiled;
+    - {e deterministic}: the epoch winner is the strict-improvement
+      candidate with the lowest cost, ties broken by the lowest edge
+      index, then by the −1 move before the +1 move — so parallel and
+      serial runs return bit-identical [best_plan]/[best_cost];
+    - {e observable}: every epoch appends an {!epoch_trace} record. *)
 
 type plan = int array (** degree per edge *)
+
+type epoch_trace = {
+  epoch : int; (** 1-based epoch index *)
+  candidates : int; (** neighbour plans considered this epoch *)
+  cache_hits : int; (** of which were answered from the memo cache *)
+  best_cost : float; (** best cost after this epoch (seconds) *)
+  elapsed_seconds : float; (** wall-clock spent on this epoch *)
+}
 
 type result = {
   best_plan : plan;
   best_prog : Hecate_ir.Prog.t; (** finalized and typed *)
   best_cost : float; (** estimated seconds *)
   epochs : int; (** epochs that found an improvement *)
-  plans_explored : int; (** total candidate programs evaluated *)
+  plans_explored : int; (** candidate programs actually compiled+evaluated *)
+  cache_hits : int; (** candidates answered by the plan memo cache *)
+  trace : epoch_trace list; (** per-epoch records, in epoch order *)
 }
 
 val hook_of_plan : Smu.edge array -> plan -> Codegen.hook
@@ -27,8 +55,16 @@ val hill_climb :
   evaluate:(Hecate_ir.Prog.t -> float) ->
   edges:Smu.edge array ->
   ?max_epochs:int ->
+  ?pool_size:int ->
   unit ->
   result
 (** [codegen] runs one scale-management code generation under a plan hook
     and must return a finalized, typed program; [evaluate] scores it
-    (seconds, lower is better; [infinity] for infeasible candidates). *)
+    (seconds, lower is better; [infinity] for infeasible candidates).
+    Both must be safe to call concurrently from several domains: they may
+    not touch shared mutable state (the in-tree generators and estimator
+    qualify). [pool_size] sets the number of worker domains (default
+    {!Hecate_support.Pool.default_size}, clamped to ≥1); the result is
+    identical for every pool size.
+    @raise Invalid_argument if the all-zero base plan fails to compile or
+    evaluate. *)

@@ -1,0 +1,96 @@
+type t = {
+  mutable domains : unit Domain.t array;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  wakeup : Condition.t; (* signalled on push and on shutdown *)
+  mutable closed : bool;
+}
+
+let default_size () = max 1 (Domain.recommended_domain_count () - 1)
+let size t = Array.length t.domains
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.wakeup t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* closed and drained *)
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    (* Tasks are expected to capture their own exceptions ([map_array]
+       does); a stray one must not kill the worker. *)
+    (try task () with _ -> ());
+    worker t
+  end
+
+let create ?size () =
+  let n = match size with Some s -> max 1 s | None -> default_size () in
+  let t =
+    {
+      domains = [||];
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      wakeup = Condition.create ();
+      closed = false;
+    }
+  in
+  t.domains <- Array.init n (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let submit t task =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.wakeup;
+  Mutex.unlock t.mutex
+
+let map_array t ~f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let remaining = ref n in
+    let finished = Mutex.create () and all_done = Condition.create () in
+    Array.iteri
+      (fun i x ->
+        submit t (fun () ->
+            let r =
+              try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ())
+            in
+            Mutex.lock finished;
+            results.(i) <- Some r;
+            decr remaining;
+            if !remaining = 0 then Condition.signal all_done;
+            Mutex.unlock finished))
+      arr;
+    Mutex.lock finished;
+    while !remaining > 0 do
+      Condition.wait all_done finished
+    done;
+    Mutex.unlock finished;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      results
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.closed then Mutex.unlock t.mutex
+  else begin
+    t.closed <- true;
+    Condition.broadcast t.wakeup;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end
+
+let with_pool ?size f =
+  let t = create ?size () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

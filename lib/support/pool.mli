@@ -1,0 +1,42 @@
+(** Fixed-size worker pool on OCaml 5 domains.
+
+    A pool owns [size] worker domains that drain a shared task queue
+    (protected by a [Mutex.t]/[Condition.t] pair — no external
+    dependencies). It exists for the compiler's embarrassingly parallel
+    hot paths, first of all SMSE neighbourhood evaluation in
+    {!Hecate.Explore}: each task is an independent closure with no shared
+    mutable state, so work distribution is the only coordination needed.
+
+    Pools are cheap enough to create per search (domain spawn is tens of
+    microseconds) but must be {!shutdown} — or wrapped in {!with_pool} —
+    to join the worker domains. Tasks must not themselves block on the
+    same pool: a task that calls {!map_array} on its own pool can
+    deadlock once every worker is busy. *)
+
+type t
+
+val default_size : unit -> int
+(** [Domain.recommended_domain_count () - 1] (one slot is left for the
+    submitting domain), clamped to at least 1. *)
+
+val create : ?size:int -> unit -> t
+(** Spawn a pool of [size] workers (default {!default_size}; values below
+    1 are clamped to 1). *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val map_array : t -> f:('a -> 'b) -> 'a array -> 'b array
+(** [map_array t ~f arr] evaluates [f] over every element on the pool and
+    blocks until all results are in, preserving order. If any task
+    raises, one of the raised exceptions is re-raised (with its
+    backtrace) in the calling domain after every task has finished —
+    the pool itself stays usable. *)
+
+val shutdown : t -> unit
+(** Finish the queued tasks, then join every worker domain. Idempotent;
+    submitting to a shut-down pool raises [Invalid_argument]. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] over a fresh pool and shuts it down afterwards,
+    whether [f] returns or raises. *)

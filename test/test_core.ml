@@ -337,6 +337,23 @@ let test_table_model_overrides () =
   let shape4 = model.Costmodel.cost Costmodel.Cipher_mul ~num_primes:4 ~n:1024 in
   check (Alcotest.float 1e-6) "shape-scaled" (42. *. shape4 /. shape3) extrapolated
 
+let test_table_model_tie_deterministic () =
+  (* measurements at 2 and 6 primes are equidistant from a query at 4; the
+     smaller prime count must win regardless of table insertion order *)
+  let expected =
+    let shape2 = model.Costmodel.cost Costmodel.Cipher_mul ~num_primes:2 ~n:1024 in
+    let shape4 = model.Costmodel.cost Costmodel.Cipher_mul ~num_primes:4 ~n:1024 in
+    7. *. shape4 /. shape2
+  in
+  List.iter
+    (fun entries ->
+      let table = Hashtbl.create 4 in
+      List.iter (fun (l, t) -> Hashtbl.replace table (Costmodel.Cipher_mul, l, 1024) t) entries;
+      let m = Costmodel.of_table table ~fallback:model in
+      check (Alcotest.float 1e-9) "smaller prime count wins ties" expected
+        (m.Costmodel.cost Costmodel.Cipher_mul ~num_primes:4 ~n:1024))
+    [ [ (2, 7.); (6, 13.) ]; [ (6, 13.); (2, 7.) ] ]
+
 let test_estimate_additive () =
   (* the program estimate is exactly the sum of per-op charges *)
   let p = Codegen.pars cfg (fig2 ()) in
@@ -460,6 +477,124 @@ let test_hill_climb_improves () =
   check Alcotest.bool "explored the neighbourhood" true
     (r.Explore.plans_explored >= Array.length smu.Smu.edges)
 
+let test_hill_climb_evaluate_exception_skipped () =
+  (* an Invalid_argument from [evaluate] (e.g. Paramselect.num_primes_at on a
+     bad level) marks that one candidate infeasible instead of aborting the
+     whole search *)
+  let prog = fig2 () in
+  let smu = Smu.generate prog in
+  let codegen ~hook = fst (Driver.finalize ~cfg (Codegen.waterline cfg ~hook prog)) in
+  let calls = Atomic.make 0 in
+  let evaluate p =
+    if Atomic.fetch_and_add calls 1 = 0 then float_of_int (Prog.num_ops p)
+    else invalid_arg "Paramselect.num_primes_at: bad level"
+  in
+  let r = Explore.hill_climb ~codegen ~evaluate ~edges:smu.Smu.edges () in
+  check Alcotest.bool "search survived" true (r.Explore.best_cost < infinity);
+  check Alcotest.int "no candidate accepted" 0 r.Explore.epochs;
+  check (Alcotest.array Alcotest.int) "base plan kept"
+    (Array.make (Array.length smu.Smu.edges) 0)
+    r.Explore.best_plan
+
+let test_hill_climb_base_evaluate_fatal () =
+  (* the all-zero base plan must compile and evaluate: a crash there is
+     still a hard error, not a silent infinity *)
+  let prog = fig2 () in
+  let smu = Smu.generate prog in
+  let codegen ~hook = fst (Driver.finalize ~cfg (Codegen.waterline cfg ~hook prog)) in
+  let evaluate _ = invalid_arg "boom" in
+  match Explore.hill_climb ~codegen ~evaluate ~edges:smu.Smu.edges () with
+  | _ -> Alcotest.fail "expected Invalid_argument on a failing base plan"
+  | exception Invalid_argument _ -> ()
+
+(* A synthetic 3-edge search space whose optimum is only reachable by backing
+   off an overshoot: the climb must take 000 -> 100 -> 110 -> 111 -> 011,
+   where the last step is a -1 move on edge 0. The fake codegen encodes the
+   plan into the program's op count (k = d0 + 4*d1 + 16*d2 rotations). *)
+let backoff_edges =
+  Array.init 3 (fun i -> { Smu.src = i; Smu.dst = i + 1; Smu.sites = [ (i, 0) ] })
+
+let backoff_codegen ~hook =
+  let d i = hook ~op_id:i ~operand:0 in
+  let k = d 0 + (4 * d 1) + (16 * d 2) in
+  let b = B.create ~slot_count:8 () in
+  let x = B.input b "x" in
+  let rec chain v j = if j = 0 then v else chain (B.rotate b v 1) (j - 1) in
+  B.output b (chain x (k + 1));
+  B.finish b
+
+let backoff_evaluate p =
+  match Prog.num_ops p - 2 with
+  | 0 -> 10. (* 000 *)
+  | 1 -> 9. (* 100 *)
+  | 4 | 16 -> 9.5 (* 010, 001 *)
+  | 5 -> 8. (* 110 *)
+  | 21 -> 7. (* 111 *)
+  | 20 -> 6. (* 011: only reachable from 111 by decrementing edge 0 *)
+  | _ -> 100.
+
+let test_hill_climb_backoff () =
+  let r =
+    Explore.hill_climb ~codegen:backoff_codegen ~evaluate:backoff_evaluate
+      ~edges:backoff_edges ()
+  in
+  check (Alcotest.array Alcotest.int) "optimum needs a -1 move" [| 0; 1; 1 |]
+    r.Explore.best_plan;
+  check (Alcotest.float 0.) "cost of the backed-off plan" 6. r.Explore.best_cost;
+  check Alcotest.int "four improving epochs" 4 r.Explore.epochs;
+  check Alcotest.bool "revisited plans served from the cache" true (r.Explore.cache_hits > 0)
+
+let test_hill_climb_parallel_matches_serial () =
+  (* bit-identical best_plan/best_cost/plans_explored for every pool size *)
+  let apps =
+    [
+      ("fig2", fig2 (), 100);
+      ( "sobel8",
+        Hecate_ir.Passes.default_pipeline (Hecate_apps.Apps.sobel ~size:8 ()).Hecate_apps.Apps.prog,
+        4 );
+    ]
+  in
+  List.iter
+    (fun (name, prog, max_epochs) ->
+      let smu = Smu.generate prog in
+      let codegen ~hook = fst (Driver.finalize ~cfg (Codegen.waterline cfg ~hook prog)) in
+      let evaluate p =
+        let types = Typing.check_exn cfg p in
+        let params = Paramselect.select ~sf_bits:28 ~types ~slot_count:p.Prog.slot_count () in
+        Estimator.estimate ~model ~params ~n:8192 p
+      in
+      let explore pool_size =
+        Explore.hill_climb ~codegen ~evaluate ~edges:smu.Smu.edges ~max_epochs ~pool_size ()
+      in
+      let serial = explore 1 in
+      List.iter
+        (fun pool_size ->
+          let par = explore pool_size in
+          let lbl s = Printf.sprintf "%s pool=%d: %s" name pool_size s in
+          check (Alcotest.array Alcotest.int) (lbl "best_plan") serial.Explore.best_plan
+            par.Explore.best_plan;
+          check (Alcotest.float 0.) (lbl "best_cost") serial.Explore.best_cost
+            par.Explore.best_cost;
+          check Alcotest.int (lbl "plans_explored") serial.Explore.plans_explored
+            par.Explore.plans_explored;
+          check Alcotest.int (lbl "cache_hits") serial.Explore.cache_hits
+            par.Explore.cache_hits;
+          check Alcotest.int (lbl "epochs") serial.Explore.epochs par.Explore.epochs)
+        [ 2; 4 ])
+    apps
+
+let test_driver_pool_size_invariant () =
+  let prog = fig2 () in
+  let reference = Driver.compile ~pool_size:1 Driver.Hecate ~sf_bits:28 ~waterline_bits:20. prog in
+  let other = Driver.compile ~pool_size:3 Driver.Hecate ~sf_bits:28 ~waterline_bits:20. prog in
+  check (Alcotest.float 0.) "same estimate" reference.Driver.estimated_seconds
+    other.Driver.estimated_seconds;
+  let stats c = Option.get c.Driver.exploration in
+  check Alcotest.int "same plans" (stats reference).Driver.plans_explored
+    (stats other).Driver.plans_explored;
+  check Alcotest.bool "trace covers every epoch" true
+    (List.length (stats reference).Driver.trace > (stats reference).Driver.epochs - 1)
+
 let test_hill_climb_epoch_cap () =
   let prog = fig2 () in
   let smu = Smu.generate prog in
@@ -554,6 +689,7 @@ let () =
           Alcotest.test_case "fig2: pars cheaper" `Quick test_estimate_fig2_pars_cheaper;
           Alcotest.test_case "requires types" `Quick test_estimate_requires_types;
           Alcotest.test_case "table model" `Quick test_table_model_overrides;
+          Alcotest.test_case "table model tie-break" `Quick test_table_model_tie_deterministic;
           Alcotest.test_case "estimate additive" `Quick test_estimate_additive;
           Alcotest.test_case "free ops uncharged" `Quick test_estimate_free_ops_cost_nothing;
         ] );
@@ -563,11 +699,19 @@ let () =
         [
           Alcotest.test_case "hill climb improves" `Quick test_hill_climb_improves;
           Alcotest.test_case "epoch cap" `Quick test_hill_climb_epoch_cap;
+          Alcotest.test_case "evaluate crash skips candidate" `Quick
+            test_hill_climb_evaluate_exception_skipped;
+          Alcotest.test_case "base plan crash is fatal" `Quick
+            test_hill_climb_base_evaluate_fatal;
+          Alcotest.test_case "-1 move reaches the optimum" `Quick test_hill_climb_backoff;
+          Alcotest.test_case "parallel matches serial" `Quick
+            test_hill_climb_parallel_matches_serial;
         ] );
       ( "driver",
         [
           Alcotest.test_case "all schemes" `Quick test_driver_all_schemes;
           Alcotest.test_case "naive explores more" `Quick test_driver_naive_explores_more;
           Alcotest.test_case "output types valid" `Quick test_driver_output_types_valid;
+          Alcotest.test_case "pool size invariant" `Quick test_driver_pool_size_invariant;
         ] );
     ]
