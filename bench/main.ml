@@ -12,6 +12,8 @@
                                             early modswitch, SMU phases)
      dune exec bench/main.exe explore    -- SMSE exploration engine: per-epoch
                                             trace, memo-cache hits, throughput
+     dune exec bench/main.exe passes     -- per-pass timing breakdown from the
+                                            instrumented pass manager
 
    Latencies are measured on the in-repo RNS-CKKS substrate at reduced ring
    degrees (see DESIGN.md); estimated latencies are also reported at the
@@ -23,7 +25,7 @@ module Smu = Hecate.Smu
 module Costmodel = Hecate.Costmodel
 module Paramselect = Hecate.Paramselect
 module Prog = Hecate_ir.Prog
-module Passes = Hecate_ir.Passes
+module Pass_manager = Hecate_ir.Pass_manager
 module Harness = Hecate_backend.Harness
 module Interp = Hecate_backend.Interp
 module Accuracy = Hecate_backend.Accuracy
@@ -185,7 +187,7 @@ let table3 () =
   Printf.printf "%s\n" (String.make 96 '-');
   List.iter
     (fun ((pb : Apps.t), naive_tractable) ->
-      let prog = Passes.default_pipeline pb.Apps.prog in
+      let prog = Pass_manager.default_pipeline pb.Apps.prog in
       let smu = Smu.generate prog in
       let max_epochs = if pb.Apps.name = "LeNet" then 20 else 100 in
       let hec =
@@ -377,6 +379,40 @@ let explore () =
     benches
 
 (* ------------------------------------------------------------------ *)
+(* Per-pass timing breakdown via the instrumented pass manager         *)
+(* ------------------------------------------------------------------ *)
+
+let passes () =
+  heading "Per-pass timing breakdown (instrumented pass manager, waterline 20)";
+  Printf.printf
+    "Wall time and net op-count delta per registered pass, accumulated over\n\
+     the whole compile — for exploring schemes this includes every candidate\n\
+     plan the hill climber finalized, so the table attributes exploration\n\
+     cost to individual transforms.\n";
+  let benches =
+    [
+      Apps.sobel ~size:16 ();
+      Apps.harris ~size:16 ();
+      Apps.linear_regression ~epochs:2 ~samples:2048 ();
+    ]
+  in
+  List.iter
+    (fun (b : Apps.t) ->
+      List.iter
+        (fun scheme ->
+          let c = Driver.compile scheme ~sf_bits ~waterline_bits:20. b.Apps.prog in
+          let total =
+            List.fold_left
+              (fun acc (t : Pass_manager.timing) -> acc +. t.Pass_manager.seconds)
+              0. c.Driver.pass_timings
+          in
+          Printf.printf "\n%s / %s — %.3f s total in passes:\n" b.Apps.name
+            (Driver.scheme_name scheme) total;
+          Format.printf "%a@?" Pass_manager.pp_timings c.Driver.pass_timings)
+        [ Driver.Eva; Driver.Hecate ])
+    benches
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the CKKS operations                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -452,6 +488,7 @@ let () =
     | "ops" -> ops ()
     | "ablate" -> ablate ()
     | "explore" -> explore ()
+    | "passes" -> passes ()
     | "all" ->
         fig7 ();
         table2 ();
@@ -459,11 +496,13 @@ let () =
         fig8 ();
         fig7_paper ();
         explore ();
+        passes ();
         ablate ();
         ops ()
     | other ->
         Printf.eprintf
-          "unknown subcommand %s (fig7|fig7paper|table2|table3|fig8|explore|ops|ablate|all)\n"
+          "unknown subcommand %s \
+           (fig7|fig7paper|table2|table3|fig8|explore|passes|ops|ablate|all)\n"
           other;
         exit 2
   in

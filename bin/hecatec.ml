@@ -14,6 +14,7 @@ module Prog = Hecate_ir.Prog
 module Parser = Hecate_ir.Parser
 module Printer = Hecate_ir.Printer
 module Liveness = Hecate_ir.Liveness
+module Pass_manager = Hecate_ir.Pass_manager
 module Driver = Hecate.Driver
 module Smu = Hecate.Smu
 module Paramselect = Hecate.Paramselect
@@ -56,6 +57,62 @@ let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ]
          ~doc:"Print the per-epoch exploration trace (candidates, memo-cache hits, \
                best cost, wall-clock).")
+
+let passes_conv =
+  let parse s =
+    match Pass_manager.parse s with Ok p -> Ok p | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Pass_manager.to_string p))
+
+let passes_arg =
+  Arg.(value & opt (some passes_conv) None & info [ "passes" ] ~docv:"SPEC"
+         ~doc:"Replace the cleanup pipeline run before scale management. SPEC is a \
+               comma-separated pass list with $(b,fixpoint(...)) nesting, e.g. \
+               'cse,constant-fold,fixpoint(fold-rotations,dce)'.")
+
+let timing_arg =
+  Arg.(value & flag & info [ "timing" ]
+         ~doc:"Print a per-pass timing table (name, runs, wall seconds, op-count delta) \
+               accumulated over the whole compile, including exploration.")
+
+let ir_after_conv =
+  let parse s =
+    if String.lowercase_ascii s = "all" then Ok Pass_manager.Dump_all
+    else
+      match Pass_manager.find s with
+      | Some _ -> Ok (Pass_manager.Dump_passes [ s ])
+      | None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown pass %S (expected \"all\" or one of: %s)" s
+                 (String.concat ", "
+                    (List.map
+                       (fun (p : Pass_manager.pass) -> p.Pass_manager.name)
+                       (Pass_manager.registered ())))))
+  in
+  let print fmt = function
+    | Pass_manager.Dump_all -> Format.pp_print_string fmt "all"
+    | Pass_manager.Dump_passes names -> Format.pp_print_string fmt (String.concat "," names)
+    | Pass_manager.No_dump -> Format.pp_print_string fmt "none"
+  in
+  Arg.conv (parse, print)
+
+let ir_after_arg =
+  Arg.(value & opt (some ir_after_conv) None & info [ "print-ir-after" ] ~docv:"PASS"
+         ~doc:"Dump the IR after each execution of PASS (or of every pass, with \
+               $(b,all)). Exploring schemes finalize many candidate plans; combine \
+               with -s eva/pars for a single-trajectory dump.")
+
+let instr_of ir_after =
+  match ir_after with
+  | None -> Pass_manager.instrumentation ()
+  | Some dump_after -> Pass_manager.instrumentation ~dump_after ()
+
+let report_timing show (c : Driver.compiled) =
+  if show then begin
+    print_string "; per-pass timing:\n";
+    Format.printf "%a@?" Pass_manager.pp_timings c.Driver.pass_timings
+  end
 
 let bench_conv =
   let parse s =
@@ -101,10 +158,14 @@ let report_compiled ?(dump = true) ?(verbose = false) (c : Driver.compiled) =
       end
 
 let compile_cmd =
-  let run file scheme waterline sf show_schedule jobs verbose =
+  let run file scheme waterline sf show_schedule jobs verbose passes timing ir_after =
     let prog = Parser.parse_file file in
-    let c = Driver.compile ?pool_size:jobs scheme ~sf_bits:sf ~waterline_bits:waterline prog in
+    let c =
+      Driver.compile ?pool_size:jobs ?passes ~instr:(instr_of ir_after) scheme ~sf_bits:sf
+        ~waterline_bits:waterline prog
+    in
     report_compiled ~verbose c;
+    report_timing timing c;
     if show_schedule then begin
       print_endline "; lowered schedule (SEAL dialect):";
       Format.printf "%a@?" Hecate_backend.Schedule.pp
@@ -118,7 +179,7 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Scale-manage a .hec program and print the result.")
     Term.(const run $ file_arg $ scheme_arg $ waterline_arg $ sf_arg $ schedule_arg
-          $ jobs_arg $ verbose_arg)
+          $ jobs_arg $ verbose_arg $ passes_arg $ timing_arg $ ir_after_arg)
 
 let run_cmd =
   let run file scheme waterline sf seed jobs verbose =
@@ -166,12 +227,16 @@ let run_cmd =
           $ verbose_arg)
 
 let bench_cmd =
-  let run bench scheme waterline sf dump jobs verbose =
+  let run bench scheme waterline sf dump jobs verbose passes timing ir_after =
     let (b : Apps.t) = bench in
     Printf.printf "; benchmark %s (%d ops before scale management)\n" b.Apps.name
       (Prog.num_ops b.Apps.prog);
-    let c = Driver.compile ?pool_size:jobs scheme ~sf_bits:sf ~waterline_bits:waterline b.Apps.prog in
-    report_compiled ~dump ~verbose c
+    let c =
+      Driver.compile ?pool_size:jobs ?passes ~instr:(instr_of ir_after) scheme ~sf_bits:sf
+        ~waterline_bits:waterline b.Apps.prog
+    in
+    report_compiled ~dump ~verbose c;
+    report_timing timing c
   in
   let bench_arg =
     Arg.(required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH"
@@ -183,7 +248,7 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Compile a built-in benchmark and report statistics.")
     Term.(const run $ bench_arg $ scheme_arg $ waterline_arg $ sf_arg $ dump_arg $ jobs_arg
-          $ verbose_arg)
+          $ verbose_arg $ passes_arg $ timing_arg $ ir_after_arg)
 
 let dump_cmd =
   let run bench out =

@@ -1,6 +1,7 @@
 module Prog = Hecate_ir.Prog
 module Typing = Hecate_ir.Typing
 module Passes = Hecate_ir.Passes
+module Pass_manager = Hecate_ir.Pass_manager
 
 type scheme = Eva | Pars | Smse | Hecate
 
@@ -20,16 +21,15 @@ type compiled = {
   params : Paramselect.t;
   estimated_seconds : float;
   exploration : exploration_stats option;
+  pass_timings : Pass_manager.timing list;
 }
 
 let scheme_name = function Eva -> "EVA" | Pars -> "PARS" | Smse -> "SMSE" | Hecate -> "HECATE"
 let all_schemes = [ Eva; Pars; Smse; Hecate ]
 
-let finalize ?q0_bits ?(early_modswitch = true) ~cfg prog =
-  let prog = Passes.cse prog in
-  let prog = if early_modswitch then Passes.early_modswitch prog else prog in
-  let prog = Passes.cse prog in
-  let prog = Passes.dce prog in
+let finalize ?q0_bits ?(early_modswitch = true)
+    ?(instr = Pass_manager.instrumentation ()) ?stats ~cfg prog =
+  let prog = Pass_manager.run ~instr ?stats (Pass_manager.finalize ~early_modswitch) prog in
   let types = Typing.check_exn cfg prog in
   let params =
     Paramselect.select ?q0_bits
@@ -40,9 +40,11 @@ let finalize ?q0_bits ?(early_modswitch = true) ~cfg prog =
 
 let compile ?(model = Costmodel.analytic ()) ?(max_epochs = 100) ?(naive_exploration = false)
     ?q0_bits ?early_modswitch ?(downscale_analysis = true) ?smu_phases ?noise_budget_bits
-    ?pool_size scheme ~sf_bits ~waterline_bits prog =
+    ?pool_size ?(passes = Pass_manager.cleanup) ?(instr = Pass_manager.instrumentation ())
+    scheme ~sf_bits ~waterline_bits prog =
   let cfg = Typing.config ~sf:(float_of_int sf_bits) ~waterline:waterline_bits () in
-  let prog = Passes.default_pipeline prog in
+  let stats = Pass_manager.create_stats () in
+  let prog = Pass_manager.run ~instr ~stats passes prog in
   let generator ~hook =
     match scheme with
     | Eva | Smse -> Codegen.waterline cfg ~hook prog
@@ -50,7 +52,7 @@ let compile ?(model = Costmodel.analytic ()) ?(max_epochs = 100) ?(naive_explora
   in
   let run_finalized ~hook =
     let managed = generator ~hook in
-    fst (finalize ?q0_bits ?early_modswitch ~cfg managed)
+    fst (finalize ?q0_bits ?early_modswitch ~instr ~stats ~cfg managed)
   in
   let evaluate p =
     (* types are already on the ops after finalize's check *)
@@ -83,6 +85,7 @@ let compile ?(model = Costmodel.analytic ()) ?(max_epochs = 100) ?(naive_explora
         estimated_seconds =
           Estimator.estimate ~model ~params ~n:params.Paramselect.secure_n managed;
         exploration = None;
+        pass_timings = Pass_manager.timings stats;
       }
   | Smse | Hecate ->
       let smu = Smu.generate ?phases:smu_phases prog in
@@ -113,6 +116,7 @@ let compile ?(model = Costmodel.analytic ()) ?(max_epochs = 100) ?(naive_explora
               trace = result.Explore.trace;
               elapsed_seconds = explore_seconds;
             };
+        pass_timings = Pass_manager.timings stats;
       }
 
 let estimate_at ?(model = Costmodel.analytic ()) compiled ~n =

@@ -24,6 +24,9 @@ type compiled = {
   params : Paramselect.t;
   estimated_seconds : float; (** at the security-mandated ring degree *)
   exploration : exploration_stats option; (** for [Smse] and [Hecate] *)
+  pass_timings : Hecate_ir.Pass_manager.timing list;
+      (** per-pass wall time and op delta over the whole compile, including
+          every finalization the explorer ran on candidate plans *)
 }
 
 val scheme_name : scheme -> string
@@ -39,14 +42,21 @@ val compile :
   ?smu_phases:int ->
   ?noise_budget_bits:float ->
   ?pool_size:int ->
+  ?passes:Hecate_ir.Pass_manager.pipeline ->
+  ?instr:Hecate_ir.Pass_manager.instrumentation ->
   scheme ->
   sf_bits:int ->
   waterline_bits:float ->
   Hecate_ir.Prog.t ->
   compiled
 (** [compile scheme ~sf_bits ~waterline_bits prog] cleans the input
-    (CSE, constant folding, DCE), applies the scheme, then finalizes:
-    early-modswitch hoisting, CSE, DCE, type check, parameter selection.
+    ({!Hecate_ir.Pass_manager.cleanup}: CSE, constant folding, rotation
+    folding and DCE to fixpoint), applies the scheme, then finalizes
+    ({!Hecate_ir.Pass_manager.finalize} run to fixpoint: early-modswitch
+    hoisting, CSE, constant folding, DCE), type checks and selects
+    parameters. [passes] substitutes a different cleanup pipeline; [instr]
+    controls inter-pass verification and IR dumps (default: structural
+    {!Hecate_ir.Prog.validate} after every pass, no dumps).
     [naive_exploration] replaces SMU edges with raw use-def edges (the
     Table III baseline). The remaining optional flags are ablations:
     [early_modswitch] (default true) toggles EVA's hoisting pass,
@@ -62,10 +72,14 @@ val compile :
 val finalize :
   ?q0_bits:int ->
   ?early_modswitch:bool ->
+  ?instr:Hecate_ir.Pass_manager.instrumentation ->
+  ?stats:Hecate_ir.Pass_manager.stats ->
   cfg:Hecate_ir.Typing.config ->
   Hecate_ir.Prog.t ->
   Hecate_ir.Prog.t * Paramselect.t
-(** The shared post-codegen pipeline, exposed for the explorer and tests. *)
+(** The shared post-codegen pipeline, exposed for the explorer and tests.
+    Runs {!Hecate_ir.Pass_manager.finalize} under [instr] (default:
+    structural verification only), charging pass timings to [stats]. *)
 
 val estimate_at : ?model:Costmodel.t -> compiled -> n:int -> float
 (** Re-estimate a compiled program's latency at an explicit ring degree

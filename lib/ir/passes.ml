@@ -249,5 +249,3 @@ let early_modswitch (p : Prog.t) =
     | Ok () -> out
     | Error msg -> invalid_arg ("Passes.early_modswitch: " ^ msg)
   end
-
-let default_pipeline p = dce (fold_rotations (constant_fold (cse p)))

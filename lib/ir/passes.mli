@@ -2,7 +2,16 @@
 
     All passes preserve program semantics and return a fresh program (the
     input is never mutated structurally). Types are not recomputed; run
-    {!Typing.check} afterwards if needed. *)
+    {!Typing.check} afterwards if needed.
+
+    These are the raw rewrite functions. They are registered with
+    {!Pass_manager} under kebab-case names ([cse], [dce], [constant-fold],
+    [fold-rotations], [early-modswitch]); compose them through pipelines
+    there — e.g. the standard cleanup pipeline
+    ["cse,constant-fold,fixpoint(fold-rotations,dce)"] is
+    {!Pass_manager.cleanup} (formerly [default_pipeline] here, whose doc
+    had drifted: it claimed "cse, constant_fold, dce" but also ran
+    [fold_rotations]). *)
 
 val dce : Prog.t -> Prog.t
 (** Remove operations whose value never reaches an output. Input ops are
@@ -28,6 +37,3 @@ val early_modswitch : Prog.t -> Prog.t
     (or its attribute, for [encode]), so the operation itself executes at
     the higher — cheaper — level. Applied transitively in one backward
     pass. *)
-
-val default_pipeline : Prog.t -> Prog.t
-(** [cse], [constant_fold], [dce] in that order. *)

@@ -77,10 +77,33 @@ let validate p =
       else if p.outputs = [] then Error "program has no outputs"
       else if
         List.exists
-          (fun v -> v >= n || (match p.body.(v).kind with Input _ -> false | _ -> true))
+          (fun v -> v < 0 || v >= n || (match p.body.(v).kind with Input _ -> false | _ -> true))
           p.inputs
       then Error "input list does not point at input ops"
-      else Ok ()
+      else if List.length (List.sort_uniq compare p.inputs) <> List.length p.inputs then
+        Error "input list contains duplicates"
+      else begin
+        let declared = Array.make n false in
+        List.iter (fun v -> declared.(v) <- true) p.inputs;
+        let missing = ref None in
+        Array.iteri
+          (fun i o ->
+            match o.kind with
+            | Input _ when not declared.(i) && !missing = None -> missing := Some i
+            | _ -> ())
+          p.body;
+        match !missing with
+        | Some i -> err "input op %d is not in the input list" i
+        | None -> Ok ()
+      end
+
+let equal_op (a : op) (b : op) = a.id = b.id && a.kind = b.kind && a.args = b.args
+
+let equal a b =
+  a.name = b.name && a.slot_count = b.slot_count
+  && Array.length a.body = Array.length b.body
+  && Array.for_all2 equal_op a.body b.body
+  && a.inputs = b.inputs && a.outputs = b.outputs
 
 let use_counts p =
   let counts = Array.make (Array.length p.body) 0 in

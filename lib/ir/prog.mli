@@ -43,8 +43,15 @@ val op : t -> value -> op
 val num_ops : t -> int
 val iter : (op -> unit) -> t -> unit
 val validate : t -> (unit, string) result
-(** Structural well-formedness: ids match indices, operands precede uses,
-    arities are correct, inputs/outputs are in range. *)
+(** Structural well-formedness: ids are dense and match indices, operands
+    precede uses (topological order), arities are correct, inputs/outputs
+    are in range, and the input list names every [input] op exactly once. *)
+
+val equal : t -> t -> bool
+(** Structural equality: same name, slot count, operations (id, kind,
+    operands), inputs and outputs. Types ([ty]) are ignored — they are
+    mutable annotations recomputed by {!Typing.check}. Used by the pass
+    manager's fixpoint combinator to detect convergence. *)
 
 val use_counts : t -> int array
 (** Number of uses of each value (outputs count as one use each). *)

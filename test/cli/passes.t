@@ -1,0 +1,72 @@
+Pass-manager CLI: pipeline specs, per-pass timing, IR dumps.
+
+The cleanup pipeline can be replaced by a textual spec (here: skip CSE and
+rotation folding entirely; the program still compiles):
+
+  $ ../../bin/hecatec.exe compile fig2.hec -s eva --passes 'dce' | head -1
+  func fig2(%0: cipher "x", %1: cipher "y") slots=64 {
+
+Unknown pass names are rejected naming the registry contents:
+
+  $ ../../bin/hecatec.exe compile fig2.hec --passes 'cse,frobnicate'
+  hecatec: option '--passes': invalid pipeline spec "cse,frobnicate": unknown
+           pass "frobnicate" (known passes: constant-fold, cse, dce,
+           early-modswitch, fold-rotations)
+  Usage: hecatec compile [OPTION]… FILE
+  Try 'hecatec compile --help' or 'hecatec --help' for more information.
+  [124]
+
+Malformed specs are rejected too:
+
+  $ ../../bin/hecatec.exe compile fig2.hec --passes 'fixpoint(cse'
+  hecatec: option '--passes': invalid pipeline spec "fixpoint(cse": unclosed
+           fixpoint(...)
+  Usage: hecatec compile [OPTION]… FILE
+  Try 'hecatec compile --help' or 'hecatec --help' for more information.
+  [124]
+
+--timing prints the per-pass table (name, runs, wall seconds, op delta);
+wall times are nondeterministic, so normalize them and sort the rows:
+
+  $ ../../bin/hecatec.exe compile fig2.hec -s eva --timing \
+  >   | grep '^;   ' | sed -E 's/[0-9]+\.[0-9]+s/<time>/' | sort
+  ;   constant-fold          2   <time>      +0
+  ;   cse                    3   <time>      +0
+  ;   dce                    2   <time>      +0
+  ;   early-modswitch        1   <time>      +0
+  ;   fold-rotations         1   <time>      +0
+  ;   pass                runs     seconds     ops
+
+--print-ir-after all dumps the IR after every pass execution, in order —
+four cleanup passes, then one converged finalization sweep:
+
+  $ ../../bin/hecatec.exe compile fig2.hec -s eva --print-ir-after all | grep '; IR after'
+  ; IR after cse (7 ops)
+  ; IR after constant-fold (7 ops)
+  ; IR after fold-rotations (7 ops)
+  ; IR after dce (7 ops)
+  ; IR after cse (12 ops)
+  ; IR after early-modswitch (12 ops)
+  ; IR after cse (12 ops)
+  ; IR after constant-fold (12 ops)
+  ; IR after dce (12 ops)
+
+--print-ir-after with a single pass name dumps only that pass, and the dump
+carries the actual IR text:
+
+  $ ../../bin/hecatec.exe compile fig2.hec -s eva --print-ir-after early-modswitch \
+  >   | sed -n '/; IR after/,/^}/p' | head -5
+  ; IR after early-modswitch (12 ops)
+  func fig2(%0: cipher "x", %1: cipher "y") slots=64 {
+    %2 = mul %0, %0 : cipher<40,0>
+    %3 = mul %1, %1 : cipher<40,0>
+    %4 = add %2, %3 : cipher<40,0>
+
+Unknown dump targets are rejected:
+
+  $ ../../bin/hecatec.exe compile fig2.hec --print-ir-after frobnicate
+  hecatec: option '--print-ir-after': unknown pass "frobnicate" (expected "all"
+           or one of: constant-fold, cse, dce, early-modswitch, fold-rotations)
+  Usage: hecatec compile [OPTION]… FILE
+  Try 'hecatec compile --help' or 'hecatec --help' for more information.
+  [124]

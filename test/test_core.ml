@@ -550,7 +550,8 @@ let test_hill_climb_parallel_matches_serial () =
     [
       ("fig2", fig2 (), 100);
       ( "sobel8",
-        Hecate_ir.Passes.default_pipeline (Hecate_apps.Apps.sobel ~size:8 ()).Hecate_apps.Apps.prog,
+        Hecate_ir.Pass_manager.default_pipeline
+          (Hecate_apps.Apps.sobel ~size:8 ()).Hecate_apps.Apps.prog,
         4 );
     ]
   in
@@ -649,6 +650,82 @@ let test_driver_output_types_valid () =
         tys)
     Driver.all_schemes
 
+(* ------------------------------------------------------------------ *)
+(* Pass-managed driver: behavior preservation and instrumentation      *)
+(* ------------------------------------------------------------------ *)
+
+module Pass_manager = Hecate_ir.Pass_manager
+module Printer = Hecate_ir.Printer
+module Parser = Hecate_ir.Parser
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_compile_matches_golden () =
+  (* test/golden/*.ir is the printed output of the pre-pass-manager driver
+     (hardcoded pass order, no fixpoint, no constant folding in finalize):
+     the rewiring through Pass_manager must reproduce it byte for byte for
+     every scheme *)
+  let progs =
+    [
+      ("fig2", Parser.parse_file "../examples/fig2.hec");
+      ("dot_product", Parser.parse_file "../examples/dot_product.hec");
+      ("sobel", (Hecate_apps.Apps.sobel ()).Hecate_apps.Apps.prog);
+    ]
+  in
+  List.iter
+    (fun (name, prog) ->
+      List.iter
+        (fun scheme ->
+          let c = Driver.compile scheme ~sf_bits:28 ~waterline_bits:20. prog in
+          let file =
+            Printf.sprintf "golden/%s_%s.ir" name
+              (String.lowercase_ascii (Driver.scheme_name scheme))
+          in
+          check Alcotest.string file (read_file file) (Printer.to_string c.Driver.prog))
+        Driver.all_schemes)
+    progs
+
+let test_compile_reports_pass_timings () =
+  let c = Driver.compile Driver.Hecate ~sf_bits:28 ~waterline_bits:20. (fig2 ()) in
+  let find name =
+    List.find_opt (fun (t : Pass_manager.timing) -> t.Pass_manager.pass = name)
+      c.Driver.pass_timings
+  in
+  List.iter
+    (fun name ->
+      match find name with
+      | Some t ->
+          check Alcotest.bool (name ^ " ran") true (t.Pass_manager.runs > 0);
+          check Alcotest.bool (name ^ " non-negative time") true (t.Pass_manager.seconds >= 0.)
+      | None -> Alcotest.failf "pass %s missing from the timing table" name)
+    [ "cse"; "dce"; "constant-fold"; "fold-rotations"; "early-modswitch" ];
+  (* the explorer finalizes every candidate plan through the same stats:
+     cse must have been charged far more often than the one cleanup run *)
+  let cse = Option.get (find "cse") in
+  check Alcotest.bool "cse charged across candidate plans" true (cse.Pass_manager.runs > 3)
+
+let test_compile_custom_cleanup () =
+  let passes = Pass_manager.parse_exn "dce" in
+  let c = Driver.compile ~passes Driver.Eva ~sf_bits:28 ~waterline_bits:20. (fig2 ()) in
+  check Alcotest.bool "compiles and validates" true (Result.is_ok (Prog.validate c.Driver.prog));
+  let timed = List.map (fun (t : Pass_manager.timing) -> t.Pass_manager.pass) c.Driver.pass_timings in
+  check Alcotest.bool "no fold-rotations charged" true (not (List.mem "fold-rotations" timed))
+
+let test_compile_dump_instrumentation () =
+  let dumped = ref [] in
+  let instr =
+    Pass_manager.instrumentation ~dump_after:Pass_manager.Dump_all
+      ~dump:(fun ~pass p -> dumped := (pass, Prog.num_ops p) :: !dumped)
+      ()
+  in
+  ignore (Driver.compile ~instr Driver.Eva ~sf_bits:28 ~waterline_bits:20. (fig2 ()));
+  check Alcotest.bool "every pass execution dumped" true (List.length !dumped >= 5);
+  check Alcotest.bool "cse dumped" true (List.mem_assoc "cse" !dumped)
+
 let () =
   Alcotest.run "hecate_core"
     [
@@ -713,5 +790,13 @@ let () =
           Alcotest.test_case "naive explores more" `Quick test_driver_naive_explores_more;
           Alcotest.test_case "output types valid" `Quick test_driver_output_types_valid;
           Alcotest.test_case "pool size invariant" `Quick test_driver_pool_size_invariant;
+        ] );
+      ( "pass-manager",
+        [
+          Alcotest.test_case "behavior preserved vs pre-refactor goldens" `Quick
+            test_compile_matches_golden;
+          Alcotest.test_case "per-pass timings reported" `Quick test_compile_reports_pass_timings;
+          Alcotest.test_case "custom cleanup pipeline" `Quick test_compile_custom_cleanup;
+          Alcotest.test_case "dump instrumentation" `Quick test_compile_dump_instrumentation;
         ] );
     ]

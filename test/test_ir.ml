@@ -7,6 +7,7 @@ module Typing = Hecate_ir.Typing
 module Printer = Hecate_ir.Printer
 module Parser = Hecate_ir.Parser
 module Passes = Hecate_ir.Passes
+module Pass_manager = Hecate_ir.Pass_manager
 module Liveness = Hecate_ir.Liveness
 module B = Prog.Builder
 
@@ -176,6 +177,28 @@ let test_validate_rejects () =
   in
   check Alcotest.bool "self-reference rejected" true (Result.is_error (Prog.validate bad))
 
+let test_validate_input_list () =
+  let p = small_prog () in
+  let dup = { p with Prog.inputs = [ 0; 0 ] } in
+  check Alcotest.bool "duplicate input entry rejected" true (Result.is_error (Prog.validate dup));
+  let missing = { p with Prog.inputs = [ 0 ] } in
+  (match Prog.validate missing with
+  | Error msg ->
+      check Alcotest.bool "undeclared input op named" true
+        (Astring.String.is_infix ~affix:"input op 1" msg)
+  | Ok () -> Alcotest.fail "input op missing from the input list must be rejected");
+  let not_input = { p with Prog.inputs = [ 0; 3 ] } in
+  check Alcotest.bool "non-input op in input list rejected" true
+    (Result.is_error (Prog.validate not_input))
+
+let test_prog_equal () =
+  let p = small_prog () and q = small_prog () in
+  check Alcotest.bool "structurally equal" true (Prog.equal p q);
+  (Prog.op q 3).Prog.ty <- Types.Cipher { Types.scale = 20.; level = 0 };
+  check Alcotest.bool "types ignored" true (Prog.equal p q);
+  let r = { q with Prog.outputs = [ 3 ] } in
+  check Alcotest.bool "different outputs detected" false (Prog.equal p r)
+
 let test_builder_rejects_no_output () =
   let b = B.create ~slot_count:4 () in
   ignore (B.input b "x");
@@ -278,7 +301,8 @@ let test_cse () =
   B.output b (B.add b m1 m2);
   let p = B.finish b in
   let p' = Passes.cse p in
-  check Alcotest.int "duplicate mul merged" 3 (Prog.num_ops p')
+  check Alcotest.int "duplicate mul merged" 3 (Prog.num_ops p');
+  check Alcotest.bool "still valid" true (Result.is_ok (Prog.validate p'))
 
 let test_cse_keeps_distinct_inputs () =
   let b = B.create ~slot_count:4 () in
@@ -296,6 +320,7 @@ let test_constant_fold () =
   let p = Passes.constant_fold (B.finish b) in
   (* input, folded const, mul *)
   check Alcotest.int "const mul folded" 3 (Prog.num_ops p);
+  check Alcotest.bool "still valid" true (Result.is_ok (Prog.validate p));
   match (Prog.op p 1).Prog.kind with
   | Prog.Const { value = Prog.Scalar v } -> check (Alcotest.float 0.) "value" 12. v
   | _ -> Alcotest.fail "expected folded scalar"
@@ -326,6 +351,7 @@ func f(%0: cipher "x", %1: cipher "y") slots=4 {
   in
   ignore (Typing.check_exn cfg p);
   let p' = Passes.early_modswitch p in
+  check Alcotest.bool "still valid" true (Result.is_ok (Prog.validate p'));
   ignore (Typing.check_exn cfg p');
   (* the first op consuming inputs must now be a modswitch *)
   let kinds = Array.map (fun (o : Prog.op) -> Prog.kind_name o.Prog.kind) p'.Prog.body in
@@ -360,6 +386,7 @@ let test_fold_rotations_chain () =
   B.output b (B.rotate b (B.rotate b (B.rotate b x 3) 5) 2);
   let p = Passes.fold_rotations (B.finish b) in
   check Alcotest.int "single op besides input/output" 2 (Prog.num_ops p);
+  check Alcotest.bool "still valid" true (Result.is_ok (Prog.validate p));
   match (Prog.op p 1).Prog.kind with
   | Prog.Rotate { amount } -> check Alcotest.int "combined amount" 10 amount
   | _ -> Alcotest.fail "expected rotation"
@@ -399,6 +426,182 @@ let test_fold_rotations_semantics () =
   (* after folding, both sides become rotate-by-5 and CSE can merge them *)
   let p2 = Passes.cse p1 in
   check Alcotest.int "cse merges equal rotations" 3 (Prog.num_ops p2)
+
+(* ------------------------------------------------------------------ *)
+(* Pass manager: registry, pipeline specs, fixpoint, instrumentation   *)
+(* ------------------------------------------------------------------ *)
+
+(* test-only passes, registered once at module load *)
+let () =
+  (* structurally broken: points an output past the last op *)
+  Pass_manager.register "test-broken" (fun p ->
+      { p with Prog.outputs = [ Prog.num_ops p ] });
+  (* structurally fine but ill-typed: downscale where only rescale is legal *)
+  Pass_manager.register "test-illtyped" (fun p ->
+      {
+        p with
+        Prog.body =
+          Array.map
+            (fun (o : Prog.op) ->
+              match o.Prog.kind with
+              | Prog.Downscale _ -> { o with Prog.kind = Prog.Rescale }
+              | _ -> o)
+            p.Prog.body;
+      })
+
+let test_pm_registry () =
+  let names = List.map (fun (p : Pass_manager.pass) -> p.Pass_manager.name) (Pass_manager.registered ()) in
+  List.iter
+    (fun n -> check Alcotest.bool ("registered: " ^ n) true (List.mem n names))
+    [ "cse"; "dce"; "constant-fold"; "fold-rotations"; "early-modswitch" ];
+  check Alcotest.bool "sorted" true (names = List.sort compare names);
+  (match Pass_manager.find "cse" with
+  | Some p -> check Alcotest.bool "described" true (String.length p.Pass_manager.description > 0)
+  | None -> Alcotest.fail "cse not found");
+  (match Pass_manager.register "cse" Fun.id with
+  | () -> Alcotest.fail "duplicate registration must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Pass_manager.register "Bad Name" Fun.id with
+  | () -> Alcotest.fail "invalid name must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_pm_spec_roundtrip () =
+  List.iter
+    (fun spec ->
+      let p = Pass_manager.parse_exn spec in
+      check Alcotest.string ("canonical: " ^ spec) spec (Pass_manager.to_string p);
+      let p2 = Pass_manager.parse_exn (Pass_manager.to_string p) in
+      check Alcotest.string ("round-trip: " ^ spec) (Pass_manager.to_string p)
+        (Pass_manager.to_string p2))
+    [
+      "cse";
+      "cse,constant-fold,dce";
+      "cse,constant-fold,fixpoint(fold-rotations,dce)";
+      "fixpoint(cse,early-modswitch,cse,constant-fold,dce)";
+      "fixpoint(fixpoint(dce),cse)";
+    ];
+  (* whitespace-insensitive *)
+  check Alcotest.string "whitespace normalized" "cse,fixpoint(dce)"
+    (Pass_manager.to_string (Pass_manager.parse_exn " cse ,\n fixpoint( dce ) "))
+
+let test_pm_spec_rejects () =
+  let expect_error ~mentions spec =
+    match Pass_manager.parse spec with
+    | Ok _ -> Alcotest.failf "spec %S must be rejected" spec
+    | Error msg ->
+        List.iter
+          (fun affix ->
+            check Alcotest.bool
+              (Printf.sprintf "%S error mentions %S (got: %s)" spec affix msg)
+              true
+              (Astring.String.is_infix ~affix msg))
+          mentions
+  in
+  expect_error ~mentions:[ "frobnicate"; "known passes"; "cse" ] "cse,frobnicate,dce";
+  expect_error ~mentions:[ "expected a pass name" ] "";
+  expect_error ~mentions:[ "expected a pass name" ] "cse,,dce";
+  expect_error ~mentions:[ "unclosed" ] "fixpoint(cse";
+  expect_error ~mentions:[ "'('" ] "fixpoint";
+  expect_error ~mentions:[ "trailing" ] "dce)"
+
+let test_pm_runs_pipeline () =
+  (* the full cleanup pipeline works end to end: dead code, duplicate muls
+     and a rotation chain all disappear *)
+  let b = B.create ~slot_count:16 () in
+  let x = B.input b "x" in
+  let _dead = B.mul b x x in
+  let m1 = B.mul b x x in
+  let m2 = B.mul b x x in
+  let r = B.rotate b (B.rotate b (B.add b m1 m2) 3) 5 in
+  B.output b r;
+  let p = B.finish b in
+  let p' = Pass_manager.run Pass_manager.cleanup p in
+  check Alcotest.bool "valid" true (Result.is_ok (Prog.validate p'));
+  (* input, mul, add, rotate(8) *)
+  check Alcotest.int "fully cleaned" 4 (Prog.num_ops p');
+  check Alcotest.bool "matches default_pipeline" true
+    (Prog.equal p' (Pass_manager.default_pipeline p))
+
+let test_pm_fixpoint_terminates_when_clean () =
+  (* nested fixpoints on an already-clean program converge after one sweep *)
+  let p = small_prog () in
+  let pl = Pass_manager.parse_exn "fixpoint(fixpoint(cse,dce),fixpoint(fold-rotations,dce))" in
+  let stats = Pass_manager.create_stats () in
+  let p' = Pass_manager.run ~stats pl p in
+  check Alcotest.bool "program unchanged" true (Prog.equal p p');
+  (* inner fixpoint bodies ran exactly twice each: once to rewrite, once to
+     observe convergence; the outer fixpoint adds one more converged sweep *)
+  List.iter
+    (fun (t : Pass_manager.timing) ->
+      check Alcotest.bool
+        (Printf.sprintf "%s ran a bounded number of times (%d)" t.Pass_manager.pass
+           t.Pass_manager.runs)
+        true
+        (t.Pass_manager.runs <= 4))
+    (Pass_manager.timings stats)
+
+let test_pm_fold_rotations_multiuse_under_fixpoint () =
+  (* the multi-use safety of fold-rotations holds under fixpoint iteration:
+     no amount of re-running may fold a shared inner rotation *)
+  let b = B.create ~slot_count:16 () in
+  let x = B.input b "x" in
+  let r1 = B.rotate b x 3 in
+  let r2 = B.rotate b r1 5 in
+  B.output b (B.add b r1 r2);
+  let p = Pass_manager.run (Pass_manager.parse_exn "fixpoint(fold-rotations,dce)") (B.finish b) in
+  check Alcotest.bool "valid" true (Result.is_ok (Prog.validate p));
+  check Alcotest.int "both rotations survive" 4 (Prog.num_ops p)
+
+let test_pm_timing_stats () =
+  let b = B.create ~slot_count:4 () in
+  let x = B.input b "x" in
+  let _dead = B.mul b x x in
+  B.output b (B.add b x x);
+  let p = B.finish b in
+  let stats = Pass_manager.create_stats () in
+  ignore (Pass_manager.run ~stats Pass_manager.cleanup p);
+  ignore (Pass_manager.run ~stats (Pass_manager.parse_exn "dce") p);
+  let ts = Pass_manager.timings stats in
+  let find name = List.find (fun (t : Pass_manager.timing) -> t.Pass_manager.pass = name) ts in
+  check Alcotest.bool "cse timed" true ((find "cse").Pass_manager.runs >= 1);
+  check Alcotest.bool "dce removed the dead mul" true ((find "dce").Pass_manager.ops_delta < 0);
+  List.iter
+    (fun (t : Pass_manager.timing) ->
+      check Alcotest.bool (t.Pass_manager.pass ^ " non-negative time") true
+        (t.Pass_manager.seconds >= 0.))
+    ts
+
+let test_pm_verifier_names_broken_pass () =
+  let p = small_prog () in
+  let instr = Pass_manager.instrumentation () in
+  match Pass_manager.run ~instr (Pass_manager.parse_exn "cse,test-broken,dce") p with
+  | _ -> Alcotest.fail "broken pass must be caught by the inter-pass verifier"
+  | exception Pass_manager.Pass_failed { pass; reason } ->
+      check Alcotest.string "offending pass named" "test-broken" pass;
+      check Alcotest.bool "structural diagnostic" true
+        (Astring.String.is_infix ~affix:"out of range" reason)
+
+let test_pm_typecheck_names_illtyped_pass () =
+  let p = managed_prog () in
+  let instr = Pass_manager.instrumentation ~typecheck:cfg () in
+  (* sanity: the well-typed pipeline passes the same instrumentation *)
+  ignore (Pass_manager.run ~instr (Pass_manager.parse_exn "cse") p);
+  match Pass_manager.run ~instr (Pass_manager.parse_exn "test-illtyped") p with
+  | _ -> Alcotest.fail "ill-typed rewrite must be caught"
+  | exception Pass_manager.Pass_failed { pass; _ } ->
+      check Alcotest.string "offending pass named" "test-illtyped" pass
+
+let test_pm_dump_selector () =
+  let dumped = ref [] in
+  let instr =
+    Pass_manager.instrumentation
+      ~dump_after:(Pass_manager.Dump_passes [ "dce" ])
+      ~dump:(fun ~pass p -> dumped := (pass, Prog.num_ops p) :: !dumped)
+      ()
+  in
+  ignore (Pass_manager.run ~instr Pass_manager.cleanup (small_prog ()));
+  check Alcotest.bool "only dce dumped" true
+    (!dumped <> [] && List.for_all (fun (pass, _) -> pass = "dce") !dumped)
 
 (* ------------------------------------------------------------------ *)
 (* Liveness                                                            *)
@@ -455,6 +658,8 @@ let () =
           Alcotest.test_case "use counts" `Quick test_prog_use_counts;
           Alcotest.test_case "users" `Quick test_prog_users;
           Alcotest.test_case "validate rejects" `Quick test_validate_rejects;
+          Alcotest.test_case "validate input list" `Quick test_validate_input_list;
+          Alcotest.test_case "structural equality" `Quick test_prog_equal;
           Alcotest.test_case "builder output required" `Quick test_builder_rejects_no_output;
         ] );
       ( "text",
@@ -478,6 +683,23 @@ let () =
           Alcotest.test_case "fold rotations cancel" `Quick test_fold_rotations_cancel;
           Alcotest.test_case "fold rotations multiuse" `Quick test_fold_rotations_multiuse_blocked;
           Alcotest.test_case "fold rotations semantics" `Quick test_fold_rotations_semantics;
+        ] );
+      ( "pass-manager",
+        [
+          Alcotest.test_case "registry" `Quick test_pm_registry;
+          Alcotest.test_case "spec round-trip" `Quick test_pm_spec_roundtrip;
+          Alcotest.test_case "spec rejects" `Quick test_pm_spec_rejects;
+          Alcotest.test_case "cleanup pipeline" `Quick test_pm_runs_pipeline;
+          Alcotest.test_case "nested fixpoint terminates" `Quick
+            test_pm_fixpoint_terminates_when_clean;
+          Alcotest.test_case "fold-rotations multiuse under fixpoint" `Quick
+            test_pm_fold_rotations_multiuse_under_fixpoint;
+          Alcotest.test_case "timing stats" `Quick test_pm_timing_stats;
+          Alcotest.test_case "verifier names broken pass" `Quick
+            test_pm_verifier_names_broken_pass;
+          Alcotest.test_case "typecheck names ill-typed pass" `Quick
+            test_pm_typecheck_names_illtyped_pass;
+          Alcotest.test_case "dump selector" `Quick test_pm_dump_selector;
         ] );
       ( "liveness",
         [
