@@ -14,6 +14,13 @@
                                             trace, memo-cache hits, throughput
      dune exec bench/main.exe passes     -- per-pass timing breakdown from the
                                             instrumented pass manager
+     dune exec bench/main.exe kernels    -- RNS kernel microbenchmarks: Barrett/
+                                            Shoup vs reference modmul, NTT,
+                                            keyswitch, cipher mul, rescale;
+                                            writes BENCH_kernels.json.
+                                            Flags: --quick, --reps N (default 5),
+                                            --warmup N (default 1), --jobs J,
+                                            --out FILE (see docs/PERFORMANCE.md)
 
    Latencies are measured on the in-repo RNS-CKKS substrate at reduced ring
    degrees (see DESIGN.md); estimated latencies are also reported at the
@@ -476,6 +483,155 @@ let ops () =
      remaining primes (higher rescaling level); cipher_mul and rotate fall\n\
      superlinearly because key switching is quadratic in the prime count.\n"
 
+(* ------------------------------------------------------------------ *)
+(* RNS kernel microbenchmarks: fast vs reference paths                 *)
+(* ------------------------------------------------------------------ *)
+
+let kernels flags =
+  let module Ntt = Hecate_support.Ntt in
+  let module Pr = Hecate_support.Primes in
+  let module Prng = Hecate_support.Prng in
+  let module K = Hecate_support.Kernels in
+  let module PoolK = Hecate_support.Pool.Kernel in
+  let module E = Hecate_ckks.Eval in
+  let module Poly = Hecate_rns.Poly in
+  let quick = ref false in
+  let reps = ref 5 in
+  let warmup = ref 1 in
+  let out = ref "BENCH_kernels.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--reps" :: v :: rest ->
+        reps := int_of_string v;
+        parse rest
+    | "--warmup" :: v :: rest ->
+        warmup := int_of_string v;
+        parse rest
+    | "--jobs" :: v :: rest ->
+        PoolK.set_jobs (int_of_string v);
+        parse rest
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | other :: _ ->
+        Printf.eprintf
+          "kernels: unknown flag %s (--quick | --reps N | --warmup N | --jobs J | --out FILE)\n"
+          other;
+        exit 2
+  in
+  parse flags;
+  if !reps < 1 then begin
+    Printf.eprintf "kernels: --reps must be >= 1\n";
+    exit 2
+  end;
+  heading "RNS kernel microbenchmarks -- Barrett/Shoup kernels vs reference paths";
+  Printf.printf "median of %d reps (%d warmup), jobs=%d%s\n\n" !reps !warmup (PoolK.jobs ())
+    (if !quick then " [quick]" else "");
+  let time f = Stats.time_median ~warmup:!warmup ~min_sample_s:1e-3 ~reps:!reps f in
+  let entries = ref [] in
+  let record kernel variant ~n ~levels ns =
+    entries := (kernel, variant, n, levels, ns) :: !entries;
+    Printf.printf "  %-12s %-9s n=%-5d levels=%-2d %14.1f ns/op\n%!" kernel variant n levels ns
+  in
+  let speedup kernel ~n ~levels =
+    let find v =
+      List.find_map
+        (fun (k, var, n', l', ns) -> if k = kernel && var = v && n' = n && l' = levels then Some ns else None)
+        !entries
+    in
+    match (find "reference", find "fast") with
+    | Some slow, Some fast when fast > 0. -> Some (slow /. fast)
+    | _ -> None
+  in
+  let g = Prng.create ~seed:0xBA44E77 in
+  (* modmul: element-wise modular product of two length-m residue vectors,
+     measured through Ntt.pointwise_mul — the loop the kernels actually live
+     in — so the division-based and Barrett paths are compared as deployed
+     (inlined, no per-element call). *)
+  let m = 4096 in
+  let q = List.hd (Pr.ntt_primes ~bits:30 ~n:m ~count:1) in
+  let mm_tbl = Ntt.make_table ~p:q ~n:m in
+  let xs = Array.init m (fun _ -> Prng.uniform_mod g q) in
+  let ys = Array.init m (fun _ -> Prng.uniform_mod g q) in
+  let dst = Array.make m 0 in
+  let t_ref = K.with_naive true (fun () -> time (fun () -> Ntt.pointwise_mul mm_tbl dst xs ys)) in
+  let t_fast =
+    K.with_naive false (fun () -> time (fun () -> Ntt.pointwise_mul mm_tbl dst xs ys))
+  in
+  record "modmul" "reference" ~n:m ~levels:0 (t_ref /. float_of_int m *. 1e9);
+  record "modmul" "fast" ~n:m ~levels:0 (t_fast /. float_of_int m *. 1e9);
+  let configs = if !quick then [ (256, 2) ] else [ (1024, 4); (4096, 8) ] in
+  List.iter
+    (fun (n, levels) ->
+      (* NTT forward transform: division-based reference vs Shoup butterflies *)
+      let p = List.hd (Pr.ntt_primes ~bits:30 ~n ~count:1) in
+      let tbl = Ntt.make_table ~p ~n in
+      let a = Array.init n (fun _ -> Prng.uniform_mod g p) in
+      record "ntt_forward" "reference" ~n ~levels:1 (time (fun () -> Ntt.forward_naive tbl a) *. 1e9);
+      record "ntt_forward" "fast" ~n ~levels:1 (time (fun () -> Ntt.forward tbl a) *. 1e9);
+      (* evaluator-level kernels at this ring degree and chain length *)
+      let params = Hecate_ckks.Params.create ~n ~q0_bits:30 ~sf_bits:28 ~levels () in
+      let eval = E.create ~seed:0xFA57 params ~rotations:[] in
+      let v = Array.init (n / 2) (fun i -> 0.25 +. (0.001 *. float_of_int (i mod 13))) in
+      let ct = E.encrypt_vector eval ~scale:0x1p20 v in
+      let lc = levels + 1 in
+      let d = Poly.to_coeff (ct : E.ciphertext).E.c1 in
+      let relin = (E.keys eval : Hecate_ckks.Keys.t).Hecate_ckks.Keys.relin in
+      let bench_pair kernel f =
+        record kernel "reference" ~n ~levels:lc (K.with_naive true (fun () -> time f) *. 1e9);
+        record kernel "fast" ~n ~levels:lc (K.with_naive false (fun () -> time f) *. 1e9)
+      in
+      bench_pair "keyswitch" (fun () -> ignore (E.keyswitch eval ~lc d relin));
+      bench_pair "cipher_mul" (fun () -> ignore (E.mul eval ct ct));
+      let sq = E.mul eval ct ct in
+      bench_pair "rescale" (fun () -> ignore (E.rescale eval sq)))
+    configs;
+  (* machine-readable results *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"config\": {\"reps\": %d, \"warmup\": %d, \"jobs\": %d, \"quick\": %b},\n"
+       !reps !warmup (PoolK.jobs ()) !quick);
+  Buffer.add_string buf "  \"entries\": [\n";
+  let ordered = List.rev !entries in
+  List.iteri
+    (fun i (kernel, variant, n, levels, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"n\": %d, \"levels\": %d, \
+            \"ns_per_op\": %.1f}%s\n"
+           kernel variant n levels ns
+           (if i = List.length ordered - 1 then "" else ",")))
+    ordered;
+  Buffer.add_string buf "  ],\n  \"speedups\": [\n";
+  let keys =
+    List.sort_uniq compare (List.map (fun (k, _, n, l, _) -> (k, n, l)) !entries)
+  in
+  let sps =
+    List.filter_map
+      (fun (k, n, l) -> Option.map (fun s -> (k, n, l, s)) (speedup k ~n ~levels:l))
+      keys
+  in
+  List.iteri
+    (fun i (k, n, l, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"kernel\": \"%s\", \"n\": %d, \"levels\": %d, \"speedup\": %.2f}%s\n"
+           k n l s
+           (if i = List.length sps - 1 then "" else ",")))
+    sps;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out !out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nspeedups (reference / fast):\n";
+  List.iter
+    (fun (k, n, l, s) -> Printf.printf "  %-12s n=%-5d levels=%-2d %6.2fx\n" k n l s)
+    sps;
+  Printf.printf "\nwrote %s\n" !out
+
 let () =
   let t0 = Unix.gettimeofday () in
   let cmds = match Array.to_list Sys.argv with _ :: (_ :: _ as rest) -> rest | _ -> [ "all" ] in
@@ -502,9 +658,11 @@ let () =
     | other ->
         Printf.eprintf
           "unknown subcommand %s \
-           (fig7|fig7paper|table2|table3|fig8|explore|passes|ops|ablate|all)\n"
+           (fig7|fig7paper|table2|table3|fig8|explore|passes|ops|ablate|kernels|all)\n"
           other;
         exit 2
   in
-  List.iter run cmds;
+  (match cmds with
+  | "kernels" :: flags -> kernels flags
+  | _ -> List.iter run cmds);
   Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)

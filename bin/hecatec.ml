@@ -53,6 +53,15 @@ let jobs_arg =
          ~doc:"Worker domains for SMSE exploration (default: available cores - 1; \
                the result is identical for every value).")
 
+let kernel_jobs_arg =
+  Arg.(value & opt (some int) None & info [ "kernel-jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the per-RNS-component CKKS kernels (NTT and \
+               element-wise polynomial loops). Default 1 (serial), or the \
+               $(b,HECATE_KERNEL_JOBS) environment variable; results are \
+               bit-identical for every value. See docs/PERFORMANCE.md.")
+
+let set_kernel_jobs jobs = Option.iter Hecate_support.Pool.Kernel.set_jobs jobs
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ]
          ~doc:"Print the per-epoch exploration trace (candidates, memo-cache hits, \
@@ -182,7 +191,8 @@ let compile_cmd =
           $ jobs_arg $ verbose_arg $ passes_arg $ timing_arg $ ir_after_arg)
 
 let run_cmd =
-  let run file scheme waterline sf seed jobs verbose =
+  let run file scheme waterline sf seed jobs kernel_jobs verbose =
+    set_kernel_jobs kernel_jobs;
     let prog = Parser.parse_file file in
     let c = Driver.compile ?pool_size:jobs scheme ~sf_bits:sf ~waterline_bits:waterline prog in
     report_compiled ~dump:false ~verbose c;
@@ -224,10 +234,11 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a .hec program on the in-repo CKKS backend.")
     Term.(const run $ file_arg $ scheme_arg $ waterline_arg $ sf_arg $ seed_arg $ jobs_arg
-          $ verbose_arg)
+          $ kernel_jobs_arg $ verbose_arg)
 
 let bench_cmd =
-  let run bench scheme waterline sf dump jobs verbose passes timing ir_after =
+  let run bench scheme waterline sf dump jobs kernel_jobs verbose passes timing ir_after =
+    set_kernel_jobs kernel_jobs;
     let (b : Apps.t) = bench in
     Printf.printf "; benchmark %s (%d ops before scale management)\n" b.Apps.name
       (Prog.num_ops b.Apps.prog);
@@ -248,7 +259,7 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Compile a built-in benchmark and report statistics.")
     Term.(const run $ bench_arg $ scheme_arg $ waterline_arg $ sf_arg $ dump_arg $ jobs_arg
-          $ verbose_arg $ passes_arg $ timing_arg $ ir_after_arg)
+          $ kernel_jobs_arg $ verbose_arg $ passes_arg $ timing_arg $ ir_after_arg)
 
 let dump_cmd =
   let run bench out =

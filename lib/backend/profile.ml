@@ -3,13 +3,7 @@ module Params = Hecate_ckks.Params
 module Costmodel = Hecate.Costmodel
 
 let time_reps reps f =
-  (* one warm-up, then the mean of [reps] timed runs *)
-  ignore (f ());
-  let t0 = Unix.gettimeofday () in
-  for _ = 1 to reps do
-    ignore (f ())
-  done;
-  (Unix.gettimeofday () -. t0) /. float_of_int reps
+  Hecate_support.Stats.time_median ~warmup:1 ~min_sample_s:1e-4 ~reps (fun () -> ignore (f ()))
 
 let measure ?(reps = 3) eval =
   let params = Eval.params eval in

@@ -1,7 +1,11 @@
 (** Profiled cost model (paper §VI-C): measure each CKKS operation class on
     the real evaluator at every available prime count, producing a
     {!Hecate.Costmodel} table the estimator consumes. Results are cached per
-    (ring degree, chain length) within a process. *)
+    (ring degree, chain length) within a process.
+
+    Timings are the median of the requested repetitions (via
+    {!Hecate_support.Stats.time_median}), which is robust against scheduler
+    noise that skews a mean. *)
 
 val measure :
   ?reps:int -> Hecate_ckks.Eval.t -> (Hecate.Costmodel.op_class * int * int, float) Hashtbl.t

@@ -1,6 +1,7 @@
 module Poly = Hecate_rns.Poly
 module Chain = Hecate_rns.Chain
 module Prng = Hecate_support.Prng
+module Kernels = Hecate_support.Kernels
 
 type ciphertext = { c0 : Poly.t; c1 : Poly.t; scale : float; level : int }
 type plaintext = { poly : Poly.t; pt_scale : float; pt_level : int }
@@ -11,6 +12,7 @@ exception Level_mismatch of string
 
 let params t = t.params
 let encoder t = t.encoder
+let keys t = t.keys
 let max_level t = t.params.Params.levels
 let level ct = ct.level
 let scale ct = ct.scale
@@ -49,7 +51,7 @@ let encode_constant t ~level:lvl ~scale c =
 
 let ternary_poly g chain ~level_count =
   let coeffs = Array.init (Chain.degree chain) (fun _ -> Prng.ternary g) in
-  Poly.to_eval (Poly.of_centered_coeffs chain ~level_count ~with_special:false coeffs)
+  Poly.to_eval_inplace (Poly.of_centered_coeffs chain ~level_count ~with_special:false coeffs)
 
 let error_poly_eval t g ~level_count =
   let chain = t.params.Params.chain in
@@ -57,7 +59,7 @@ let error_poly_eval t g ~level_count =
     Array.init (Chain.degree chain) (fun _ ->
         Prng.centered_binomial g ~eta:t.params.Params.error_sigma_eta)
   in
-  Poly.to_eval (Poly.of_centered_coeffs chain ~level_count ~with_special:false coeffs)
+  Poly.to_eval_inplace (Poly.of_centered_coeffs chain ~level_count ~with_special:false coeffs)
 
 let encrypt t pt =
   if pt.pt_level <> 0 then
@@ -76,7 +78,7 @@ let decrypt t ct =
   let lc = level_count t ct.level in
   let s = Keys.secret_at t.keys ~level_count:lc in
   let m = Poly.add ct.c0 (Poly.mul ct.c1 s) in
-  let coeffs = Poly.crt_reconstruct_centered (Poly.to_coeff m) in
+  let coeffs = Poly.crt_reconstruct_centered (Poly.to_coeff_inplace m) in
   Encoder.decode t.encoder ~scale:ct.scale coeffs
 
 (* scales drift slightly because rescaling primes are not exactly powers of
@@ -120,7 +122,12 @@ let sub_plain _t ct pt =
 (* Key switching: given d in Coeff domain over lc chain primes and a key for
    secret payload s', produce (p0, p1) over the same basis with
    p0 + p1*s ≈ d*s'. *)
-let keyswitch t ~lc d (key : Keys.switch_key) =
+
+(* Reference implementation: allocates fresh polynomials for every digit
+   (lift, NTT, level-restricted key copies, products, accumulator sums).
+   Kept both as executable documentation and as the pre-optimization
+   baseline the bench and equivalence tests compare against. *)
+let keyswitch_reference t ~lc d (key : Keys.switch_key) =
   let chain = t.params.Params.chain in
   let acc0 = ref (Poly.zero chain ~level_count:lc ~with_special:true Poly.Eval) in
   let acc1 = ref (Poly.zero chain ~level_count:lc ~with_special:true Poly.Eval) in
@@ -135,14 +142,48 @@ let keyswitch t ~lc d (key : Keys.switch_key) =
   let p1 = Poly.mod_down_special (Poly.to_coeff !acc1) in
   (Poly.to_eval p0, Poly.to_eval p1)
 
+(* Fast path: one scratch digit buffer NTT'd in place and fused
+   multiply-accumulate directly against the full-level key material
+   (mul_add_into reads the key's matching components), so the per-digit
+   loop allocates nothing. *)
+let keyswitch t ~lc d (key : Keys.switch_key) =
+  if Kernels.use_naive () then keyswitch_reference t ~lc d key
+  else begin
+    let chain = t.params.Params.chain in
+    let acc0 = Poly.zero chain ~level_count:lc ~with_special:true Poly.Eval in
+    let acc1 = Poly.zero chain ~level_count:lc ~with_special:true Poly.Eval in
+    let dig = Poly.zero chain ~level_count:lc ~with_special:true Poly.Coeff in
+    for i = 0 to lc - 1 do
+      Poly.lift_digit_into ~dst:dig d ~digit:i;
+      let dig_e = Poly.to_eval_inplace dig in
+      Poly.mul_add_into ~acc:acc0 dig_e key.Keys.k0.(i);
+      Poly.mul_add_into ~acc:acc1 dig_e key.Keys.k1.(i)
+    done;
+    let p0 = Poly.mod_down_special (Poly.to_coeff_inplace acc0) in
+    let p1 = Poly.mod_down_special (Poly.to_coeff_inplace acc1) in
+    (Poly.to_eval_inplace p0, Poly.to_eval_inplace p1)
+  end
+
 let mul t a b =
   check_binop "mul" a b;
-  let d0 = Poly.mul a.c0 b.c0 in
-  let d1 = Poly.add (Poly.mul a.c0 b.c1) (Poly.mul a.c1 b.c0) in
-  let d2 = Poly.mul a.c1 b.c1 in
   let lc = level_count t a.level in
-  let p0, p1 = keyswitch t ~lc (Poly.to_coeff d2) t.keys.Keys.relin in
-  { c0 = Poly.add d0 p0; c1 = Poly.add d1 p1; scale = a.scale *. b.scale; level = a.level }
+  if Kernels.use_naive () then begin
+    let d0 = Poly.mul a.c0 b.c0 in
+    let d1 = Poly.add (Poly.mul a.c0 b.c1) (Poly.mul a.c1 b.c0) in
+    let d2 = Poly.mul a.c1 b.c1 in
+    let p0, p1 = keyswitch t ~lc (Poly.to_coeff d2) t.keys.Keys.relin in
+    { c0 = Poly.add d0 p0; c1 = Poly.add d1 p1; scale = a.scale *. b.scale; level = a.level }
+  end
+  else begin
+    let d0 = Poly.mul a.c0 b.c0 in
+    let d1 = Poly.mul a.c0 b.c1 in
+    Poly.mul_add_into ~acc:d1 a.c1 b.c0;
+    let d2 = Poly.mul a.c1 b.c1 in
+    let p0, p1 = keyswitch t ~lc (Poly.to_coeff_inplace d2) t.keys.Keys.relin in
+    Poly.add_into ~dst:d0 d0 p0;
+    Poly.add_into ~dst:d1 d1 p1;
+    { c0 = d0; c1 = d1; scale = a.scale *. b.scale; level = a.level }
+  end
 
 let mul_plain _t ct pt =
   check_plain "mul_plain" ct pt;
@@ -158,8 +199,10 @@ let rescale t ct =
     raise (Level_mismatch "Eval.rescale: no rescaling prime remains");
   let lc = level_count t ct.level in
   let dropped_prime = Chain.prime t.params.Params.chain (lc - 1) in
-  let c0 = Poly.to_eval (Poly.rescale_last (Poly.to_coeff ct.c0)) in
-  let c1 = Poly.to_eval (Poly.rescale_last (Poly.to_coeff ct.c1)) in
+  (* to_coeff copies (the ciphertext stays owned by the caller); rescale_last
+     allocates its result, so the final transform can run in place. *)
+  let c0 = Poly.to_eval_inplace (Poly.rescale_last (Poly.to_coeff ct.c0)) in
+  let c1 = Poly.to_eval_inplace (Poly.rescale_last (Poly.to_coeff ct.c1)) in
   { c0; c1; scale = ct.scale /. float_of_int dropped_prime; level = ct.level + 1 }
 
 let mod_switch t ct =
@@ -198,5 +241,8 @@ let rotate t ct r =
     let c0r = Poly.automorphism (Poly.to_coeff ct.c0) ~galois:g in
     let c1r = Poly.automorphism (Poly.to_coeff ct.c1) ~galois:g in
     let p0, p1 = keyswitch t ~lc c1r key in
-    { ct with c0 = Poly.add (Poly.to_eval c0r) p0; c1 = p1 }
+    (* automorphism allocated c0r, so transform it in place and accumulate *)
+    let c0e = Poly.to_eval_inplace c0r in
+    Poly.add_into ~dst:c0e c0e p0;
+    { ct with c0 = c0e; c1 = p1 }
   end

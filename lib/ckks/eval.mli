@@ -28,6 +28,7 @@ val create : ?seed:int -> Params.t -> rotations:int list -> t
 
 val params : t -> Params.t
 val encoder : t -> Encoder.t
+val keys : t -> Keys.t
 val max_level : t -> int
 
 val encode : t -> level:int -> scale:float -> float array -> plaintext
@@ -81,3 +82,15 @@ val rotate : t -> ciphertext -> int -> ciphertext
 (** [rotate t ct r] rotates slots left by [r] (negative [r]: right). Requires
     the matching rotation key.
     @raise Not_found if the key set lacks that rotation. *)
+
+val keyswitch :
+  t ->
+  lc:int ->
+  Hecate_rns.Poly.t ->
+  Keys.switch_key ->
+  Hecate_rns.Poly.t * Hecate_rns.Poly.t
+(** [keyswitch t ~lc d key]: hybrid key switching of the [Coeff]-domain
+    polynomial [d] (over the first [lc] chain primes) against [key],
+    returning [(p0, p1)] in [Eval] domain with [p0 + p1*s ≈ d*s'] where
+    [s'] is the key's secret payload. Exposed for the kernel
+    microbenchmarks; [mul] and [rotate] call it internally. *)

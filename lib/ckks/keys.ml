@@ -35,7 +35,7 @@ let error_poly g params chain ~level_count ~with_special =
   let coeffs =
     Array.init n (fun _ -> Prng.centered_binomial g ~eta:params.Params.error_sigma_eta)
   in
-  Poly.to_eval (Poly.of_centered_coeffs chain ~level_count ~with_special coeffs)
+  Poly.to_eval_inplace (Poly.of_centered_coeffs chain ~level_count ~with_special coeffs)
 
 let ternary_coeffs g n = Array.init n (fun _ -> Prng.ternary g)
 
@@ -62,7 +62,7 @@ let make_switch_key g params ~s_full_sp ~payload =
   { k0; k1 }
 
 let secret_at t ~level_count =
-  Poly.to_eval
+  Poly.to_eval_inplace
     (Poly.of_centered_coeffs t.params.Params.chain ~level_count ~with_special:false
        t.secret_coeffs)
 
@@ -72,8 +72,14 @@ let generate ?(seed = 0x5EC4E7) params ~galois_elements =
   let n = Chain.degree chain in
   let g = Prng.create ~seed in
   let secret_coeffs = ternary_coeffs g n in
-  let s_full = Poly.to_eval (Poly.of_centered_coeffs chain ~level_count:l ~with_special:false secret_coeffs) in
-  let s_full_sp = Poly.to_eval (Poly.of_centered_coeffs chain ~level_count:l ~with_special:true secret_coeffs) in
+  let s_full =
+    Poly.to_eval_inplace
+      (Poly.of_centered_coeffs chain ~level_count:l ~with_special:false secret_coeffs)
+  in
+  let s_full_sp =
+    Poly.to_eval_inplace
+      (Poly.of_centered_coeffs chain ~level_count:l ~with_special:true secret_coeffs)
+  in
   (* public key *)
   let a = uniform_poly g chain ~level_count:l ~with_special:false in
   let e = error_poly g params chain ~level_count:l ~with_special:false in
@@ -87,7 +93,7 @@ let generate ?(seed = 0x5EC4E7) params ~galois_elements =
     (fun elt ->
       if not (Hashtbl.mem galois elt) then begin
         let s_rot =
-          Poly.to_eval
+          Poly.to_eval_inplace
             (Poly.automorphism
                (Poly.of_centered_coeffs chain ~level_count:l ~with_special:true secret_coeffs)
                ~galois:elt)

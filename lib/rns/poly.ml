@@ -1,6 +1,8 @@
 module M = Hecate_support.Modarith
 module Ntt = Hecate_support.Ntt
 module Bigint = Hecate_support.Bigint
+module Kernels = Hecate_support.Kernels
+module Pool = Hecate_support.Pool
 
 type domain = Coeff | Eval
 
@@ -17,8 +19,28 @@ let component_count p = p.level_count + if p.with_special then 1 else 0
 let modulus_at p i =
   if p.with_special && i = p.level_count then Chain.special_prime p.chain else Chain.prime p.chain i
 
+let ctx_at p i =
+  if p.with_special && i = p.level_count then Chain.special_ctx p.chain else Chain.ctx p.chain i
+
 let table_at p i =
   if p.with_special && i = p.level_count then Chain.special_table p.chain else Chain.table p.chain i
+
+(* Independent per-RNS-component loops fan out over the shared kernel pool
+   when it is enabled and the ring is large enough that a component's work
+   dwarfs the dispatch cost; below the threshold (or in reference-kernel
+   mode) they stay serial. Either way the output is bit-identical. *)
+let parallel_min_degree = 4096
+
+let kernel_par comps degree f =
+  if
+    comps > 1 && degree >= parallel_min_degree
+    && (not (Kernels.use_naive ()))
+    && Pool.Kernel.jobs () > 1
+  then Pool.Kernel.parallel_for comps f
+  else
+    for i = 0 to comps - 1 do
+      f i
+    done
 
 let zero chain ~level_count ~with_special domain =
   if level_count < 1 || level_count > Chain.length chain then
@@ -28,6 +50,9 @@ let zero chain ~level_count ~with_special domain =
   { chain; level_count; with_special; domain; data = Array.init comps (fun _ -> Array.make n 0) }
 
 let copy p = { p with data = Array.map Array.copy p.data }
+
+(* Like [copy] but with uninitialized (zero) payload: a destination shell. *)
+let alloc_like p = { p with data = Array.map (fun d -> Array.make (Array.length d) 0) p.data }
 
 let check_compatible name a b =
   if
@@ -48,99 +73,196 @@ let of_centered_coeffs chain ~level_count ~with_special coeffs =
   done;
   p
 
-let map2 name f a b =
+(* ------------------------------------------------------------------ *)
+(* Element-wise operations (pure and destination-buffer forms)         *)
+(* ------------------------------------------------------------------ *)
+
+let add_loop q da db dst =
+  for t = 0 to Array.length da - 1 do
+    let s = da.(t) + db.(t) in
+    dst.(t) <- (if s >= q then s - q else s)
+  done
+
+let sub_loop q da db dst =
+  for t = 0 to Array.length da - 1 do
+    let d = da.(t) - db.(t) in
+    dst.(t) <- (if d < 0 then d + q else d)
+  done
+
+let binop_into name loop ~dst a b =
   check_compatible name a b;
-  let out = copy a in
-  for i = 0 to component_count a - 1 do
-    let q = modulus_at a i in
-    let da = a.data.(i) and db = b.data.(i) and dst = out.data.(i) in
-    for t = 0 to Array.length da - 1 do
-      dst.(t) <- f ~q da.(t) db.(t)
-    done
-  done;
+  check_compatible name dst a;
+  kernel_par (component_count a) (Chain.degree a.chain) (fun i ->
+      loop (modulus_at a i) a.data.(i) b.data.(i) dst.data.(i))
+
+let add_into ~dst a b = binop_into "add_into" add_loop ~dst a b
+let sub_into ~dst a b = binop_into "sub_into" sub_loop ~dst a b
+
+let add a b =
+  check_compatible "add" a b;
+  let out = alloc_like a in
+  kernel_par (component_count a) (Chain.degree a.chain) (fun i ->
+      add_loop (modulus_at a i) a.data.(i) b.data.(i) out.data.(i));
   out
 
-let add a b = map2 "add" M.add a b
-let sub a b = map2 "sub" M.sub a b
+let sub a b =
+  check_compatible "sub" a b;
+  let out = alloc_like a in
+  kernel_par (component_count a) (Chain.degree a.chain) (fun i ->
+      sub_loop (modulus_at a i) a.data.(i) b.data.(i) out.data.(i));
+  out
 
 let neg a =
-  let out = copy a in
-  for i = 0 to component_count a - 1 do
-    let q = modulus_at a i in
-    let dst = out.data.(i) in
-    for t = 0 to Array.length dst - 1 do
-      dst.(t) <- M.neg ~q dst.(t)
-    done
-  done;
+  let out = alloc_like a in
+  kernel_par (component_count a) (Chain.degree a.chain) (fun i ->
+      let q = modulus_at a i in
+      let src = a.data.(i) and dst = out.data.(i) in
+      for t = 0 to Array.length src - 1 do
+        let x = src.(t) in
+        dst.(t) <- (if x = 0 then 0 else q - x)
+      done);
   out
 
+let mul_loop_naive q da db dst =
+  for t = 0 to Array.length da - 1 do
+    dst.(t) <- M.mul ~q da.(t) db.(t)
+  done
+
+(* Fast loops use unchecked accesses: every residue array of a polynomial
+   has length [Chain.degree] by construction, and [check_compatible] has
+   already matched the operands' chains. *)
+let mul_loop ctx da db dst =
+  for t = 0 to Array.length da - 1 do
+    Array.unsafe_set dst t (M.mulmod ctx (Array.unsafe_get da t) (Array.unsafe_get db t))
+  done
+
+let check_eval name a b =
+  if a.domain <> Eval || b.domain <> Eval then
+    invalid_arg ("Poly." ^ name ^ ": operands must be in Eval domain")
+
 let mul a b =
-  if a.domain <> Eval || b.domain <> Eval then invalid_arg "Poly.mul: operands must be in Eval domain";
-  map2 "mul" M.mul a b
+  check_eval "mul" a b;
+  check_compatible "mul" a b;
+  let out = alloc_like a in
+  if Kernels.use_naive () then
+    for i = 0 to component_count a - 1 do
+      mul_loop_naive (modulus_at a i) a.data.(i) b.data.(i) out.data.(i)
+    done
+  else
+    kernel_par (component_count a) (Chain.degree a.chain) (fun i ->
+        mul_loop (ctx_at a i) a.data.(i) b.data.(i) out.data.(i));
+  out
+
+let mul_into ~dst a b =
+  check_eval "mul_into" a b;
+  check_compatible "mul_into" a b;
+  check_compatible "mul_into" dst a;
+  kernel_par (component_count a) (Chain.degree a.chain) (fun i ->
+      mul_loop (ctx_at a i) a.data.(i) b.data.(i) dst.data.(i))
+
+(* [b] may carry a deeper chain basis than [acc]/[a] (full-level key
+   material): component [i < level_count] of [b] is used directly and [b]'s
+   special component aligns with [a]'s. This is what lets key switching use
+   the stored keys without materializing [restrict_levels] copies. *)
+let mul_add_into ~acc a b =
+  check_compatible "mul_add_into" acc a;
+  if a.domain <> Eval || b.domain <> Eval || acc.domain <> Eval then
+    invalid_arg "Poly.mul_add_into: operands must be in Eval domain";
+  if b.chain != a.chain || b.with_special <> a.with_special || b.level_count < a.level_count then
+    invalid_arg "Poly.mul_add_into: incompatible multiplier";
+  kernel_par (component_count a) (Chain.degree a.chain) (fun i ->
+      let ctx = ctx_at a i in
+      let q = M.modulus ctx in
+      let bi =
+        if a.with_special && i = a.level_count then b.data.(b.level_count) else b.data.(i)
+      in
+      let da = a.data.(i) and dacc = acc.data.(i) in
+      for t = 0 to Array.length da - 1 do
+        let s =
+          Array.unsafe_get dacc t
+          + M.mulmod ctx (Array.unsafe_get da t) (Array.unsafe_get bi t)
+          - q
+        in
+        Array.unsafe_set dacc t (s + (s asr 62 land q))
+      done)
+
+let scalar_mul_loop p i k out =
+  if Kernels.use_naive () then begin
+    let q = modulus_at p i in
+    let dst = out.data.(i) and src = p.data.(i) in
+    for t = 0 to Array.length src - 1 do
+      dst.(t) <- M.mul ~q src.(t) k
+    done
+  end
+  else begin
+    let ctx = ctx_at p i in
+    let dst = out.data.(i) and src = p.data.(i) in
+    for t = 0 to Array.length src - 1 do
+      dst.(t) <- M.mulmod ctx src.(t) k
+    done
+  end
 
 let mul_scalar a c =
   if c < 0 then invalid_arg "Poly.mul_scalar: negative scalar";
-  let out = copy a in
-  for i = 0 to component_count a - 1 do
-    let q = modulus_at a i in
-    let k = c mod q in
-    let dst = out.data.(i) in
-    for t = 0 to Array.length dst - 1 do
-      dst.(t) <- M.mul ~q dst.(t) k
-    done
-  done;
+  let out = alloc_like a in
+  kernel_par (component_count a) (Chain.degree a.chain) (fun i ->
+      scalar_mul_loop a i (c mod modulus_at a i) out);
   out
 
 let mul_component_scalars a ks =
   if Array.length ks <> component_count a then
     invalid_arg "Poly.mul_component_scalars: wrong scalar count";
-  let out = copy a in
-  for i = 0 to component_count a - 1 do
-    let q = modulus_at a i in
-    let k = ks.(i) in
-    if k < 0 || k >= q then invalid_arg "Poly.mul_component_scalars: scalar not reduced";
-    let dst = out.data.(i) in
-    for t = 0 to Array.length dst - 1 do
-      dst.(t) <- M.mul ~q dst.(t) k
-    done
-  done;
+  Array.iteri
+    (fun i k ->
+      if k < 0 || k >= modulus_at a i then
+        invalid_arg "Poly.mul_component_scalars: scalar not reduced")
+    ks;
+  let out = alloc_like a in
+  kernel_par (component_count a) (Chain.degree a.chain) (fun i -> scalar_mul_loop a i ks.(i) out);
   out
 
-let to_eval p =
+(* ------------------------------------------------------------------ *)
+(* Domain conversions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let to_eval_inplace p =
   match p.domain with
   | Eval -> p
   | Coeff ->
-      let out = { (copy p) with domain = Eval } in
-      for i = 0 to component_count p - 1 do
-        Ntt.forward (table_at p i) out.data.(i)
-      done;
-      out
+      kernel_par (component_count p) (Chain.degree p.chain) (fun i ->
+          Ntt.forward (table_at p i) p.data.(i));
+      { p with domain = Eval }
 
-let to_coeff p =
+let to_coeff_inplace p =
   match p.domain with
   | Coeff -> p
   | Eval ->
-      let out = { (copy p) with domain = Coeff } in
-      for i = 0 to component_count p - 1 do
-        Ntt.inverse (table_at p i) out.data.(i)
-      done;
-      out
+      kernel_par (component_count p) (Chain.degree p.chain) (fun i ->
+          Ntt.inverse (table_at p i) p.data.(i));
+      { p with domain = Coeff }
+
+let to_eval p = match p.domain with Eval -> p | Coeff -> to_eval_inplace (copy p)
+let to_coeff p = match p.domain with Coeff -> p | Eval -> to_coeff_inplace (copy p)
+
+(* ------------------------------------------------------------------ *)
+(* Structure-changing operations                                       *)
+(* ------------------------------------------------------------------ *)
 
 let automorphism p ~galois =
   if p.domain <> Coeff then invalid_arg "Poly.automorphism: operand must be in Coeff domain";
   if galois land 1 = 0 then invalid_arg "Poly.automorphism: galois element must be odd";
   let n = Chain.degree p.chain in
-  let two_n = 2 * n in
+  let mask = (2 * n) - 1 in
   let out = zero p.chain ~level_count:p.level_count ~with_special:p.with_special Coeff in
-  for i = 0 to component_count p - 1 do
-    let q = modulus_at p i in
-    let src = p.data.(i) and dst = out.data.(i) in
-    for j = 0 to n - 1 do
-      let k = j * galois mod two_n in
-      if k < n then dst.(k) <- M.add ~q dst.(k) src.(j)
-      else dst.(k - n) <- M.sub ~q dst.(k - n) src.(j)
-    done
-  done;
+  kernel_par (component_count p) n (fun i ->
+      let q = modulus_at p i in
+      let src = p.data.(i) and dst = out.data.(i) in
+      for j = 0 to n - 1 do
+        (* n is a power of two, so X^j -> X^(j*galois mod 2n) is a mask *)
+        let k = (j * galois) land mask in
+        if k < n then dst.(k) <- M.add ~q dst.(k) src.(j)
+        else dst.(k - n) <- M.sub ~q dst.(k - n) src.(j)
+      done);
   out
 
 let rescale_last p =
@@ -152,15 +274,24 @@ let rescale_last p =
   let last = p.data.(dropped) in
   let out = zero p.chain ~level_count:dropped ~with_special:false Coeff in
   let n = Chain.degree p.chain in
-  for i = 0 to dropped - 1 do
-    let q = Chain.prime p.chain i in
-    let inv = Chain.rescale_inv p.chain ~dropped i in
-    let src = p.data.(i) and dst = out.data.(i) in
-    for t = 0 to n - 1 do
-      let c = M.to_centered ~q:q_last last.(t) in
-      dst.(t) <- M.mul ~q (M.sub ~q src.(t) (M.reduce ~q c)) inv
-    done
-  done;
+  let naive = Kernels.use_naive () in
+  kernel_par dropped n (fun i ->
+      let q = Chain.prime p.chain i in
+      let inv = Chain.rescale_inv p.chain ~dropped i in
+      let src = p.data.(i) and dst = out.data.(i) in
+      if naive then
+        for t = 0 to n - 1 do
+          let c = M.to_centered ~q:q_last last.(t) in
+          dst.(t) <- M.mul ~q (M.sub ~q src.(t) (M.reduce ~q c)) inv
+        done
+      else begin
+        let ctx = Chain.ctx p.chain i in
+        for t = 0 to n - 1 do
+          let c = M.to_centered ~q:q_last (Array.unsafe_get last t) in
+          Array.unsafe_set dst t
+            (M.mulmod ctx (M.sub ~q (Array.unsafe_get src t) (M.reduce_ctx ctx c)) inv)
+        done
+      end);
   out
 
 let drop_last p =
@@ -179,32 +310,61 @@ let mod_down_special p =
   let last = p.data.(p.level_count) in
   let out = zero p.chain ~level_count:p.level_count ~with_special:false Coeff in
   let n = Chain.degree p.chain in
-  for i = 0 to p.level_count - 1 do
-    let q = Chain.prime p.chain i in
-    let inv = Chain.special_inv p.chain i in
-    let src = p.data.(i) and dst = out.data.(i) in
-    for t = 0 to n - 1 do
-      let c = M.to_centered ~q:sp last.(t) in
-      dst.(t) <- M.mul ~q (M.sub ~q src.(t) (M.reduce ~q c)) inv
-    done
-  done;
+  let naive = Kernels.use_naive () in
+  kernel_par p.level_count n (fun i ->
+      let q = Chain.prime p.chain i in
+      let inv = Chain.special_inv p.chain i in
+      let src = p.data.(i) and dst = out.data.(i) in
+      if naive then
+        for t = 0 to n - 1 do
+          let c = M.to_centered ~q:sp last.(t) in
+          dst.(t) <- M.mul ~q (M.sub ~q src.(t) (M.reduce ~q c)) inv
+        done
+      else begin
+        let ctx = Chain.ctx p.chain i in
+        for t = 0 to n - 1 do
+          let c = M.to_centered ~q:sp (Array.unsafe_get last t) in
+          Array.unsafe_set dst t
+            (M.mulmod ctx (M.sub ~q (Array.unsafe_get src t) (M.reduce_ctx ctx c)) inv)
+        done
+      end);
   out
 
-let lift_digit p ~digit ~with_special =
-  if p.domain <> Coeff then invalid_arg "Poly.lift_digit: operand must be in Coeff domain";
-  if digit < 0 || digit >= p.level_count then invalid_arg "Poly.lift_digit: bad digit index";
+let lift_digit_loop ~dst p ~digit =
   let q_digit = Chain.prime p.chain digit in
   let src = p.data.(digit) in
-  let out = zero p.chain ~level_count:p.level_count ~with_special Coeff in
   let n = Chain.degree p.chain in
-  for i = 0 to component_count out - 1 do
-    let q = modulus_at out i in
-    let dst = out.data.(i) in
-    for t = 0 to n - 1 do
-      dst.(t) <- M.reduce ~q (M.to_centered ~q:q_digit src.(t))
-    done
-  done;
+  let naive = Kernels.use_naive () in
+  kernel_par (component_count dst) n (fun i ->
+      let d = dst.data.(i) in
+      if naive then begin
+        let q = modulus_at dst i in
+        for t = 0 to n - 1 do
+          d.(t) <- M.reduce ~q (M.to_centered ~q:q_digit src.(t))
+        done
+      end
+      else begin
+        let ctx = ctx_at dst i in
+        for t = 0 to n - 1 do
+          Array.unsafe_set d t (M.reduce_ctx ctx (M.to_centered ~q:q_digit (Array.unsafe_get src t)))
+        done
+      end)
+
+let check_lift name p ~digit =
+  if p.domain <> Coeff then invalid_arg ("Poly." ^ name ^ ": operand must be in Coeff domain");
+  if digit < 0 || digit >= p.level_count then invalid_arg ("Poly." ^ name ^ ": bad digit index")
+
+let lift_digit p ~digit ~with_special =
+  check_lift "lift_digit" p ~digit;
+  let out = zero p.chain ~level_count:p.level_count ~with_special Coeff in
+  lift_digit_loop ~dst:out p ~digit;
   out
+
+let lift_digit_into ~dst p ~digit =
+  check_lift "lift_digit_into" p ~digit;
+  if dst.chain != p.chain || dst.domain <> Coeff then
+    invalid_arg "Poly.lift_digit_into: incompatible destination";
+  lift_digit_loop ~dst p ~digit
 
 let restrict_levels p ~level_count =
   if level_count < 1 || level_count > p.level_count then
@@ -225,14 +385,25 @@ let crt_reconstruct_centered p =
   let q_prod = Chain.modulus_product p.chain ~upto:k in
   let out = Array.make n 0. in
   let digits = Array.make k 0 in
+  let naive = Kernels.use_naive () in
   for t = 0 to n - 1 do
     (* Garner mixed-radix digits *)
     for i = 0 to k - 1 do
       let q = Chain.prime p.chain i in
       let u = ref (p.data.(i).(t)) in
-      for j = 0 to i - 1 do
-        u := M.mul ~q (M.sub ~q !u (M.reduce ~q digits.(j))) (Chain.garner_inv p.chain i j)
-      done;
+      if naive then
+        for j = 0 to i - 1 do
+          u := M.mul ~q (M.sub ~q !u (M.reduce ~q digits.(j))) (Chain.garner_inv p.chain i j)
+        done
+      else begin
+        let ctx = Chain.ctx p.chain i in
+        for j = 0 to i - 1 do
+          u :=
+            M.mulmod ctx
+              (M.sub ~q !u (M.reduce_ctx ctx digits.(j)))
+              (Chain.garner_inv p.chain i j)
+        done
+      end;
       digits.(i) <- !u
     done;
     (* Horner accumulation from most significant digit *)

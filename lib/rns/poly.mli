@@ -39,6 +39,39 @@ val neg : t -> t
 val mul : t -> t -> t
 (** Point-wise product; both operands must be in [Eval] domain. *)
 
+(** {2 Destination-buffer forms}
+
+    The [_into] variants write into an existing polynomial instead of
+    allocating a result, eliminating the per-operation allocation churn in
+    hot paths (key switching accumulates into two buffers across all
+    digits). The destination must share the operands' basis and domain.
+    All of them are element-wise, so the destination may alias either
+    operand. *)
+
+val add_into : dst:t -> t -> t -> unit
+(** [add_into ~dst a b] sets [dst <- a + b]. *)
+
+val sub_into : dst:t -> t -> t -> unit
+(** [sub_into ~dst a b] sets [dst <- a - b]. *)
+
+val mul_into : dst:t -> t -> t -> unit
+(** [mul_into ~dst a b] sets [dst <- a * b] point-wise; all three must be
+    in [Eval] domain. *)
+
+val mul_add_into : acc:t -> t -> t -> unit
+(** [mul_add_into ~acc a b] sets [acc <- acc + a * b] point-wise ([Eval]
+    domain). The multiplier [b] may carry a deeper basis than [acc] and [a]
+    ([b.level_count >= a.level_count], same chain and special flag): chain
+    component [i] of [b] is read directly and [b]'s special component is
+    used for [a]'s special slot. This lets full-level key material be
+    consumed at a reduced ciphertext level without [restrict_levels]
+    copies. *)
+
+val lift_digit_into : dst:t -> t -> digit:int -> unit
+(** [lift_digit_into ~dst p ~digit] is {!lift_digit} writing into the
+    existing [Coeff]-domain polynomial [dst] (same chain as [p]; any
+    [level_count] / [with_special]). *)
+
 val mul_scalar : t -> int -> t
 (** Multiply every residue by a non-negative integer constant (reduced per
     modulus). Domain-agnostic. *)
@@ -50,10 +83,23 @@ val mul_component_scalars : t -> int array -> t
     native range. [Array.length ks] must equal [component_count p]. *)
 
 val to_eval : t -> t
-(** NTT-transform a [Coeff] polynomial (identity on [Eval]). *)
+(** NTT-transform a [Coeff] polynomial (identity on [Eval]). Allocates a
+    fresh polynomial; the argument is unchanged. *)
 
 val to_coeff : t -> t
-(** Inverse-NTT an [Eval] polynomial (identity on [Coeff]). *)
+(** Inverse-NTT an [Eval] polynomial (identity on [Coeff]). Allocates a
+    fresh polynomial; the argument is unchanged. *)
+
+val to_eval_inplace : t -> t
+(** Destructive {!to_eval}: transforms the residue arrays in place and
+    returns a shell sharing them with the updated [domain]. The argument
+    must not be used afterwards (its [domain] field is stale). Intended for
+    freshly-built intermediates whose coefficient form is never needed
+    again. *)
+
+val to_coeff_inplace : t -> t
+(** Destructive {!to_coeff}; same ownership contract as
+    {!to_eval_inplace}. *)
 
 val automorphism : t -> galois:int -> t
 (** [automorphism p ~galois:g] applies [X -> X^g] ([g] odd). Operand must be

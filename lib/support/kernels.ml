@@ -1,0 +1,17 @@
+(* Runtime selection between the fast arithmetic kernels (Barrett/Shoup,
+   allocation-free, optionally domain-parallel) and the division-based
+   reference kernels the fast paths are validated against. *)
+
+let naive =
+  Atomic.make
+    (match Sys.getenv_opt "HECATE_NAIVE_KERNELS" with
+    | Some ("" | "0") | None -> false
+    | Some _ -> true)
+
+let use_naive () = Atomic.get naive
+let set_naive b = Atomic.set naive b
+
+let with_naive b f =
+  let prev = Atomic.get naive in
+  Atomic.set naive b;
+  Fun.protect ~finally:(fun () -> Atomic.set naive prev) f

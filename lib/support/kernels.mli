@@ -1,0 +1,22 @@
+(** Runtime kernel selection.
+
+    The RNS hot loops ship in two flavours: the {e fast} kernels
+    (Barrett/Shoup modular arithmetic, allocation-free polynomial ops,
+    optionally domain-parallel component loops) and the {e reference}
+    kernels (hardware division, copy-per-operation) they are validated
+    against. Both produce bit-identical results; the reference path exists
+    for property tests and for the [bench kernels] before/after comparison.
+
+    The initial mode is fast unless the [HECATE_NAIVE_KERNELS] environment
+    variable is set to a non-empty value other than ["0"]. *)
+
+val use_naive : unit -> bool
+(** True when the reference (division-based) kernels are selected. *)
+
+val set_naive : bool -> unit
+(** Select the reference ([true]) or fast ([false]) kernels process-wide. *)
+
+val with_naive : bool -> (unit -> 'a) -> 'a
+(** [with_naive b f] runs [f] with the mode forced to [b], restoring the
+    previous mode afterwards (also on exceptions). Not safe to race with
+    kernel work on other domains. *)

@@ -1,13 +1,18 @@
 type table = {
   p : int;
   n : int;
+  ctx : Modarith.ctx;
   psi_rev : int array; (* psi^bitrev(i), i = 0..n-1 *)
+  psi_rev_shoup : int array; (* floor(psi_rev * 2^31 / p) *)
   psi_inv_rev : int array; (* psi^{-bitrev(i)} *)
+  psi_inv_rev_shoup : int array;
   n_inv : int;
+  n_inv_shoup : int;
 }
 
 let prime t = t.p
 let degree t = t.n
+let barrett t = t.ctx
 
 let bitrev i bits =
   let r = ref 0 and x = ref i in
@@ -36,14 +41,34 @@ let make_table ~p ~n =
     done;
     rev
   in
-  { p; n; psi_rev = pow_table psi; psi_inv_rev = pow_table psi_inv; n_inv = Modarith.inv ~q:p n }
+  let psi_rev = pow_table psi and psi_inv_rev = pow_table psi_inv in
+  let n_inv = Modarith.inv ~q:p n in
+  {
+    p;
+    n;
+    ctx = Modarith.ctx ~q:p;
+    psi_rev;
+    psi_rev_shoup = Array.map (Modarith.shoup ~q:p) psi_rev;
+    psi_inv_rev;
+    psi_inv_rev_shoup = Array.map (Modarith.shoup ~q:p) psi_inv_rev;
+    n_inv;
+    n_inv_shoup = Modarith.shoup ~q:p n_inv;
+  }
 
 (* Longa–Naehrig iterative negacyclic NTT (CT butterflies, decimation in
    time), with the psi powers folded into the twiddles so no pre/post scaling
-   by psi^i is needed. *)
-let forward t a =
+   by psi^i is needed. The [*_naive] variants reduce with hardware division
+   and are kept as the validation/benchmark reference; the default paths use
+   Shoup twiddle multiplication, whose estimated quotient leaves the product
+   in [0, 2p) (see docs/PERFORMANCE.md) — one conditional subtraction
+   canonicalizes, so the butterflies contain no division instruction. *)
+
+let check_length name t a =
+  if Array.length a <> t.n then invalid_arg ("Ntt." ^ name ^ ": wrong length")
+
+let forward_naive t a =
   let p = t.p and n = t.n in
-  if Array.length a <> n then invalid_arg "Ntt.forward: wrong length";
+  check_length "forward" t a;
   let tlen = ref n and m = ref 1 in
   while !m < n do
     tlen := !tlen / 2;
@@ -61,9 +86,9 @@ let forward t a =
     m := !m * 2
   done
 
-let inverse t a =
+let inverse_naive t a =
   let p = t.p and n = t.n in
-  if Array.length a <> n then invalid_arg "Ntt.inverse: wrong length";
+  check_length "inverse" t a;
   let tlen = ref 1 and m = ref n in
   while !m > 1 do
     let j1 = ref 0 in
@@ -86,11 +111,87 @@ let inverse t a =
     a.(i) <- Modarith.mul ~q:p a.(i) t.n_inv
   done
 
-let pointwise_mul t dst a b =
-  let p = t.p in
-  for i = 0 to t.n - 1 do
-    dst.(i) <- Modarith.mul ~q:p a.(i) b.(i)
+(* The fast paths use unchecked array accesses: every index is bounded by
+   the loop structure once [check_length] has validated the input, and the
+   butterflies are branch-light enough that bounds checks would dominate. *)
+let forward_fast t a =
+  let p = t.p and n = t.n in
+  check_length "forward" t a;
+  let psi = t.psi_rev and psi' = t.psi_rev_shoup in
+  let tlen = ref n and m = ref 1 in
+  while !m < n do
+    tlen := !tlen / 2;
+    for i = 0 to !m - 1 do
+      let j1 = 2 * i * !tlen in
+      let j2 = j1 + !tlen - 1 in
+      let s = Array.unsafe_get psi (!m + i) and s' = Array.unsafe_get psi' (!m + i) in
+      for j = j1 to j2 do
+        let u = Array.unsafe_get a j in
+        let x = Array.unsafe_get a (j + !tlen) in
+        (* branchless conditional add/subtract, as in Modarith.csub *)
+        let v = (x * s) - (((x * s') lsr 31) * p) in
+        let v = v - p in
+        let v = v + (v asr 62 land p) in
+        let su = u + v - p in
+        Array.unsafe_set a j (su + (su asr 62 land p));
+        let d = u - v in
+        Array.unsafe_set a (j + !tlen) (d + (d asr 62 land p))
+      done
+    done;
+    m := !m * 2
   done
+
+let inverse_fast t a =
+  let p = t.p and n = t.n in
+  check_length "inverse" t a;
+  let psi = t.psi_inv_rev and psi' = t.psi_inv_rev_shoup in
+  let tlen = ref 1 and m = ref n in
+  while !m > 1 do
+    let j1 = ref 0 in
+    let h = !m / 2 in
+    for i = 0 to h - 1 do
+      let j2 = !j1 + !tlen - 1 in
+      let s = Array.unsafe_get psi (h + i) and s' = Array.unsafe_get psi' (h + i) in
+      for j = !j1 to j2 do
+        let u = Array.unsafe_get a j in
+        let v = Array.unsafe_get a (j + !tlen) in
+        let su = u + v - p in
+        Array.unsafe_set a j (su + (su asr 62 land p));
+        let d = u - v in
+        let d = d + (d asr 62 land p) in
+        let w = (d * s) - (((d * s') lsr 31) * p) in
+        let w = w - p in
+        Array.unsafe_set a (j + !tlen) (w + (w asr 62 land p))
+      done;
+      j1 := !j1 + (2 * !tlen)
+    done;
+    tlen := !tlen * 2;
+    m := h
+  done;
+  let ni = t.n_inv and ni' = t.n_inv_shoup in
+  for i = 0 to n - 1 do
+    let x = Array.unsafe_get a i in
+    let w = (x * ni) - (((x * ni') lsr 31) * p) in
+    let w = w - p in
+    Array.unsafe_set a i (w + (w asr 62 land p))
+  done
+
+let forward t a = if Kernels.use_naive () then forward_naive t a else forward_fast t a
+let inverse t a = if Kernels.use_naive () then inverse_naive t a else inverse_fast t a
+
+let pointwise_mul t dst a b =
+  if Kernels.use_naive () then begin
+    let p = t.p in
+    for i = 0 to t.n - 1 do
+      dst.(i) <- Modarith.mul ~q:p a.(i) b.(i)
+    done
+  end
+  else begin
+    let ctx = t.ctx in
+    for i = 0 to t.n - 1 do
+      dst.(i) <- Modarith.mulmod ctx a.(i) b.(i)
+    done
+  end
 
 let negacyclic_mul t a b =
   let fa = Array.copy a and fb = Array.copy b in

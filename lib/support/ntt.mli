@@ -1,9 +1,17 @@
 (** Negacyclic number-theoretic transform modulo an NTT-friendly prime.
 
     A table caches the powers of a primitive [2n]-th root of unity [ψ] in
-    bit-reversed order (Longa–Naehrig layout). Point-wise multiplication of
-    two forward-transformed vectors followed by {!inverse} computes the
-    product in [Z_p\[X\]/(X^n + 1)]. *)
+    bit-reversed order (Longa–Naehrig layout), together with their Shoup
+    precomputations ([floor(w * 2^31 / p)]) and a Barrett context for the
+    prime. Point-wise multiplication of two forward-transformed vectors
+    followed by {!inverse} computes the product in [Z_p\[X\]/(X^n + 1)].
+
+    The default {!forward}/{!inverse} butterflies use Shoup multiplication
+    and contain no division instruction; the [*_naive] entry points are the
+    division-based reference used for validation and the [bench kernels]
+    before/after comparison. Both produce bit-identical canonical output.
+    When {!Kernels.use_naive} is set, {!forward}/{!inverse} dispatch to the
+    reference path. *)
 
 type table
 (** Precomputed twiddle factors for one (prime, degree) pair. *)
@@ -15,6 +23,9 @@ val make_table : p:int -> n:int -> table
 val prime : table -> int
 val degree : table -> int
 
+val barrett : table -> Modarith.ctx
+(** Barrett context for the table's prime. *)
+
 val forward : table -> int array -> unit
 (** In-place forward negacyclic NTT. Input and output are canonical residues.
     The output ordering is an internal (bit-reversed) one; it is consistent
@@ -22,6 +33,14 @@ val forward : table -> int array -> unit
 
 val inverse : table -> int array -> unit
 (** In-place inverse transform; [inverse t (forward t a) = a]. *)
+
+val forward_naive : table -> int array -> unit
+(** Division-based reference forward transform (bit-identical to
+    {!forward}). *)
+
+val inverse_naive : table -> int array -> unit
+(** Division-based reference inverse transform (bit-identical to
+    {!inverse}). *)
 
 val pointwise_mul : table -> int array -> int array -> int array -> unit
 (** [pointwise_mul t dst a b] sets [dst.(i) <- a.(i) * b.(i) mod p]. [dst]

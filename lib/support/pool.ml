@@ -94,3 +94,75 @@ let shutdown t =
 let with_pool ?size f =
   let t = create ?size () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* ------------------------------------------------------------------ *)
+(* Shared kernel pool                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Kernel = struct
+  let env_jobs () =
+    match Sys.getenv_opt "HECATE_KERNEL_JOBS" with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some j when j >= 1 -> Some j
+        | _ -> None)
+
+  let requested : int option Atomic.t = Atomic.make None
+
+  let jobs () =
+    match Atomic.get requested with
+    | Some j -> j
+    | None -> ( match env_jobs () with Some j -> j | None -> 1)
+
+  (* The pool is spawned lazily on the first parallel iteration and resized
+     when the job count changes; [lock] serializes (re)configuration, not
+     task submission. *)
+  let lock = Mutex.create ()
+  let pool : t option ref = ref None
+  let at_exit_registered = ref false
+
+  let set_jobs j =
+    let j = max 1 j in
+    Mutex.lock lock;
+    Atomic.set requested (Some j);
+    (match !pool with
+    | Some p when size p <> j ->
+        pool := None;
+        Mutex.unlock lock;
+        shutdown p;
+        Mutex.lock lock
+    | _ -> ());
+    Mutex.unlock lock
+
+  let get_pool () =
+    Mutex.lock lock;
+    let p =
+      match !pool with
+      | Some p when size p = jobs () -> p
+      | other ->
+          (match other with Some stale -> shutdown stale | None -> ());
+          let p = create ~size:(jobs ()) () in
+          pool := Some p;
+          if not !at_exit_registered then begin
+            at_exit_registered := true;
+            Stdlib.at_exit (fun () ->
+                Mutex.lock lock;
+                let p = !pool in
+                pool := None;
+                Mutex.unlock lock;
+                Option.iter shutdown p)
+          end;
+          p
+    in
+    Mutex.unlock lock;
+    p
+
+  let parallel_for count f =
+    if count <= 0 then ()
+    else if count = 1 || jobs () <= 1 then
+      for i = 0 to count - 1 do
+        f i
+      done
+    else ignore (map_array (get_pool ()) ~f (Array.init count Fun.id))
+end

@@ -40,3 +40,32 @@ val shutdown : t -> unit
 val with_pool : ?size:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] over a fresh pool and shuts it down afterwards,
     whether [f] returns or raises. *)
+
+(** Process-wide worker pool for the RNS kernel hot loops.
+
+    {!Hecate_rns.Poly} fans its independent per-RNS-component loops (one
+    NTT or residue loop per modulus) out over this pool when more than one
+    job is configured. The job count comes from {!Kernel.set_jobs} when
+    called, else from the [HECATE_KERNEL_JOBS] environment variable, else
+    defaults to 1 (serial) — parallel kernels are strictly opt-in so that
+    nested parallelism with exploration pools never oversubscribes by
+    surprise. Results are bit-identical for every job count.
+
+    The pool is spawned lazily on first use, resized on {!Kernel.set_jobs},
+    and joined via [at_exit]. Tasks must not themselves call
+    {!Kernel.parallel_for}. *)
+module Kernel : sig
+  val jobs : unit -> int
+  (** Effective job count: [set_jobs] override, else [HECATE_KERNEL_JOBS],
+      else 1. *)
+
+  val set_jobs : int -> unit
+  (** Set the job count (clamped to at least 1; 1 means serial). Resizes
+      the shared pool on next use. Do not call concurrently with kernel
+      work on other domains. *)
+
+  val parallel_for : int -> (int -> unit) -> unit
+  (** [parallel_for count f] runs [f 0 .. f (count-1)], on the shared pool
+      when [jobs () > 1] and [count > 1], serially otherwise. Blocks until
+      every iteration finished; exceptions propagate after all complete. *)
+end

@@ -36,6 +36,54 @@ let geomean a =
 
 let relative_error ~actual ~estimate = Float.abs (estimate -. actual) /. actual
 
+let median a =
+  check_nonempty "median" a;
+  let s = Array.copy a in
+  Array.sort compare s;
+  let n = Array.length s in
+  if n land 1 = 1 then s.(n / 2) else 0.5 *. (s.((n / 2) - 1) +. s.(n / 2))
+
+(* The stdlib exposes no raw monotonic clock; clamp the wall clock to be
+   non-decreasing (across domains) so a backwards NTP step can never yield a
+   negative duration. Jitter robustness comes from median-of-reps on top. *)
+let last_now = Atomic.make 0.
+
+let monotonic_now_s () =
+  let t = Unix.gettimeofday () in
+  let rec clamp () =
+    let last = Atomic.get last_now in
+    if t <= last then last
+    else if Atomic.compare_and_set last_now last t then t
+    else clamp ()
+  in
+  clamp ()
+
+let time_median ?(warmup = 1) ?(min_sample_s = 0.) ~reps f =
+  if reps < 1 then invalid_arg "Stats.time_median: reps must be >= 1";
+  if warmup < 0 then invalid_arg "Stats.time_median: negative warmup";
+  for _ = 1 to warmup do
+    f ()
+  done;
+  (* Batch enough calls per sample that one sample is measurable. *)
+  let batch =
+    if min_sample_s <= 0. then 1
+    else begin
+      let t0 = monotonic_now_s () in
+      f ();
+      let once = monotonic_now_s () -. t0 in
+      if once >= min_sample_s then 1
+      else max 1 (int_of_float (ceil (min_sample_s /. Float.max once 1e-9)))
+    end
+  in
+  let sample () =
+    let t0 = monotonic_now_s () in
+    for _ = 1 to batch do
+      f ()
+    done;
+    (monotonic_now_s () -. t0) /. float_of_int batch
+  in
+  median (Array.init reps (fun _ -> sample ()))
+
 let percentile xs p =
   check_nonempty "percentile" xs;
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";

@@ -20,3 +20,19 @@ val relative_error : actual:float -> estimate:float -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [\[0,100\]], nearest-rank on a sorted copy. *)
+
+val median : float array -> float
+(** Median on a sorted copy (mean of the middle pair for even lengths).
+    @raise Invalid_argument on empty input. *)
+
+val monotonic_now_s : unit -> float
+(** Wall-clock seconds, clamped process-wide to be non-decreasing so that
+    durations can never come out negative under clock steps. *)
+
+val time_median : ?warmup:int -> ?min_sample_s:float -> reps:int -> (unit -> unit) -> float
+(** [time_median ~reps f] is the median over [reps] timed samples of [f],
+    after [warmup] untimed calls (default 1), using {!monotonic_now_s}.
+    When [min_sample_s] is positive, each sample batches enough calls that
+    it spans at least that long (the per-call time is returned), making
+    sub-microsecond operations measurable. Median-of-reps is robust to
+    timer jitter where the mean is not. *)

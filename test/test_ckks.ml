@@ -316,6 +316,43 @@ let test_mul_faster_at_higher_level () =
   check Alcotest.bool "level-2 mul faster than level-0" true (t_level2 < t_level0)
 
 (* ------------------------------------------------------------------ *)
+(* Fast kernels vs naive reference                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The Barrett/Shoup/in-place evaluator paths must be bit-identical to the
+   naive division-based reference on the same inputs. All the ops below are
+   deterministic given the ciphertext, so we can run each twice under the
+   kernel toggle and compare residue-for-residue. *)
+let test_eval_fast_matches_naive () =
+  let module K = Hecate_support.Kernels in
+  let t = Lazy.force ctx in
+  let a = random_vector 131 512 and b = random_vector 137 512 in
+  let ca = Eval.encrypt_vector t ~scale:scale20 a in
+  let cb = Eval.encrypt_vector t ~scale:scale20 b in
+  let ct_equal name x y =
+    check Alcotest.bool (name ^ " c0") true (Poly.equal x.Eval.c0 y.Eval.c0);
+    check Alcotest.bool (name ^ " c1") true (Poly.equal x.Eval.c1 y.Eval.c1)
+  in
+  let pair f = (K.with_naive true f, K.with_naive false f) in
+  let mul_naive, mul_fast = pair (fun () -> Eval.mul t ca cb) in
+  ct_equal "mul" mul_naive mul_fast;
+  let rs_naive, rs_fast = pair (fun () -> Eval.rescale t mul_naive) in
+  ct_equal "rescale" rs_naive rs_fast;
+  let rot_naive, rot_fast = pair (fun () -> Eval.rotate t ca 3) in
+  ct_equal "rotate" rot_naive rot_fast;
+  (* raw keyswitch on the c1 component against the relinearization key *)
+  let p = Lazy.force params in
+  let lc = Chain.length p.Params.chain in
+  let d = Poly.to_coeff ca.Eval.c1 in
+  let relin = (Eval.keys t).Hecate_ckks.Keys.relin in
+  let ks_naive, ks_fast = pair (fun () -> Eval.keyswitch t ~lc d relin) in
+  check Alcotest.bool "keyswitch fst" true (Poly.equal (fst ks_naive) (fst ks_fast));
+  check Alcotest.bool "keyswitch snd" true (Poly.equal (snd ks_naive) (snd ks_fast));
+  (* and the decrypted values agree end to end *)
+  let dec_naive, dec_fast = pair (fun () -> Eval.decrypt t rs_fast) in
+  check Alcotest.bool "decrypt" true (Stats.max_abs_diff dec_naive dec_fast = 0.)
+
+(* ------------------------------------------------------------------ *)
 (* Failure injection / security smoke                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -428,6 +465,8 @@ let () =
           Alcotest.test_case "rescale exhaustion" `Quick test_rescale_exhaustion;
           Alcotest.test_case "level speeds up mul" `Slow test_mul_faster_at_higher_level;
         ] );
+      ( "kernels",
+        [ Alcotest.test_case "fast matches naive" `Quick test_eval_fast_matches_naive ] );
       ( "robustness",
         [
           Alcotest.test_case "wrong key garbage" `Quick test_wrong_key_garbage;

@@ -242,6 +242,130 @@ let test_poly_incompatible_rejected () =
   | _ -> Alcotest.fail "expected domain error (Coeff operands)"
   | exception Invalid_argument _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Fast kernels: Barrett contexts, into-ops, in-place NTT, parallelism *)
+(* ------------------------------------------------------------------ *)
+
+let test_chain_barrett_ctx () =
+  (* every precomputed Barrett context agrees with hardware-division
+     multiplication on boundary and random residues *)
+  let c = Lazy.force chain in
+  let g = Prng.create ~seed:21 in
+  let check_ctx name ctx q =
+    check Alcotest.int (name ^ " modulus") q (M.modulus ctx);
+    let residues = [ 0; 1; q - 2; q - 1 ] in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b -> check Alcotest.int name (M.mul ~q a b) (M.mulmod ctx a b))
+          residues)
+      residues;
+    for _ = 1 to 200 do
+      let a = Prng.int_below g q and b = Prng.int_below g q in
+      check Alcotest.int name (M.mul ~q a b) (M.mulmod ctx a b)
+    done
+  in
+  for i = 0 to Chain.length c - 1 do
+    check_ctx (Printf.sprintf "chain prime %d" i) (Chain.ctx c i) (Chain.prime c i)
+  done;
+  check_ctx "special prime" (Chain.special_ctx c) (Chain.special_prime c)
+
+let test_poly_into_ops_match_pure () =
+  let a, _ = random_poly 22 and b, _ = random_poly 23 in
+  let dst = Poly.copy a in
+  Poly.add_into ~dst a b;
+  check Alcotest.bool "add_into" true (Poly.equal dst (Poly.add a b));
+  Poly.sub_into ~dst a b;
+  check Alcotest.bool "sub_into" true (Poly.equal dst (Poly.sub a b));
+  (* destination aliasing an operand is allowed *)
+  let alias = Poly.copy a in
+  Poly.add_into ~dst:alias alias b;
+  check Alcotest.bool "add_into aliased" true (Poly.equal alias (Poly.add a b));
+  let ea = Poly.to_eval a and eb = Poly.to_eval b in
+  let dst = Poly.copy ea in
+  Poly.mul_into ~dst ea eb;
+  check Alcotest.bool "mul_into" true (Poly.equal dst (Poly.mul ea eb));
+  let acc0, _ = random_poly 24 in
+  let acc = Poly.to_eval acc0 in
+  let expect = Poly.add acc (Poly.mul ea eb) in
+  Poly.mul_add_into ~acc ea eb;
+  check Alcotest.bool "mul_add_into" true (Poly.equal acc expect)
+
+let test_poly_mul_add_into_deeper_basis () =
+  (* the multiplier may carry the full basis while acc and a are reduced:
+     equivalent to restricting the multiplier first *)
+  let check_case ~with_special seed =
+    let a2, _ = random_poly ~with_special ~level_count:2 seed in
+    let b4, _ = random_poly ~with_special (seed + 1) in
+    let acc0, _ = random_poly ~with_special ~level_count:2 (seed + 2) in
+    let ea = Poly.to_eval a2 and eb = Poly.to_eval b4 in
+    let acc = Poly.to_eval acc0 in
+    let expect = Poly.add acc (Poly.mul ea (Poly.restrict_levels eb ~level_count:2)) in
+    Poly.mul_add_into ~acc ea eb;
+    check Alcotest.bool
+      (Printf.sprintf "deeper-basis multiplier (special=%b)" with_special)
+      true (Poly.equal acc expect)
+  in
+  check_case ~with_special:false 25;
+  check_case ~with_special:true 35
+
+let test_poly_inplace_transforms () =
+  let p, _ = random_poly ~with_special:true 28 in
+  let e = Poly.to_eval p in
+  let ei = Poly.to_eval_inplace (Poly.copy p) in
+  check Alcotest.bool "to_eval_inplace = to_eval" true (Poly.equal e ei);
+  let back = Poly.to_coeff_inplace (Poly.copy e) in
+  check Alcotest.bool "to_coeff_inplace = to_coeff" true (Poly.equal p back)
+
+let test_poly_lift_digit_into () =
+  let c = Lazy.force chain in
+  let p, _ = random_poly 29 in
+  List.iter
+    (fun with_special ->
+      for digit = 0 to 3 do
+        let expect = Poly.lift_digit p ~digit ~with_special in
+        let dst = Poly.zero c ~level_count:4 ~with_special Poly.Coeff in
+        Poly.lift_digit_into ~dst p ~digit;
+        check Alcotest.bool
+          (Printf.sprintf "lift_digit_into digit %d special=%b" digit with_special)
+          true (Poly.equal dst expect)
+      done)
+    [ false; true ]
+
+(* Parallel kernels only engage at degree >= 4096; use a full-size chain so
+   the jobs > 1 paths are actually exercised. *)
+let big_chain = lazy (Chain.create ~n:4096 ~q0_bits:30 ~sf_bits:28 ~levels:2 ~special_bits:31)
+
+let random_big_poly seed =
+  let c = Lazy.force big_chain in
+  let g = Prng.create ~seed in
+  let coeffs = Array.init (Chain.degree c) (fun _ -> Prng.int_below g 1000000 - 500000) in
+  Poly.of_centered_coeffs c ~level_count:3 ~with_special:true coeffs
+
+let test_poly_parallel_matches_serial () =
+  let module K = Hecate_support.Pool.Kernel in
+  let a = random_big_poly 30 and b = random_big_poly 31 in
+  let saved = K.jobs () in
+  Fun.protect
+    ~finally:(fun () -> K.set_jobs saved)
+    (fun () ->
+      K.set_jobs 1;
+      let ea = Poly.to_eval a and eb = Poly.to_eval b in
+      let serial_sum = Poly.add a b in
+      let serial_mul = Poly.mul ea eb in
+      let serial_back = Poly.to_coeff serial_mul in
+      List.iter
+        (fun jobs ->
+          K.set_jobs jobs;
+          let name s = Printf.sprintf "%s, jobs=%d" s jobs in
+          check Alcotest.bool (name "add") true (Poly.equal serial_sum (Poly.add a b));
+          let ea' = Poly.to_eval a and eb' = Poly.to_eval b in
+          check Alcotest.bool (name "to_eval") true (Poly.equal ea ea');
+          check Alcotest.bool (name "mul") true (Poly.equal serial_mul (Poly.mul ea' eb'));
+          check Alcotest.bool (name "to_coeff") true
+            (Poly.equal serial_back (Poly.to_coeff serial_mul)))
+        [ 1; 2; 4 ])
+
 let prop_poly_add_matches_int =
   QCheck.Test.make ~name:"poly add = coefficient add" ~count:50
     QCheck.(pair small_int small_int)
@@ -283,5 +407,15 @@ let () =
           Alcotest.test_case "restrict levels" `Quick test_poly_restrict_levels;
           Alcotest.test_case "incompatible rejected" `Quick test_poly_incompatible_rejected;
           qtest prop_poly_add_matches_int;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "chain barrett ctx" `Quick test_chain_barrett_ctx;
+          Alcotest.test_case "into ops match pure" `Quick test_poly_into_ops_match_pure;
+          Alcotest.test_case "mul_add_into deeper basis" `Quick
+            test_poly_mul_add_into_deeper_basis;
+          Alcotest.test_case "inplace transforms" `Quick test_poly_inplace_transforms;
+          Alcotest.test_case "lift_digit_into" `Quick test_poly_lift_digit_into;
+          Alcotest.test_case "parallel matches serial" `Quick test_poly_parallel_matches_serial;
         ] );
     ]

@@ -49,6 +49,86 @@ let prop_centered_roundtrip =
     QCheck.(int_bound (q31 - 1))
     (fun a -> M.of_centered ~q:q31 (M.to_centered ~q:q31 a) = a)
 
+(* Barrett and Shoup kernels must agree bit-for-bit with the division-based
+   reference, across prime widths and including the boundary residues. *)
+
+let barrett_test_primes () =
+  (* several widths, including the 31-bit extreme the special prime can hit *)
+  List.concat_map
+    (fun bits -> Pr.ntt_primes ~bits ~n:1024 ~count:2)
+    [ 28; 29; 30; 31 ]
+  @ [ q31; q_small ]
+
+let boundary_residues q = [ 0; 1; q - 2; q - 1 ]
+
+let test_barrett_vs_naive () =
+  let g = P.create ~seed:0xBA22E77 in
+  List.iter
+    (fun q ->
+      let c = M.ctx ~q in
+      check Alcotest.int "modulus" q (M.modulus c);
+      let pairs =
+        List.concat_map (fun a -> List.map (fun b -> (a, b)) (boundary_residues q))
+          (boundary_residues q)
+        @ List.init 200 (fun _ -> (P.uniform_mod g q, P.uniform_mod g q))
+      in
+      List.iter
+        (fun (a, b) ->
+          check Alcotest.int
+            (Printf.sprintf "mulmod q=%d %d*%d" q a b)
+            (M.mul ~q a b) (M.mulmod c a b))
+        pairs)
+    (barrett_test_primes ())
+
+let test_barrett_reduce_ctx () =
+  let g = P.create ~seed:0xC0FFEE in
+  List.iter
+    (fun q ->
+      let c = M.ctx ~q in
+      (* domain: |z| < min (2 q^2) 2^62 *)
+      let zmax = min ((2 * q * q) - 1) ((1 lsl 62) - 1) in
+      let zs =
+        [ 0; 1; q - 1; q; q + 1; (q * q) - 1; -1; -q; zmax; -zmax ]
+        @ List.init 200 (fun _ ->
+              (* random value below q^2 + q, signed *)
+              let z = (P.uniform_mod g q * P.uniform_mod g q) + P.uniform_mod g q in
+              if P.uniform_mod g 2 = 0 then -z else z)
+      in
+      List.iter
+        (fun z ->
+          check Alcotest.int (Printf.sprintf "reduce_ctx q=%d z=%d" q z) (M.reduce ~q z)
+            (M.reduce_ctx c z))
+        zs)
+    (barrett_test_primes ())
+
+let test_shoup_vs_naive () =
+  let g = P.create ~seed:0x540FF in
+  List.iter
+    (fun q ->
+      let ws = boundary_residues q @ List.init 50 (fun _ -> P.uniform_mod g q) in
+      List.iter
+        (fun w ->
+          let w' = M.shoup ~q w in
+          List.iter
+            (fun a ->
+              check Alcotest.int
+                (Printf.sprintf "shoup q=%d a=%d w=%d" q a w)
+                (M.mul ~q a w)
+                (M.mulmod_shoup ~q a w w'))
+            (boundary_residues q @ List.init 20 (fun _ -> P.uniform_mod g q)))
+        ws)
+    (barrett_test_primes ())
+
+let test_pow_negative_base () =
+  (* regression: [b mod q] is negative for negative [b] in OCaml; pow must
+     normalize before squaring *)
+  check Alcotest.int "(-2)^3 mod 97" (M.reduce ~q:q_small ((-2) * (-2) * -2))
+    (M.pow ~q:q_small (-2) 3);
+  check Alcotest.int "(-1)^2" 1 (M.pow ~q:q_small (-1) 2);
+  check Alcotest.int "(-1)^3" (q_small - 1) (M.pow ~q:q_small (-1) 3);
+  check Alcotest.int "negative base vs normalized base" (M.pow ~q:q31 (q31 - 5) 12345)
+    (M.pow ~q:q31 (-5) 12345)
+
 (* ------------------------------------------------------------------ *)
 (* PRNG                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -254,14 +334,46 @@ let ntt_table n =
   N.make_table ~p ~n
 
 let test_ntt_roundtrip () =
-  let n = 512 in
-  let t = ntt_table n in
-  let g = P.create ~seed:31 in
-  let a = Array.init n (fun _ -> P.uniform_mod g (N.prime t)) in
-  let b = Array.copy a in
-  N.forward t b;
-  N.inverse t b;
-  check Alcotest.(array int) "roundtrip" a b
+  List.iter
+    (fun n ->
+      let t = ntt_table n in
+      let g = P.create ~seed:31 in
+      let a = Array.init n (fun _ -> P.uniform_mod g (N.prime t)) in
+      let b = Array.copy a in
+      N.forward t b;
+      N.inverse t b;
+      check Alcotest.(array int) (Printf.sprintf "roundtrip n=%d" n) a b)
+    [ 8; 64; 512; 1024 ]
+
+let test_ntt_fast_vs_naive () =
+  (* the Shoup/Barrett transforms must agree bit-for-bit with the
+     division-based reference on identical inputs *)
+  List.iter
+    (fun n ->
+      let t = ntt_table n in
+      let g = P.create ~seed:41 in
+      let a = Array.init n (fun _ -> P.uniform_mod g (N.prime t)) in
+      let fwd_fast = Array.copy a and fwd_naive = Array.copy a in
+      N.forward t fwd_fast;
+      N.forward_naive t fwd_naive;
+      check Alcotest.(array int) (Printf.sprintf "forward n=%d" n) fwd_naive fwd_fast;
+      let inv_fast = Array.copy fwd_fast and inv_naive = Array.copy fwd_fast in
+      N.inverse t inv_fast;
+      N.inverse_naive t inv_naive;
+      check Alcotest.(array int) (Printf.sprintf "inverse n=%d" n) inv_naive inv_fast;
+      check Alcotest.(array int) (Printf.sprintf "roundtrip n=%d" n) a inv_fast)
+    [ 8; 64; 1024 ]
+
+let test_kernels_toggle () =
+  let k = Hecate_support.Kernels.use_naive () in
+  Hecate_support.Kernels.with_naive true (fun () ->
+      check Alcotest.bool "naive inside" true (Hecate_support.Kernels.use_naive ()));
+  check Alcotest.bool "restored" k (Hecate_support.Kernels.use_naive ());
+  (* with_naive restores the flag even when the thunk raises *)
+  (try
+     Hecate_support.Kernels.with_naive true (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check Alcotest.bool "restored after raise" k (Hecate_support.Kernels.use_naive ())
 
 (* Schoolbook negacyclic product for cross-validation. *)
 let schoolbook_negacyclic ~q a b =
@@ -346,6 +458,36 @@ let test_stats_errors () =
   Alcotest.check_raises "rmse mismatch" (Invalid_argument "Stats.rmse: length mismatch")
     (fun () -> ignore (S.rmse [| 1. |] [| 1.; 2. |]))
 
+let test_stats_median () =
+  check (Alcotest.float 1e-12) "odd length" 3. (S.median [| 5.; 1.; 3. |]);
+  check (Alcotest.float 1e-12) "even length" 2.5 (S.median [| 4.; 1.; 2.; 3. |]);
+  check (Alcotest.float 1e-12) "single" 7. (S.median [| 7. |]);
+  (* median is robust to one outlier where the mean is not *)
+  check (Alcotest.float 1e-12) "outlier" 2. (S.median [| 1.; 2.; 1000. |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.median: empty input") (fun () ->
+      ignore (S.median [||]))
+
+let test_monotonic_now () =
+  let prev = ref (S.monotonic_now_s ()) in
+  for _ = 1 to 1000 do
+    let t = S.monotonic_now_s () in
+    check Alcotest.bool "non-decreasing" true (t >= !prev);
+    prev := t
+  done
+
+let test_time_median () =
+  let calls = ref 0 in
+  let d = S.time_median ~warmup:2 ~reps:3 (fun () -> incr calls) in
+  check Alcotest.bool "positive" true (d >= 0.);
+  check Alcotest.bool "warmup + reps calls" true (!calls >= 5);
+  (* auto-batching: with a min sample duration, each sample must loop the
+     thunk enough times to fill it *)
+  let calls = ref 0 in
+  ignore (S.time_median ~warmup:0 ~min_sample_s:0.005 ~reps:2 (fun () -> incr calls));
+  check Alcotest.bool "batched" true (!calls > 2);
+  Alcotest.check_raises "reps >= 1" (Invalid_argument "Stats.time_median: reps must be >= 1")
+    (fun () -> ignore (S.time_median ~reps:0 (fun () -> ())))
+
 let () =
   Alcotest.run "hecate_support"
     [
@@ -355,6 +497,10 @@ let () =
           Alcotest.test_case "inverses" `Quick test_mod_inverse;
           qtest prop_mul_assoc;
           qtest prop_centered_roundtrip;
+          Alcotest.test_case "barrett vs naive" `Quick test_barrett_vs_naive;
+          Alcotest.test_case "barrett reduce_ctx" `Quick test_barrett_reduce_ctx;
+          Alcotest.test_case "shoup vs naive" `Quick test_shoup_vs_naive;
+          Alcotest.test_case "pow negative base" `Quick test_pow_negative_base;
         ] );
       ( "prng",
         [
@@ -387,6 +533,8 @@ let () =
       ( "ntt",
         [
           Alcotest.test_case "roundtrip" `Quick test_ntt_roundtrip;
+          Alcotest.test_case "fast vs naive" `Quick test_ntt_fast_vs_naive;
+          Alcotest.test_case "kernel mode toggle" `Quick test_kernels_toggle;
           Alcotest.test_case "vs schoolbook" `Quick test_ntt_vs_schoolbook;
           Alcotest.test_case "negacyclic wraparound" `Quick test_ntt_negacyclic_wrap;
           qtest prop_ntt_convolution_linear;
@@ -396,5 +544,8 @@ let () =
           Alcotest.test_case "basic" `Quick test_stats_basic;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "errors" `Quick test_stats_errors;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "monotonic clock" `Quick test_monotonic_now;
+          Alcotest.test_case "time_median" `Quick test_time_median;
         ] );
     ]
