@@ -21,6 +21,19 @@
                                             Flags: --quick, --reps N (default 5),
                                             --warmup N (default 1), --jobs J,
                                             --out FILE (see docs/PERFORMANCE.md)
+     dune exec bench/main.exe fuzz       -- differential fuzzing of the four
+                                            scale-management schemes: random
+                                            valid-by-construction programs are
+                                            compiled under every scheme and
+                                            cross-checked against the plaintext
+                                            reference; failures are shrunk to
+                                            minimal .hec reproducers.
+                                            Flags: --seed N (default 42),
+                                            --count N (default 200),
+                                            --max-depth N, --max-ops N,
+                                            --out DIR (default test/corpus).
+                                            Exits 1 on any oracle failure
+                                            (see docs/TESTING.md)
 
    Latencies are measured on the in-repo RNS-CKKS substrate at reduced ring
    degrees (see DESIGN.md); estimated latencies are also reported at the
@@ -632,6 +645,66 @@ let kernels flags =
     sps;
   Printf.printf "\nwrote %s\n" !out
 
+(* ------------------------------------------------------------------ *)
+(* Differential fuzzing of the four schemes                            *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz flags =
+  let module Gen = Hecate_fuzz.Gen in
+  let module Campaign = Hecate_fuzz.Campaign in
+  let seed = ref 42 in
+  let count = ref 200 in
+  let max_depth = ref Gen.default_config.Gen.max_depth in
+  let max_ops = ref Gen.default_config.Gen.max_ops in
+  let out = ref "test/corpus" in
+  let rec parse = function
+    | [] -> ()
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | "--count" :: v :: rest ->
+        count := int_of_string v;
+        parse rest
+    | "--max-depth" :: v :: rest ->
+        max_depth := int_of_string v;
+        parse rest
+    | "--max-ops" :: v :: rest ->
+        max_ops := int_of_string v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | other :: _ ->
+        Printf.eprintf
+          "fuzz: unknown flag %s (--seed N | --count N | --max-depth N | --max-ops N | --out DIR)\n"
+          other;
+        exit 2
+  in
+  parse flags;
+  heading "Differential fuzzing -- 4 schemes x random programs vs plaintext reference";
+  Printf.printf
+    "seed %d, %d cases, max depth %d, max ops %d; failures are shrunk and written to %s/\n\
+     (case i uses seed %d+i: reproduce one case with --seed <case seed> --count 1)\n\n%!"
+    !seed !count !max_depth !max_ops !out !seed;
+  let gen = { Gen.default_config with Gen.max_depth = !max_depth; max_ops = !max_ops } in
+  let report =
+    Campaign.run ~gen ~out_dir:!out ~log:print_endline ~seed:!seed ~count:!count ()
+  in
+  Printf.printf "\n%d cases in %.1f s (%.1f cases/s): %d failure(s)\n" report.Campaign.count
+    report.Campaign.elapsed_seconds
+    (float_of_int report.Campaign.count /. Float.max 1e-9 report.Campaign.elapsed_seconds)
+    (List.length report.Campaign.failures);
+  if report.Campaign.failures <> [] then begin
+    List.iter
+      (fun (f : Campaign.case_failure) ->
+        Printf.printf "  seed %d: %s (shrunk to %d ops%s)\n" f.Campaign.case_seed
+          (Hecate_fuzz.Oracle.describe f.Campaign.failure)
+          (Prog.num_ops f.Campaign.shrunk)
+          (match f.Campaign.repro_path with Some p -> ", " ^ p | None -> ""))
+      report.Campaign.failures;
+    exit 1
+  end
+
 let () =
   let t0 = Unix.gettimeofday () in
   let cmds = match Array.to_list Sys.argv with _ :: (_ :: _ as rest) -> rest | _ -> [ "all" ] in
@@ -658,11 +731,12 @@ let () =
     | other ->
         Printf.eprintf
           "unknown subcommand %s \
-           (fig7|fig7paper|table2|table3|fig8|explore|passes|ops|ablate|kernels|all)\n"
+           (fig7|fig7paper|table2|table3|fig8|explore|passes|ops|ablate|kernels|fuzz|all)\n"
           other;
         exit 2
   in
   (match cmds with
   | "kernels" :: flags -> kernels flags
+  | "fuzz" :: flags -> fuzz flags
   | _ -> List.iter run cmds);
   Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -77,10 +77,19 @@ let execute eval ~waterline_bits (p : Prog.t) ~inputs =
     | Vcipher c -> c
     | Vplain _ | Vfree _ -> invalid_arg "Interp.execute: expected a ciphertext operand"
   in
+  (* The logical vector is replicated across the physical register: when the
+     execution degree offers more slots than the program declares, rotation
+     must still be cyclic in [slot_count], and replication makes the Galois
+     rotation of the register exactly that (slot counts and register widths
+     are both powers of two). Found by the differential fuzzer: a 4-slot
+     rotate executed at n = 16 used to wrap zeros in through the 8-slot
+     register. Identity when the register width equals [slot_count]. *)
+  let phys = Params.slots (Eval.params eval) in
   let pad v =
-    let out = Array.make sc 0. in
-    Array.blit v 0 out 0 (min sc (Array.length v));
-    out
+    let len = Array.length v in
+    Array.init phys (fun i ->
+        let j = i mod sc in
+        if j < len then v.(j) else 0.)
   in
   (* SEAL-style scale alignment before additive operations. *)
   let align_cipher a target =
@@ -92,7 +101,7 @@ let execute eval ~waterline_bits (p : Prog.t) ~inputs =
         match List.assoc_opt name inputs with
         | Some v -> Vcipher (Eval.encrypt_vector eval ~scale:wl (pad v))
         | None -> invalid_arg ("Interp.execute: missing input " ^ name))
-    | Prog.Const { value = Prog.Scalar x } -> Vfree (Array.make sc x)
+    | Prog.Const { value = Prog.Scalar x } -> Vfree (Array.make phys x)
     | Prog.Const { value = Prog.Vector v } -> Vfree (pad v)
     | Prog.Encode { scale; level } -> (
         match get o.Prog.args.(0) with

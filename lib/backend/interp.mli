@@ -6,7 +6,13 @@
     SEAL-style scale adjustment before additions to absorb prime drift, and
     releases dead ciphertexts using the liveness plan. Per-operation
     wall-clock times are accumulated by cost-model class for the
-    estimator-accuracy experiment. *)
+    estimator-accuracy experiment.
+
+    When the execution ring offers more slots than the program declares
+    ([n/2 > slot_count]), input and constant vectors are replicated across
+    the physical register so that slot rotation stays cyclic in the
+    declared slot count (found by the differential fuzzer — see
+    test/corpus/ and docs/TESTING.md). *)
 
 type class_stat = { count : int; seconds : float }
 

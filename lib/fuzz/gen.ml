@@ -1,0 +1,152 @@
+module Prog = Hecate_ir.Prog
+module B = Prog.Builder
+module Prng = Hecate_support.Prng
+
+type config = {
+  max_ops : int;
+  max_depth : int;
+  max_inputs : int;
+  max_outputs : int;
+  slot_choices : int list;
+  magnitude_cap : float;
+}
+
+let default_config =
+  {
+    max_ops = 24;
+    max_depth = 3;
+    max_inputs = 3;
+    max_outputs = 2;
+    slot_choices = [ 4; 8; 16; 32 ];
+    magnitude_cap = 16.0;
+  }
+
+type case = { seed : int; prog : Prog.t; inputs : (string * float array) list }
+
+(* Per-value bookkeeping: multiplicative depth, a bound on the plaintext
+   magnitude, and ciphertext provenance (derived from at least one input).
+   Outputs must be cipher-derived or codegen rightly rejects the program. *)
+type meta = { depth : int; mag : float; cipher : bool }
+
+let input_amplitude = 0.5
+
+let input_vector ~seed ~slot_count name =
+  let g = Prng.split (Prng.create ~seed) ("input:" ^ name) in
+  Array.init slot_count (fun _ -> input_amplitude *. ((2. *. Prng.float01 g) -. 1.))
+
+let inputs_for ~seed (prog : Prog.t) =
+  List.map
+    (fun v ->
+      match (Prog.op prog v).Prog.kind with
+      | Prog.Input { name } -> (name, input_vector ~seed ~slot_count:prog.Prog.slot_count name)
+      | _ -> invalid_arg "Gen.inputs_for: input list does not point at input ops")
+    prog.Prog.inputs
+
+let pick g l = List.nth l (Prng.int_below g (List.length l))
+
+let generate ?(config = default_config) ~seed () =
+  let shape = Prng.split (Prng.create ~seed) "shape" in
+  let consts = Prng.split (Prng.create ~seed) "consts" in
+  let slot_count = pick shape config.slot_choices in
+  let b = B.create ~name:(Printf.sprintf "fuzz_%d" seed) ~slot_count () in
+  let metas = ref [] (* reversed: head is the newest value *) in
+  let count = ref 0 in
+  let note m =
+    metas := m :: !metas;
+    incr count
+  in
+  let meta v = List.nth !metas (!count - 1 - v) in
+  let n_inputs = 1 + Prng.int_below shape config.max_inputs in
+  for i = 0 to n_inputs - 1 do
+    ignore (B.input b (Printf.sprintf "x%d" i));
+    note { depth = 0; mag = input_amplitude; cipher = true }
+  done;
+  let fresh_const () =
+    let v =
+      if Prng.int_below consts 10 < 7 then B.const_scalar b ((2. *. Prng.float01 consts) -. 1.)
+      else
+        B.const_vector b
+          (Array.init slot_count (fun _ -> (2. *. Prng.float01 consts) -. 1.))
+    in
+    note { depth = 0; mag = 1.; cipher = false };
+    v
+  in
+  (* operand selection: ciphertext operands are biased toward recent values
+     so programs grow deep rather than wide *)
+  let cipher_values () =
+    let vs = ref [] in
+    List.iteri
+      (fun i m -> if m.cipher then vs := (!count - 1 - i) :: !vs)
+      !metas;
+    !vs
+  in
+  let pick_cipher () =
+    let vs = cipher_values () in
+    (* ascending ids: newest last *)
+    let n = List.length vs in
+    if Prng.int_below shape 2 = 0 then List.nth vs (n - 1 - Prng.int_below shape (min n 4))
+    else List.nth vs (Prng.int_below shape n)
+  in
+  let pick_any () = Prng.int_below shape !count in
+  let n_ops = 1 + Prng.int_below shape config.max_ops in
+  for _ = 1 to n_ops do
+    if Prng.int_below shape 4 = 0 then ignore (fresh_const ());
+    let x = pick_cipher () in
+    let mx = meta x in
+    let roll = Prng.int_below shape 10 in
+    let emit_binary mk =
+      let y = pick_any () in
+      let my = meta y in
+      match mk with
+      | `Mul
+        when max mx.depth my.depth + 1 <= config.max_depth
+             && mx.mag *. my.mag <= config.magnitude_cap ->
+          ignore (B.mul b x y);
+          note
+            {
+              depth = max mx.depth my.depth + 1;
+              mag = mx.mag *. my.mag;
+              cipher = mx.cipher || my.cipher;
+            }
+      | `Add | `Sub when mx.mag +. my.mag <= config.magnitude_cap ->
+          ignore ((if mk = `Add then B.add else B.sub) b x y);
+          note
+            {
+              depth = max mx.depth my.depth;
+              mag = mx.mag +. my.mag;
+              cipher = mx.cipher || my.cipher;
+            }
+      | _ ->
+          (* constraint violated: negate is always admissible *)
+          ignore (B.negate b x);
+          note { mx with cipher = mx.cipher }
+    in
+    if roll < 3 then emit_binary `Add
+    else if roll < 4 then emit_binary `Sub
+    else if roll < 7 then emit_binary `Mul
+    else if roll < 9 then begin
+      let amount =
+        let r = 1 + Prng.int_below shape (slot_count - 1) in
+        if Prng.int_below shape 2 = 0 then r else -r
+      in
+      ignore (B.rotate b x amount);
+      note mx
+    end
+    else begin
+      ignore (B.negate b x);
+      note mx
+    end
+  done;
+  (* outputs: the newest ciphertext value, plus up to max_outputs - 1 other
+     distinct ciphertext values *)
+  let ciphers = cipher_values () in
+  let last = List.nth ciphers (List.length ciphers - 1) in
+  let outs = ref [ last ] in
+  let extra = Prng.int_below shape config.max_outputs in
+  for _ = 1 to extra do
+    let c = pick_cipher () in
+    if not (List.mem c !outs) then outs := c :: !outs
+  done;
+  List.iter (B.output b) (List.rev !outs);
+  let prog = B.finish b in
+  { seed; prog; inputs = inputs_for ~seed prog }

@@ -1,0 +1,44 @@
+(** Seeded, valid-by-construction random IR program generator.
+
+    Programs are random SSA DAGs over the homomorphic subset of the IR
+    ([add], [sub], [mul], [negate], [rotate], [const] — plain multiplies
+    arise from [mul] with a constant operand), with bounded multiplicative
+    depth, bounded value magnitudes and bounded slot counts so that every
+    generated program compiles under all four scale-management schemes and
+    executes quickly on the reduced-degree CKKS substrate.
+
+    All randomness flows through named {!Hecate_support.Prng.split}
+    sub-streams of one seed ("shape", "consts", "input:<name>"), so the
+    program structure, its constants and its input data are independently
+    reproducible from a single printed integer. *)
+
+type config = {
+  max_ops : int;  (** homomorphic-op budget beyond inputs/consts *)
+  max_depth : int;  (** multiplicative-depth cap *)
+  max_inputs : int;
+  max_outputs : int;
+  slot_choices : int list;  (** candidate slot counts (powers of two) *)
+  magnitude_cap : float;
+      (** bound on the plaintext magnitude of any generated value; operand
+          choices that would exceed it are degraded to cheaper ops *)
+}
+
+val default_config : config
+(** [max_ops = 24], [max_depth = 3], [max_inputs = 3], [max_outputs = 2],
+    [slot_choices = \[4; 8; 16; 32\]], [magnitude_cap = 16.0]. *)
+
+type case = {
+  seed : int;
+  prog : Hecate_ir.Prog.t;  (** unmanaged, passes {!Hecate_ir.Prog.validate} *)
+  inputs : (string * float array) list;
+      (** one full-width vector per program input, magnitudes <= 0.5 *)
+}
+
+val generate : ?config:config -> seed:int -> unit -> case
+(** Deterministic in [seed] and [config]. *)
+
+val inputs_for : seed:int -> Hecate_ir.Prog.t -> (string * float array) list
+(** Re-derive the input vectors of {!generate} for an arbitrary program:
+    each vector depends only on [seed], the input's {e name} and the slot
+    count, so a program shrunk to a subset of its inputs replays with the
+    same data the failing case saw. *)

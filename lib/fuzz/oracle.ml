@@ -1,0 +1,145 @@
+module Prog = Hecate_ir.Prog
+module Typing = Hecate_ir.Typing
+module Printer = Hecate_ir.Printer
+module Parser = Hecate_ir.Parser
+module Driver = Hecate.Driver
+module Interp = Hecate_backend.Interp
+module Accuracy = Hecate_backend.Accuracy
+module Harness = Hecate_backend.Harness
+
+type check = Compile | Validate | Typecheck | Roundtrip | Estimate | Accuracy | Cross_scheme
+
+type failure = { check : check; scheme : Driver.scheme option; detail : string }
+
+let check_name = function
+  | Compile -> "compile"
+  | Validate -> "validate"
+  | Typecheck -> "typecheck"
+  | Roundtrip -> "roundtrip"
+  | Estimate -> "estimate"
+  | Accuracy -> "accuracy"
+  | Cross_scheme -> "cross-scheme"
+
+let check_of_name = function
+  | "compile" -> Some Compile
+  | "validate" -> Some Validate
+  | "typecheck" -> Some Typecheck
+  | "roundtrip" -> Some Roundtrip
+  | "estimate" -> Some Estimate
+  | "accuracy" -> Some Accuracy
+  | "cross-scheme" -> Some Cross_scheme
+  | _ -> None
+
+let describe f =
+  Printf.sprintf "%s[%s]: %s" (check_name f.check)
+    (match f.scheme with Some s -> Driver.scheme_name s | None -> "all")
+    f.detail
+
+type config = {
+  sf_bits : int;
+  waterline_bits : float;
+  rmse_bound : float;
+  cross_bound : float;
+  max_epochs : int;
+  schemes : Driver.scheme list;
+}
+
+let default_config =
+  {
+    sf_bits = 28;
+    waterline_bits = 20.;
+    rmse_bound = 0x1p-7;
+    cross_bound = 0x1p-6;
+    max_epochs = 40;
+    schemes = Driver.all_schemes;
+  }
+
+let exn_text e = Printexc.to_string e
+
+(* One scheme: compile, then run the per-scheme checks. Returns the decrypted
+   outputs for the cross-scheme comparison. *)
+let run_scheme ~transform cfg scheme prog ~inputs =
+  let fail check detail = Error { check; scheme = Some scheme; detail } in
+  match
+    Driver.compile ~max_epochs:cfg.max_epochs scheme ~sf_bits:cfg.sf_bits
+      ~waterline_bits:cfg.waterline_bits prog
+  with
+  | exception e -> fail Compile (exn_text e)
+  | compiled -> (
+      let p = transform scheme compiled.Driver.prog in
+      match Prog.validate p with
+      | Error msg -> fail Validate msg
+      | Ok () -> (
+          let tcfg =
+            Typing.config ~sf:(float_of_int cfg.sf_bits) ~waterline:cfg.waterline_bits ()
+          in
+          match Typing.check tcfg p with
+          | Error msg -> fail Typecheck msg
+          | Ok _ -> (
+              match Parser.parse (Printer.to_string p) with
+              | exception e -> fail Roundtrip ("re-parse raised: " ^ exn_text e)
+              | p' when not (Prog.equal p p') ->
+                  fail Roundtrip "printed program re-parses to a different program"
+              | _ ->
+                  let est = compiled.Driver.estimated_seconds in
+                  if not (Float.is_finite est && est >= 0.) then
+                    fail Estimate (Printf.sprintf "estimated cost %g" est)
+                  else (
+                    match
+                      let rotations = Interp.required_rotations p in
+                      let eval =
+                        Harness.cached_context ~params:compiled.Driver.params ~rotations
+                      in
+                      Accuracy.measure eval ~waterline_bits:cfg.waterline_bits p ~inputs
+                        ~valid_slots:prog.Prog.slot_count
+                    with
+                    | exception e -> fail Accuracy ("execution raised: " ^ exn_text e)
+                    | acc ->
+                        if not (acc.Accuracy.rmse <= cfg.rmse_bound) then
+                          fail Accuracy
+                            (Printf.sprintf "rmse %.3e exceeds bound %.3e (max abs %.3e)"
+                               acc.Accuracy.rmse cfg.rmse_bound acc.Accuracy.max_abs_error)
+                        else Ok acc.Accuracy.outputs))))
+
+let max_abs_deviation outs_a outs_b =
+  List.fold_left2
+    (fun acc a b ->
+      let m = ref acc in
+      Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.(i)))) a;
+      !m)
+    0. outs_a outs_b
+
+let run ?(transform = fun _ p -> p) cfg prog ~inputs =
+  let rec per_scheme acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+        match run_scheme ~transform cfg s prog ~inputs with
+        | Error f -> Error f
+        | Ok outs -> per_scheme ((s, outs) :: acc) rest)
+  in
+  match per_scheme [] cfg.schemes with
+  | Error f -> Error f
+  | Ok results -> (
+      (* metamorphic check: every pair of schemes must agree *)
+      let rec pairs = function
+        | [] | [ _ ] -> Ok ()
+        | (sa, a) :: rest ->
+            let rec against = function
+              | [] -> pairs rest
+              | (sb, b) :: more ->
+                  let dev = max_abs_deviation a b in
+                  if dev > cfg.cross_bound then
+                    Error
+                      {
+                        check = Cross_scheme;
+                        scheme = None;
+                        detail =
+                          Printf.sprintf "%s vs %s deviate by %.3e (bound %.3e)"
+                            (Driver.scheme_name sa) (Driver.scheme_name sb) dev
+                            cfg.cross_bound;
+                      }
+                  else against more
+            in
+            against rest
+      in
+      match results with [] -> Ok () | _ -> pairs results)

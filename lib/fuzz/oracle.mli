@@ -1,0 +1,56 @@
+(** Differential oracle for the four scale-management schemes.
+
+    One generated (unmanaged) program is compiled under every
+    {!Hecate.Driver.scheme} and each compiled output must satisfy:
+
+    - {b validate}: {!Hecate_ir.Prog.validate} holds structurally;
+    - {b typecheck}: {!Hecate_ir.Typing.check} holds (constraints C1-C3);
+    - {b roundtrip}: printing and re-parsing is structurally
+      {!Hecate_ir.Prog.equal};
+    - {b estimate}: the {!Hecate.Estimator} cost of the accepted plan is
+      finite and non-negative;
+    - {b accuracy}: encrypted execution ({!Hecate_backend.Interp}) agrees
+      with the exact plaintext reference ({!Hecate_backend.Reference})
+      within an RMS-error bound;
+    - {b cross-scheme}: the four schemes' decrypted outputs agree with each
+      other (metamorphic check — all schemes implement the same plaintext
+      semantics).
+
+    The [transform] hook rewrites the compiled program before checking and
+    exists for fault-injection tests: flipping a scale in one scheme's
+    output must be caught here and shrunk by {!Shrink}. *)
+
+type check = Compile | Validate | Typecheck | Roundtrip | Estimate | Accuracy | Cross_scheme
+
+type failure = {
+  check : check;
+  scheme : Hecate.Driver.scheme option;  (** [None] for cross-scheme disagreements *)
+  detail : string;
+}
+
+val check_name : check -> string
+val check_of_name : string -> check option
+val describe : failure -> string
+
+type config = {
+  sf_bits : int;
+  waterline_bits : float;
+  rmse_bound : float;  (** bound on accuracy-check RMS error *)
+  cross_bound : float;  (** bound on pairwise cross-scheme max-abs deviation *)
+  max_epochs : int;  (** exploration budget for SMSE/HECATE *)
+  schemes : Hecate.Driver.scheme list;
+}
+
+val default_config : config
+(** [sf_bits = 28], [waterline_bits = 20.], [rmse_bound = 2^-7],
+    [cross_bound = 2^-6], [max_epochs = 40], all four schemes. *)
+
+val run :
+  ?transform:(Hecate.Driver.scheme -> Hecate_ir.Prog.t -> Hecate_ir.Prog.t) ->
+  config ->
+  Hecate_ir.Prog.t ->
+  inputs:(string * float array) list ->
+  (unit, failure) result
+(** First failing check, in the order listed above (per scheme, then the
+    cross-scheme comparison). Exceptions raised by compilation or execution
+    are converted into failures of the corresponding check. *)

@@ -1,0 +1,111 @@
+module Prog = Hecate_ir.Prog
+
+(* Rebuild [p] with uses of [subst]'s key rewired to its image and outputs
+   replaced by [outputs], keeping only live ops. Returns None when the
+   result would be invalid (empty, or an output without input provenance —
+   the compiler rightly rejects plaintext-only outputs, and a shrink that
+   trips over that rejection would mask the original failure). *)
+let rebuild (p : Prog.t) ~outputs ~subst =
+  let n = Array.length p.Prog.body in
+  let map v = match subst with Some (from, to_) when v = from -> to_ | _ -> v in
+  let outputs = List.map map outputs in
+  if outputs = [] then None
+  else begin
+    let live = Array.make n false in
+    let rec mark v =
+      if not live.(v) then begin
+        live.(v) <- true;
+        Array.iter (fun a -> mark (map a)) p.Prog.body.(v).Prog.args
+      end
+    in
+    List.iter mark outputs;
+    let new_id = Array.make n (-1) in
+    let count = ref 0 in
+    for v = 0 to n - 1 do
+      if live.(v) then begin
+        new_id.(v) <- !count;
+        incr count
+      end
+    done;
+    let body =
+      Array.of_list
+        (List.concat_map
+           (fun (o : Prog.op) ->
+             if live.(o.Prog.id) then
+               [
+                 {
+                   Prog.id = new_id.(o.Prog.id);
+                   kind = o.Prog.kind;
+                   args = Array.map (fun a -> new_id.(map a)) o.Prog.args;
+                   ty = Hecate_ir.Types.Free;
+                 };
+               ]
+             else [])
+           (Array.to_list p.Prog.body))
+    in
+    let inputs = List.filter_map (fun v -> if live.(v) then Some new_id.(v) else None) p.Prog.inputs in
+    let candidate =
+      {
+        Prog.name = p.Prog.name;
+        slot_count = p.Prog.slot_count;
+        body;
+        inputs;
+        outputs = List.map (fun v -> new_id.(v)) outputs;
+      }
+    in
+    match Prog.validate candidate with
+    | Error _ -> None
+    | Ok () ->
+        (* every output must still be derived from an input *)
+        let m = Array.length body in
+        let cipher = Array.make m false in
+        Array.iter
+          (fun (o : Prog.op) ->
+            cipher.(o.Prog.id) <-
+              (match o.Prog.kind with
+              | Prog.Input _ -> true
+              | _ -> Array.exists (fun a -> cipher.(a)) o.Prog.args))
+          body;
+        if List.for_all (fun v -> cipher.(v)) candidate.Prog.outputs then Some candidate
+        else None
+  end
+
+let substitute p ~value ~by =
+  if value = by then None else rebuild p ~outputs:p.Prog.outputs ~subst:(Some (value, by))
+
+let restrict_outputs p outputs = rebuild p ~outputs ~subst:None
+
+(* All single-step reduction candidates, smallest-result-first heuristics:
+   output restriction first (drops the most), then operand substitution on
+   late ops (whose removal frees the longest tail). *)
+let candidates (p : Prog.t) =
+  let outs =
+    match p.Prog.outputs with
+    | [] | [ _ ] -> []
+    | many -> List.filter_map (fun o -> restrict_outputs p [ o ]) many
+  in
+  let substs = ref [] in
+  for v = Array.length p.Prog.body - 1 downto 0 do
+    let o = p.Prog.body.(v) in
+    Array.iter
+      (fun a ->
+        match substitute p ~value:v ~by:a with
+        | Some c -> substs := c :: !substs
+        | None -> ())
+      o.Prog.args
+  done;
+  outs @ List.rev !substs
+
+let shrink ?(max_rounds = 200) ~keep p =
+  let rec loop rounds p =
+    if rounds = 0 then p
+    else
+      match
+        List.find_opt
+          (fun c -> Prog.num_ops c < Prog.num_ops p && keep c)
+          (candidates p)
+      with
+      | Some c -> loop (rounds - 1) c
+      | None -> p
+  in
+  loop max_rounds p

@@ -1,0 +1,27 @@
+(** Greedy structural shrinking of failing fuzz cases.
+
+    The shrinker repeatedly tries two reductions — restricting the program
+    to a single output, and replacing an operation by one of its own
+    operands (which dead-code-eliminates the operation and everything only
+    it needed, including now-unused inputs) — and keeps any strictly
+    smaller program on which the failure predicate still holds. Every
+    candidate is valid by construction: reductions that would leave an
+    output without ciphertext provenance are discarded. *)
+
+val substitute :
+  Hecate_ir.Prog.t -> value:Hecate_ir.Prog.value -> by:Hecate_ir.Prog.value -> Hecate_ir.Prog.t option
+(** [substitute p ~value ~by] rewires every use of [value] (including
+    outputs) to [by], removes dead code, renumbers densely and prunes
+    unused inputs. [None] if the result is structurally invalid or an
+    output loses its input provenance. Also usable for fault injection in
+    tests (deleting a [rescale] by replacing it with its operand). *)
+
+val restrict_outputs : Hecate_ir.Prog.t -> Hecate_ir.Prog.value list -> Hecate_ir.Prog.t option
+(** Keep only the given outputs, then dead-code-eliminate. *)
+
+val shrink :
+  ?max_rounds:int -> keep:(Hecate_ir.Prog.t -> bool) -> Hecate_ir.Prog.t -> Hecate_ir.Prog.t
+(** First-improvement greedy loop to a fixpoint (or [max_rounds], default
+    200): returns a program no larger than the argument on which [keep]
+    still holds. [keep] is never called on the argument itself — the caller
+    asserts it fails. *)

@@ -18,6 +18,25 @@ let create ~seed =
 
 let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
 
+(* FNV-1a over the stream name, folded into the parent state via splitmix64
+   expansion. Reads the parent state without advancing it, so sibling
+   sub-streams are order-independent and re-derivable at any time. *)
+let split g name =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    name;
+  let st = ref (Int64.logxor !h g.s0) in
+  let s0 = splitmix64 st in
+  st := Int64.logxor !st g.s1;
+  let s1 = splitmix64 st in
+  st := Int64.logxor !st g.s2;
+  let s2 = splitmix64 st in
+  st := Int64.logxor !st g.s3;
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
 let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 let bits64 g =

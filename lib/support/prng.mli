@@ -14,6 +14,15 @@ val create : seed:int -> t
 val copy : t -> t
 (** Independent copy of the current state. *)
 
+val split : t -> string -> t
+(** [split g name] derives a named sub-stream: a fresh generator whose state
+    is a hash of [g]'s {e current} state and [name]. The parent state is
+    read, not advanced, so sibling sub-streams are independent of the order
+    they are derived in and [split g name] is reproducible for as long as
+    [g] has not been advanced. Distinct names yield decorrelated streams.
+    Used by the fuzzer to make program-shape, constant and input draws
+    independently reproducible from one printed seed. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -421,6 +421,124 @@ let test_additive_homomorphism_many () =
   let got = Eval.decrypt t (Option.get sum) in
   check Alcotest.bool "64-way sum accurate" true (Stats.max_abs_diff total got < 3e-2)
 
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Encode/decode roundtrip across parameter presets. The decode error of a
+   scale-S encoding is dominated by coefficient rounding (each of the N
+   coefficients rounds by at most 1/2), so N/S bounds the slot error. *)
+let encoder_presets =
+  [
+    lazy (Params.create ~n:64 ~q0_bits:30 ~sf_bits:20 ~levels:2 ());
+    lazy (Params.create ~n:256 ~q0_bits:30 ~sf_bits:24 ~levels:2 ());
+    lazy (Params.create ~n:1024 ~q0_bits:30 ~sf_bits:28 ~levels:3 ());
+  ]
+
+let prop_encode_roundtrip_presets =
+  QCheck.Test.make ~name:"encode/decode roundtrip bound across presets" ~count:45
+    QCheck.(pair (int_bound (List.length encoder_presets - 1)) (int_bound 10_000))
+    (fun (pi, seed) ->
+      let p = Lazy.force (List.nth encoder_presets pi) in
+      let enc = Encoder.create ~n:p.Params.n in
+      let scale = Float.exp2 (float_of_int p.Params.sf_bits) in
+      let v = random_vector ((pi * 20011) + seed) (Encoder.slots enc) in
+      let poly =
+        Encoder.encode enc p.Params.chain ~level_count:(Chain.length p.Params.chain) ~scale v
+      in
+      let v' = Encoder.decode enc ~scale (Poly.crt_reconstruct_centered poly) in
+      Stats.max_abs_diff v v' < float_of_int p.Params.n /. scale)
+
+(* Random op sequences preserve the evaluator's scale/level bookkeeping:
+   add/rotate/negate change neither, modswitch bumps only the level,
+   upscale multiplies only the scale, mul multiplies the operand scales and
+   rescale divides by exactly the dropped chain prime. *)
+let prop_eval_scale_level_invariants =
+  QCheck.Test.make ~name:"ops preserve scale/level bookkeeping" ~count:25
+    QCheck.(pair (int_bound 10_000) (list_of_size Gen.(1 -- 8) (int_bound 5)))
+    (fun (seed, steps) ->
+      let t = Lazy.force ctx in
+      let p = Lazy.force params in
+      let chain = p.Params.chain in
+      let fresh lvl s =
+        let ct = ref (Eval.encrypt_vector t ~scale:s (random_vector seed 512)) in
+        for _ = 1 to lvl do
+          ct := Eval.mod_switch t !ct
+        done;
+        !ct
+      in
+      let ct = ref (fresh 0 scale20) in
+      let expect_scale = ref scale20 and expect_level = ref 0 in
+      let max_level = Eval.max_level t in
+      List.iter
+        (fun step ->
+          match step with
+          | 0 -> ct := Eval.add t !ct (fresh !expect_level (Eval.scale !ct))
+          | 1 -> ct := Eval.rotate t !ct 1
+          | 2 -> ct := Eval.negate t !ct
+          | 3 ->
+              if !expect_scale < 0x1p40 then begin
+                ct := Eval.upscale t !ct ~factor:0x1p4;
+                expect_scale := !expect_scale *. 0x1p4
+              end
+          | 4 ->
+              if !expect_level < max_level then begin
+                ct := Eval.mod_switch t !ct;
+                incr expect_level
+              end
+          | _ ->
+              if !expect_level < max_level && !expect_scale < 0x1p34 then begin
+                let prod = Eval.mul t !ct (fresh !expect_level scale20) in
+                if
+                  Float.abs (Eval.scale prod -. (!expect_scale *. scale20))
+                  > 1e-6 *. Eval.scale prod
+                then QCheck.Test.fail_report "mul scale is not the product of operand scales";
+                let dropped =
+                  float_of_int (Chain.prime chain (Chain.length chain - 1 - !expect_level))
+                in
+                ct := Eval.rescale t prod;
+                expect_scale := !expect_scale *. scale20 /. dropped;
+                incr expect_level
+              end)
+        steps;
+      Float.abs (Eval.scale !ct -. !expect_scale) <= 1e-6 *. !expect_scale
+      && Eval.level !ct = !expect_level)
+
+(* C3 enforcement is exact: [add] must raise precisely when levels differ
+   (Level_mismatch) or scales differ beyond drift (Scale_mismatch). *)
+let prop_add_mismatch_exact =
+  QCheck.Test.make ~name:"add raises exactly on level/scale mismatch" ~count:40
+    QCheck.(triple (int_bound 10_000) (int_bound 2) (int_bound 2))
+    (fun (seed, dl, ds) ->
+      let t = Lazy.force ctx in
+      let a = random_vector seed 512 in
+      let ca = ref (Eval.encrypt_vector t ~scale:scale20 a) in
+      for _ = 1 to dl do
+        ca := Eval.mod_switch t !ca
+      done;
+      let cb = Eval.encrypt_vector t ~scale:(scale20 *. Float.exp2 (float_of_int ds)) a in
+      match Eval.add t !ca cb with
+      | _ -> dl = 0 && ds = 0
+      | exception Eval.Level_mismatch _ -> dl <> 0
+      | exception Eval.Scale_mismatch _ -> dl = 0 && ds <> 0)
+
+let prop_mul_level_mismatch_exact =
+  QCheck.Test.make ~name:"mul raises exactly on level mismatch" ~count:30
+    QCheck.(pair (int_bound 10_000) (int_bound 2))
+    (fun (seed, dl) ->
+      let t = Lazy.force ctx in
+      let a = random_vector seed 512 in
+      let ca = ref (Eval.encrypt_vector t ~scale:scale20 a) in
+      for _ = 1 to dl do
+        ca := Eval.mod_switch t !ca
+      done;
+      let cb = Eval.encrypt_vector t ~scale:scale20 a in
+      match Eval.mul t !ca cb with
+      | _ -> dl = 0
+      | exception Eval.Level_mismatch _ -> dl <> 0)
+
 let () =
   Alcotest.run "hecate_ckks"
     [
@@ -467,6 +585,13 @@ let () =
         ] );
       ( "kernels",
         [ Alcotest.test_case "fast matches naive" `Quick test_eval_fast_matches_naive ] );
+      ( "properties",
+        [
+          qtest prop_encode_roundtrip_presets;
+          qtest prop_eval_scale_level_invariants;
+          qtest prop_add_mismatch_exact;
+          qtest prop_mul_level_mismatch_exact;
+        ] );
       ( "robustness",
         [
           Alcotest.test_case "wrong key garbage" `Quick test_wrong_key_garbage;

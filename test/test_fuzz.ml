@@ -1,0 +1,127 @@
+(* Fuzzer self-tests: generator determinism/validity, oracle smoke run,
+   fault injection caught and shrunk, checked-in corpus replay. *)
+
+module Prog = Hecate_ir.Prog
+module Driver = Hecate.Driver
+module Gen = Hecate_fuzz.Gen
+module Oracle = Hecate_fuzz.Oracle
+module Shrink = Hecate_fuzz.Shrink
+module Campaign = Hecate_fuzz.Campaign
+
+let test_generate_deterministic () =
+  let a = Gen.generate ~seed:7 () and b = Gen.generate ~seed:7 () in
+  Alcotest.(check bool) "same program" true (Prog.equal a.Gen.prog b.Gen.prog);
+  Alcotest.(check bool) "same inputs" true (a.Gen.inputs = b.Gen.inputs)
+
+let test_generate_seeds_differ () =
+  let a = Gen.generate ~seed:1 () and b = Gen.generate ~seed:2 () in
+  Alcotest.(check bool) "different programs" false (Prog.equal a.Gen.prog b.Gen.prog)
+
+let test_generate_valid () =
+  for seed = 0 to 63 do
+    let case = Gen.generate ~seed () in
+    (match Prog.validate case.Gen.prog with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "seed %d generates an invalid program: %s" seed msg);
+    List.iter
+      (fun (name, v) ->
+        if Array.length v <> case.Gen.prog.Prog.slot_count then
+          Alcotest.failf "seed %d input %s is not full-width" seed name)
+      case.Gen.inputs
+  done
+
+let test_inputs_rederivable () =
+  let case = Gen.generate ~seed:11 () in
+  Alcotest.(check bool) "inputs_for matches generate" true
+    (Gen.inputs_for ~seed:11 case.Gen.prog = case.Gen.inputs)
+
+let test_smoke_campaign () =
+  let report = Campaign.run ~seed:42 ~count:30 () in
+  match report.Campaign.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "case %d (seed %d): %s" f.Campaign.index f.Campaign.case_seed
+        (Oracle.describe f.Campaign.failure)
+
+let test_shrink_reaches_minimum () =
+  (* With a predicate that accepts any structurally valid program, shrinking
+     must reach a fixpoint that is still valid and no larger. *)
+  let p = (Gen.generate ~seed:3 ()).Gen.prog in
+  let s = Shrink.shrink ~keep:(fun q -> Prog.validate q = Ok ()) p in
+  Alcotest.(check bool) "still valid" true (Prog.validate s = Ok ());
+  Alcotest.(check bool) "not larger" true (Prog.num_ops s <= Prog.num_ops p);
+  Alcotest.(check int) "single output" 1 (List.length s.Prog.outputs)
+
+(* Fault injection: delete the first [rescale] from EVA's compiled output.
+   The oracle must flag the program (typecheck constraint C1/C2, or the
+   accuracy/cross-scheme comparison for shallow programs) and the shrinker
+   must cut the witness down to a handful of ops. *)
+let drop_first_rescale p =
+  let found = ref None in
+  Prog.iter
+    (fun (o : Prog.op) -> if !found = None && o.Prog.kind = Prog.Rescale then found := Some o)
+    p;
+  match !found with
+  | None -> p
+  | Some o -> (
+      match Shrink.substitute p ~value:o.Prog.id ~by:o.Prog.args.(0) with
+      | Some p' -> p'
+      | None -> p)
+
+let inject scheme p = if scheme = Driver.Eva then drop_first_rescale p else p
+
+let test_injected_bug_caught_and_shrunk () =
+  let report = Campaign.run ~transform:inject ~seed:42 ~count:10 () in
+  (match report.Campaign.failures with
+  | [] -> Alcotest.fail "injected rescale deletion was not caught by any oracle check"
+  | _ -> ());
+  List.iter
+    (fun (f : Campaign.case_failure) ->
+      if Prog.num_ops f.Campaign.shrunk > 10 then
+        Alcotest.failf "case %d shrunk only to %d ops (> 10): %s" f.Campaign.index
+          (Prog.num_ops f.Campaign.shrunk)
+          (Oracle.describe f.Campaign.failure))
+    report.Campaign.failures
+
+let corpus_dir = "corpus"
+
+let corpus_files () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".hec")
+  |> List.sort compare
+
+let test_corpus_nonempty () =
+  Alcotest.(check bool) "at least one reproducer checked in" true (corpus_files () <> [])
+
+let test_corpus_replays () =
+  List.iter
+    (fun f ->
+      match Campaign.replay (Filename.concat corpus_dir f) with
+      | Ok () -> ()
+      | Error failure ->
+          Alcotest.failf "%s regressed: %s" f (Oracle.describe failure))
+    (corpus_files ())
+
+let () =
+  Alcotest.run "hecate_fuzz"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic in seed" `Quick test_generate_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_generate_seeds_differ;
+          Alcotest.test_case "valid by construction" `Quick test_generate_valid;
+          Alcotest.test_case "inputs re-derivable" `Quick test_inputs_rederivable;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "smoke campaign clean" `Slow test_smoke_campaign;
+          Alcotest.test_case "injected bug caught and shrunk" `Slow
+            test_injected_bug_caught_and_shrunk;
+        ] );
+      ("shrinker", [ Alcotest.test_case "reaches minimum" `Quick test_shrink_reaches_minimum ]);
+      ( "corpus",
+        [
+          Alcotest.test_case "non-empty" `Quick test_corpus_nonempty;
+          Alcotest.test_case "replays clean" `Slow test_corpus_replays;
+        ] );
+    ]

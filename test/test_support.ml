@@ -153,6 +153,50 @@ let test_prng_copy () =
   let g' = P.copy g in
   check Alcotest.int64 "copy continues identically" (P.bits64 g) (P.bits64 g')
 
+let test_split_deterministic () =
+  (* same parent seed + same name => identical sub-stream *)
+  let g1 = P.create ~seed:99 and g2 = P.create ~seed:99 in
+  let a = P.split g1 "shape" and b = P.split g2 "shape" in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "same sub-stream" (P.bits64 a) (P.bits64 b)
+  done
+
+let test_split_names_differ () =
+  let g = P.create ~seed:99 in
+  let a = P.split g "shape" and b = P.split g "consts" in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if P.bits64 a = P.bits64 b then incr same
+  done;
+  check Alcotest.bool "decorrelated names" true (!same < 4)
+
+let test_split_independent () =
+  (* drawing from one sub-stream must not perturb a sibling or the parent *)
+  let g = P.create ~seed:7 in
+  let a = P.split g "a" in
+  let parent_probe = P.bits64 (P.copy g) in
+  for _ = 1 to 100 do
+    ignore (P.bits64 a)
+  done;
+  check Alcotest.int64 "parent unmoved by split+draws" parent_probe (P.bits64 (P.copy g));
+  (* sibling derived after draining [a] equals sibling derived before *)
+  let b_late = P.split g "b" in
+  let g' = P.create ~seed:7 in
+  let b_early = P.split g' "b" in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "sibling independent of drain order" (P.bits64 b_early)
+      (P.bits64 b_late)
+  done
+
+let test_split_tracks_parent_state () =
+  (* advancing the parent changes what split derives — sub-streams are keyed
+     on the parent's current state, not its seed *)
+  let g = P.create ~seed:7 in
+  let before = P.split g "s" in
+  ignore (P.bits64 g);
+  let after = P.split g "s" in
+  check Alcotest.bool "state-dependent derivation" false (P.bits64 before = P.bits64 after)
+
 let test_int_below_range () =
   let g = P.create ~seed:3 in
   for _ = 1 to 1000 do
@@ -507,6 +551,10 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
           Alcotest.test_case "seed sensitivity" `Quick test_prng_seeds_differ;
           Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "split determinism" `Quick test_split_deterministic;
+          Alcotest.test_case "split name sensitivity" `Quick test_split_names_differ;
+          Alcotest.test_case "split independence" `Quick test_split_independent;
+          Alcotest.test_case "split keyed on state" `Quick test_split_tracks_parent_state;
           Alcotest.test_case "int_below range" `Quick test_int_below_range;
           Alcotest.test_case "int_below uniformity" `Quick test_int_below_uniformish;
           Alcotest.test_case "ternary support" `Quick test_ternary_support;
