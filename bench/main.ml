@@ -93,7 +93,16 @@ let select bench scheme =
 
 let geomean_of = function [] -> nan | l -> Stats.geomean (Array.of_list l)
 
-let fig7 () =
+(* one measured table cell: benchmark x scheme, plus the speedup vs the
+   EVA baseline when both were feasible *)
+type fig7_row = {
+  f7_bench : string;
+  f7_scheme : Driver.scheme;
+  f7_selection : Harness.selection option;
+  f7_speedup_vs_eva : float option;
+}
+
+let fig7_measure suite =
   heading "Fig. 7 -- minimum latency per benchmark and scheme (reduced suite, measured)";
   Printf.printf
     "Best waterline under max error 2^-8, chosen over the per-benchmark grid;\n\
@@ -102,6 +111,7 @@ let fig7 () =
   List.iter (fun s -> Printf.printf " | %21s" (Driver.scheme_name s)) schemes;
   Printf.printf "\n%s\n" (String.make 104 '-');
   let speedups = Hashtbl.create 8 in
+  let rows = ref [] in
   List.iter
     (fun (b : Apps.t) ->
       Printf.printf "%-8s%!" b.Apps.name;
@@ -109,41 +119,64 @@ let fig7 () =
       List.iter
         (fun scheme ->
           match select b scheme with
-          | None -> Printf.printf " | %21s%!" "infeasible"
+          | None ->
+              Printf.printf " | %21s%!" "infeasible";
+              rows :=
+                { f7_bench = b.Apps.name; f7_scheme = scheme; f7_selection = None;
+                  f7_speedup_vs_eva = None }
+                :: !rows
           | Some s ->
-              let speedup =
+              let sp_opt =
                 match eva with
                 | Some e when scheme <> Driver.Eva ->
-                    let sp = e.Harness.actual_seconds /. s.Harness.actual_seconds in
+                    Some (e.Harness.actual_seconds /. s.Harness.actual_seconds)
+                | _ -> None
+              in
+              let speedup =
+                match sp_opt with
+                | Some sp ->
                     Hashtbl.replace speedups scheme
                       (sp :: Option.value ~default:[] (Hashtbl.find_opt speedups scheme));
                     Printf.sprintf "%+5.1f%%" ((sp -. 1.) *. 100.)
-                | _ -> "      "
+                | None -> "      "
               in
+              rows :=
+                { f7_bench = b.Apps.name; f7_scheme = scheme; f7_selection = Some s;
+                  f7_speedup_vs_eva = sp_opt }
+                :: !rows;
               Printf.printf " | %8.3fs wl=%2.0f %s%!" s.Harness.actual_seconds
                 s.Harness.waterline_bits speedup)
         schemes;
       print_newline ())
-    (Apps.reduced_suite ());
+    suite;
   Printf.printf "%s\n" (String.make 104 '-');
   Printf.printf "geomean speedup over EVA:";
-  List.iter
-    (fun scheme ->
-      if scheme <> Driver.Eva then
-        let sps = Option.value ~default:[] (Hashtbl.find_opt speedups scheme) in
-        Printf.printf "  %s %+.1f%%" (Driver.scheme_name scheme)
-          ((geomean_of sps -. 1.) *. 100.))
-    schemes;
-  Printf.printf "\n(paper, full size on SEAL: PARS +13.4%%, SMSE +21.4%%, HECATE +27.4..27.9%%)\n"
+  let geomeans =
+    List.filter_map
+      (fun scheme ->
+        if scheme = Driver.Eva then None
+        else begin
+          let sps = Option.value ~default:[] (Hashtbl.find_opt speedups scheme) in
+          let gm = geomean_of sps in
+          Printf.printf "  %s %+.1f%%" (Driver.scheme_name scheme) ((gm -. 1.) *. 100.);
+          Some (scheme, gm)
+        end)
+      schemes
+  in
+  Printf.printf "\n(paper, full size on SEAL: PARS +13.4%%, SMSE +21.4%%, HECATE +27.4..27.9%%)\n";
+  (List.rev !rows, geomeans)
+
+let fig7 () = ignore (fig7_measure (Apps.reduced_suite ()))
 
 (* estimated latency of the paper-size programs at the waterline the reduced
    search selected (LeNet exploration capped; see DESIGN.md) *)
-let fig7_paper () =
+let fig7_paper_measure () =
   heading "Fig. 7 (paper-size programs, estimated at the security-mandated degree)";
   Printf.printf "%-8s" "bench";
   List.iter (fun s -> Printf.printf " | %16s" (Driver.scheme_name s)) schemes;
   Printf.printf " | HECATE vs EVA\n%s\n" (String.make 100 '-');
   let speedups = ref [] in
+  let rows = ref [] in
   List.iter2
     (fun (pb : Apps.t) (rb : Apps.t) ->
       Printf.printf "%-8s%!" pb.Apps.name;
@@ -159,6 +192,10 @@ let fig7_paper () =
             let c = Driver.compile ~max_epochs scheme ~sf_bits ~waterline_bits:wl pb.Apps.prog in
             Printf.printf " | %9.2fs n=%2dk%!" c.Driver.estimated_seconds
               (c.Driver.params.Paramselect.secure_n / 1024);
+            rows :=
+              (pb.Apps.name, scheme, c.Driver.estimated_seconds,
+               c.Driver.params.Paramselect.secure_n, wl)
+              :: !rows;
             c.Driver.estimated_seconds)
           schemes
       in
@@ -169,9 +206,101 @@ let fig7_paper () =
       | _ -> ());
       print_newline ())
     (Apps.paper_suite ()) (Apps.reduced_suite ());
+  let gm = geomean_of !speedups in
   Printf.printf "%s\ngeomean HECATE speedup over EVA (paper-size, estimated): %+.1f%%\n"
     (String.make 100 '-')
-    ((geomean_of !speedups -. 1.) *. 100.)
+    ((gm -. 1.) *. 100.);
+  (List.rev !rows, gm)
+
+let fig7_paper () = ignore (fig7_paper_measure ())
+
+(* `fig7` as a subcommand: run the measured table (and, unless --quick, the
+   paper-size estimates) and persist everything as a committed JSON
+   trajectory. Fields are emitted in a fixed order so regenerating the
+   artifact produces a clean, reviewable diff. *)
+let fig7_cmd flags =
+  let quick = ref false in
+  let out = ref "BENCH_fig7.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | other :: _ ->
+        Printf.eprintf "fig7: unknown flag %s (--quick | --out FILE)\n" other;
+        exit 2
+  in
+  parse flags;
+  let suite =
+    if !quick then
+      (* the two cheapest searches; enough overlap with the committed full
+         artifact for CI to sanity-check the pipeline end to end *)
+      List.filter
+        (fun (b : Apps.t) -> b.Apps.name = "SF" || b.Apps.name = "HCD")
+        (Apps.reduced_suite ())
+    else Apps.reduced_suite ()
+  in
+  let rows, geomeans = fig7_measure suite in
+  let paper_rows, paper_gm =
+    if !quick then ([], nan) else fig7_paper_measure ()
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"config\": {\"quick\": %b, \"sf_bits\": %d, \"error_bound_bits\": 8},\n"
+       !quick sf_bits);
+  Buffer.add_string buf "  \"measured\": [\n";
+  let nrows = List.length rows in
+  List.iteri
+    (fun i r ->
+      let base =
+        Printf.sprintf "    {\"bench\": \"%s\", \"scheme\": \"%s\", \"feasible\": %b"
+          r.f7_bench (Driver.scheme_name r.f7_scheme) (r.f7_selection <> None)
+      in
+      Buffer.add_string buf base;
+      (match r.f7_selection with
+      | Some s ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               ", \"waterline_bits\": %.0f, \"actual_seconds\": %.6f, \"rmse\": %.3e, \
+                \"max_abs_error\": %.3e, \"exec_n\": %d"
+               s.Harness.waterline_bits s.Harness.actual_seconds s.Harness.rmse
+               s.Harness.max_abs_error s.Harness.exec_n)
+      | None -> ());
+      (match r.f7_speedup_vs_eva with
+      | Some sp -> Buffer.add_string buf (Printf.sprintf ", \"speedup_vs_eva\": %.4f" sp)
+      | None -> ());
+      Buffer.add_string buf (Printf.sprintf "}%s\n" (if i = nrows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n  \"geomean_speedup_vs_eva\": {";
+  List.iteri
+    (fun i (scheme, gm) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\"%s\": %.4f"
+           (if i = 0 then "" else ", ")
+           (Driver.scheme_name scheme) gm))
+    geomeans;
+  Buffer.add_string buf "},\n  \"paper_estimates\": [\n";
+  let nprows = List.length paper_rows in
+  List.iteri
+    (fun i (bench, scheme, est, secure_n, wl) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"bench\": \"%s\", \"scheme\": \"%s\", \"waterline_bits\": %.0f, \
+            \"estimated_seconds\": %.4f, \"secure_n\": %d}%s\n"
+           bench (Driver.scheme_name scheme) wl est secure_n
+           (if i = nprows - 1 then "" else ",")))
+    paper_rows;
+  Buffer.add_string buf "  ]";
+  if not !quick then
+    Buffer.add_string buf
+      (Printf.sprintf ",\n  \"paper_geomean_hecate_vs_eva\": %.4f" paper_gm);
+  Buffer.add_string buf "\n}\n";
+  Hecate_support.Fileio.write_atomic ~path:!out (Buffer.contents buf);
+  Printf.printf "\nwrote %s\n" !out
 
 let table2 () =
   heading "Table II -- RMS error of the selected compiled programs";
@@ -505,6 +634,7 @@ let kernels flags =
   let module Pr = Hecate_support.Primes in
   let module Prng = Hecate_support.Prng in
   let module K = Hecate_support.Kernels in
+  let module Buf = Hecate_support.Buf in
   let module PoolK = Hecate_support.Pool.Kernel in
   let module E = Hecate_ckks.Eval in
   let module Poly = Hecate_rns.Poly in
@@ -567,40 +697,63 @@ let kernels flags =
   let m = 4096 in
   let q = List.hd (Pr.ntt_primes ~bits:30 ~n:m ~count:1) in
   let mm_tbl = Ntt.make_table ~p:q ~n:m in
-  let xs = Array.init m (fun _ -> Prng.uniform_mod g q) in
-  let ys = Array.init m (fun _ -> Prng.uniform_mod g q) in
-  let dst = Array.make m 0 in
+  let xs = Buf.init m (fun _ -> Prng.uniform_mod g q) in
+  let ys = Buf.init m (fun _ -> Prng.uniform_mod g q) in
+  let dst = Buf.create m in
   let t_ref = K.with_naive true (fun () -> time (fun () -> Ntt.pointwise_mul mm_tbl dst xs ys)) in
   let t_fast =
     K.with_naive false (fun () -> time (fun () -> Ntt.pointwise_mul mm_tbl dst xs ys))
   in
   record "modmul" "reference" ~n:m ~levels:0 (t_ref /. float_of_int m *. 1e9);
   record "modmul" "fast" ~n:m ~levels:0 (t_fast /. float_of_int m *. 1e9);
-  let configs = if !quick then [ (256, 2) ] else [ (1024, 4); (4096, 8) ] in
+  (* (n, levels, big): the big-ring config exists to measure the hoisted
+     rotation fan and fused mul+rescale at the production degree N=2^15;
+     the division-based evaluator references are skipped there (a naive
+     keyswitch at that ring is ~100x the fast path and tells us nothing
+     new about kernel quality). Quick mode keeps a config that overlaps
+     the committed full baseline so CI can diff speedups entry-for-entry. *)
+  let configs =
+    if !quick then [ (1024, 4, false) ] else [ (1024, 4, false); (4096, 8, false); (32768, 8, true) ]
+  in
+  let fan_amounts = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
   List.iter
-    (fun (n, levels) ->
+    (fun (n, levels, big) ->
       (* NTT forward transform: division-based reference vs Shoup butterflies *)
       let p = List.hd (Pr.ntt_primes ~bits:30 ~n ~count:1) in
       let tbl = Ntt.make_table ~p ~n in
-      let a = Array.init n (fun _ -> Prng.uniform_mod g p) in
+      let a = Buf.init n (fun _ -> Prng.uniform_mod g p) in
       record "ntt_forward" "reference" ~n ~levels:1 (time (fun () -> Ntt.forward_naive tbl a) *. 1e9);
       record "ntt_forward" "fast" ~n ~levels:1 (time (fun () -> Ntt.forward tbl a) *. 1e9);
       (* evaluator-level kernels at this ring degree and chain length *)
       let params = Hecate_ckks.Params.create ~n ~q0_bits:30 ~sf_bits:28 ~levels () in
-      let eval = E.create ~seed:0xFA57 params ~rotations:[] in
+      let eval = E.create ~seed:0xFA57 params ~rotations:fan_amounts in
       let v = Array.init (n / 2) (fun i -> 0.25 +. (0.001 *. float_of_int (i mod 13))) in
       let ct = E.encrypt_vector eval ~scale:0x1p20 v in
       let lc = levels + 1 in
-      let d = Poly.to_coeff (ct : E.ciphertext).E.c1 in
-      let relin = (E.keys eval : Hecate_ckks.Keys.t).Hecate_ckks.Keys.relin in
-      let bench_pair kernel f =
-        record kernel "reference" ~n ~levels:lc (K.with_naive true (fun () -> time f) *. 1e9);
-        record kernel "fast" ~n ~levels:lc (K.with_naive false (fun () -> time f) *. 1e9)
-      in
-      bench_pair "keyswitch" (fun () -> ignore (E.keyswitch eval ~lc d relin));
-      bench_pair "cipher_mul" (fun () -> ignore (E.mul eval ct ct));
-      let sq = E.mul eval ct ct in
-      bench_pair "rescale" (fun () -> ignore (E.rescale eval sq)))
+      if not big then begin
+        let d = Poly.to_coeff (ct : E.ciphertext).E.c1 in
+        let relin = (E.keys eval : Hecate_ckks.Keys.t).Hecate_ckks.Keys.relin in
+        let bench_pair kernel f =
+          record kernel "reference" ~n ~levels:lc (K.with_naive true (fun () -> time f) *. 1e9);
+          record kernel "fast" ~n ~levels:lc (K.with_naive false (fun () -> time f) *. 1e9)
+        in
+        bench_pair "keyswitch" (fun () -> ignore (E.keyswitch eval ~lc d relin));
+        bench_pair "cipher_mul" (fun () -> ignore (E.mul eval ct ct));
+        let sq = E.mul eval ct ct in
+        bench_pair "rescale" (fun () -> ignore (E.rescale eval sq))
+      end;
+      (* algorithmic pairs: both variants run on the fast kernels; the
+         "reference" leg is the per-rotation / unfused algorithm, the
+         "fast" leg the hoisted / fused one, so the speedup column isolates
+         the structural win rather than Barrett-vs-division arithmetic *)
+      record "rotate_fan8" "reference" ~n ~levels:lc
+        (time (fun () -> List.iter (fun r -> ignore (E.rotate eval ct r)) fan_amounts) *. 1e9);
+      record "rotate_fan8" "fast" ~n ~levels:lc
+        (time (fun () -> ignore (E.rotate_many eval ct fan_amounts)) *. 1e9);
+      record "mul_rescale" "reference" ~n ~levels:lc
+        (time (fun () -> ignore (E.rescale eval (E.mul eval ct ct))) *. 1e9);
+      record "mul_rescale" "fast" ~n ~levels:lc
+        (time (fun () -> ignore (E.mul_rescale eval ct ct)) *. 1e9))
     configs;
   (* machine-readable results *)
   let buf = Buffer.create 4096 in
@@ -636,14 +789,105 @@ let kernels flags =
            (if i = List.length sps - 1 then "" else ",")))
     sps;
   Buffer.add_string buf "  ]\n}\n";
-  let oc = open_out !out in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
+  Hecate_support.Fileio.write_atomic ~path:!out (Buffer.contents buf);
   Printf.printf "\nspeedups (reference / fast):\n";
   List.iter
     (fun (k, n, l, s) -> Printf.printf "  %-12s n=%-5d levels=%-2d %6.2fx\n" k n l s)
     sps;
   Printf.printf "\nwrote %s\n" !out
+
+(* ------------------------------------------------------------------ *)
+(* CI regression gate over committed kernel speedups                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Compare the "speedups" arrays of two kernels artifacts. Absolute
+   ns/op numbers are machine-dependent, but the reference/fast ratio is
+   a property of the code: a fast path that loses >25% of its advantage
+   over its own reference on the same machine, same run, has regressed. *)
+let check_regress flags =
+  let baseline = ref "BENCH_kernels.json" in
+  let current = ref "" in
+  let tolerance = ref 0.25 in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: v :: rest ->
+        baseline := v;
+        parse rest
+    | "--current" :: v :: rest ->
+        current := v;
+        parse rest
+    | "--tolerance" :: v :: rest ->
+        tolerance := float_of_string v;
+        parse rest
+    | other :: _ ->
+        Printf.eprintf
+          "check-regress: unknown flag %s (--baseline FILE | --current FILE | --tolerance X)\n"
+          other;
+        exit 2
+  in
+  parse flags;
+  if !current = "" then begin
+    Printf.eprintf "check-regress: --current FILE is required\n";
+    exit 2
+  end;
+  let speedups path =
+    let j =
+      try Jsonlite.parse (Hecate_support.Fileio.read_file ~path) with
+      | Sys_error msg ->
+          Printf.eprintf "check-regress: cannot read %s: %s\n" path msg;
+          exit 2
+      | Jsonlite.Parse_error msg ->
+          Printf.eprintf "check-regress: %s is not valid JSON: %s\n" path msg;
+          exit 2
+    in
+    List.filter_map
+      (fun e ->
+        match
+          ( Jsonlite.to_string (Jsonlite.member "kernel" e),
+            Jsonlite.to_int (Jsonlite.member "n" e),
+            Jsonlite.to_int (Jsonlite.member "levels" e),
+            Jsonlite.to_float (Jsonlite.member "speedup" e) )
+        with
+        | Some k, Some n, Some l, Some s -> Some ((k, n, l), s)
+        | _ -> None)
+      (Jsonlite.to_list (Jsonlite.member "speedups" j))
+  in
+  heading "Kernel speedup regression gate";
+  Printf.printf "baseline %s vs current %s, tolerance %.0f%%\n\n" !baseline !current
+    (!tolerance *. 100.);
+  let base = speedups !baseline in
+  let cur = speedups !current in
+  let compared = ref 0 in
+  let regressions = ref [] in
+  List.iter
+    (fun ((k, n, l), s_base) ->
+      match List.assoc_opt (k, n, l) cur with
+      | None -> () (* quick runs cover a subset of the committed configs *)
+      | Some s_cur ->
+          incr compared;
+          let ok = s_cur >= s_base *. (1. -. !tolerance) in
+          Printf.printf "  %-12s n=%-5d levels=%-2d baseline %6.2fx current %6.2fx %s\n" k n l
+            s_base s_cur
+            (if ok then "ok" else "REGRESSED");
+          if not ok then regressions := (k, n, l, s_base, s_cur) :: !regressions)
+    base;
+  if !compared = 0 then begin
+    Printf.eprintf
+      "\ncheck-regress: no overlapping speedup entries between %s and %s -- \
+       the gate compared nothing, failing\n"
+      !baseline !current;
+    exit 1
+  end;
+  if !regressions <> [] then begin
+    Printf.eprintf "\n%d kernel speedup(s) regressed more than %.0f%%:\n"
+      (List.length !regressions) (!tolerance *. 100.);
+    List.iter
+      (fun (k, n, l, s_base, s_cur) ->
+        Printf.eprintf "  %s n=%d levels=%d: %.2fx -> %.2fx\n" k n l s_base s_cur)
+      !regressions;
+    exit 1
+  end;
+  Printf.printf "\nall %d compared speedups within tolerance\n" !compared
 
 (* ------------------------------------------------------------------ *)
 (* Differential fuzzing of the four schemes                            *)
@@ -738,5 +982,7 @@ let () =
   (match cmds with
   | "kernels" :: flags -> kernels flags
   | "fuzz" :: flags -> fuzz flags
+  | "fig7" :: flags -> fig7_cmd flags
+  | "check-regress" :: flags -> check_regress flags
   | _ -> List.iter run cmds);
   Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)

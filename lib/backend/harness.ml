@@ -23,7 +23,15 @@ let estimate_only ?(waterlines = default_waterlines) ?(sf_bits = 28) ?(max_epoch
       (fun wl ->
         match Driver.compile scheme ~max_epochs ~sf_bits ~waterline_bits:wl bench.Apps.prog with
         | compiled -> Some (wl, compiled)
-        | exception Invalid_argument _ -> None)
+        | exception Invalid_argument _ -> None
+        | exception Hecate_ir.Pass_manager.Pass_failed { pass; reason } ->
+            (* A pass-manager failure at one waterline is a compiler bug for
+               that configuration, not an infeasibility — skip the waterline
+               so the rest of the sweep survives, but say so loudly. *)
+            Printf.eprintf
+              "hecate: warning: %s/%s wl=%g: pass %s failed (%s); waterline skipped\n%!"
+              bench.Apps.name (Driver.scheme_name scheme) wl pass reason;
+            None)
       waterlines
   in
   List.sort

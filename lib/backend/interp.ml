@@ -39,7 +39,13 @@ let context ?(seed = 0x5EED) ?exec_n ~(params : Hecate.Paramselect.t) ~rotations
   in
   Eval.create ~seed ckks_params ~rotations
 
-type value = Vcipher of Eval.ciphertext | Vplain of Eval.plaintext | Vfree of float array
+type value =
+  | Vcipher of Eval.ciphertext
+  | Vplain of Eval.plaintext
+  | Vfree of float array
+  | Vpending_mul of Eval.ciphertext * Eval.ciphertext
+      (* a ciphertext Mul whose only consumer is a Rescale: the operands are
+         held until the Rescale executes the fused Eval.mul_rescale *)
 
 let class_of_op (p : Prog.t) (o : Prog.op) =
   let cipher_arg i =
@@ -75,8 +81,56 @@ let execute eval ~waterline_bits (p : Prog.t) ~inputs =
   let cipher_exn v =
     match get v with
     | Vcipher c -> c
-    | Vplain _ | Vfree _ -> invalid_arg "Interp.execute: expected a ciphertext operand"
+    | Vplain _ | Vfree _ | Vpending_mul _ ->
+        invalid_arg "Interp.execute: expected a ciphertext operand"
   in
+  (* Rotation fans: several Rotate ops consuming the same SSA value can share
+     one digit decomposition of its c1 (Eval.rotate_many). Pre-scan for
+     values rotated by >= 2 distinct amounts; the first Rotate of a fan
+     computes all of them, later ones drain the cache. Results are
+     bit-identical to per-rotation Eval.rotate, so this is invisible to the
+     differential fuzzer. *)
+  let fans : (int, int list) Hashtbl.t = Hashtbl.create 4 in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      match o.Prog.kind with
+      | Prog.Rotate { amount } ->
+          let src = o.Prog.args.(0) in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt fans src) in
+          if not (List.mem amount prev) then Hashtbl.replace fans src (amount :: prev)
+      | _ -> ())
+    p;
+  Hashtbl.filter_map_inplace
+    (fun _ amounts -> if List.length amounts >= 2 then Some (List.rev amounts) else None)
+    fans;
+  let hoisted : (int * int, Eval.ciphertext) Hashtbl.t = Hashtbl.create 8 in
+  (* Mul -> Rescale fusion: a ciphertext-ciphertext Mul whose result has
+     exactly one consumer, a Rescale, runs as the fused Eval.mul_rescale
+     (one NTT round-trip saved; bit-identical output). *)
+  let use_count = Array.make (Prog.num_ops p) 0 in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      Array.iter (fun a -> use_count.(a) <- use_count.(a) + 1) o.Prog.args)
+    p;
+  List.iter (fun v -> use_count.(v) <- use_count.(v) + 1) p.Prog.outputs;
+  let fuse_mul = Array.make (Prog.num_ops p) false in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      match o.Prog.kind with
+      | Prog.Rescale -> (
+          let src = o.Prog.args.(0) in
+          let so = Prog.op p src in
+          match so.Prog.kind with
+          | Prog.Mul when use_count.(src) = 1 ->
+              let cipher i =
+                match (Prog.op p so.Prog.args.(i)).Prog.ty with
+                | Types.Cipher _ -> true
+                | _ -> false
+              in
+              if cipher 0 && cipher 1 then fuse_mul.(src) <- true
+          | _ -> ())
+      | _ -> ())
+    p;
   (* The logical vector is replicated across the physical register: when the
      execution degree offers more slots than the program declares, rotation
      must still be cyclic in [slot_count], and replication makes the Galois
@@ -106,7 +160,7 @@ let execute eval ~waterline_bits (p : Prog.t) ~inputs =
     | Prog.Encode { scale; level } -> (
         match get o.Prog.args.(0) with
         | Vfree v -> Vplain (Eval.encode eval ~level ~scale:(Float.exp2 scale) v)
-        | Vcipher _ | Vplain _ -> invalid_arg "Interp.execute: encode of a non-free value")
+        | _ -> invalid_arg "Interp.execute: encode of a non-free value")
     | Prog.Add | Prog.Sub -> (
         let sub = o.Prog.kind = Prog.Sub in
         match (get o.Prog.args.(0), get o.Prog.args.(1)) with
@@ -120,22 +174,40 @@ let execute eval ~waterline_bits (p : Prog.t) ~inputs =
             let b = align_cipher b a.Eval.pt_scale in
             Vcipher
               (if sub then Eval.negate eval (Eval.sub_plain eval b a) else Eval.add_plain eval b a)
-        | (Vplain _ | Vfree _), (Vplain _ | Vfree _) | Vcipher _, Vfree _ | Vfree _, Vcipher _ ->
-            invalid_arg "Interp.execute: additive operands must pair a ciphertext with a plaintext")
+        | _ -> invalid_arg "Interp.execute: additive operands must pair a ciphertext with a plaintext")
     | Prog.Mul -> (
         match (get o.Prog.args.(0), get o.Prog.args.(1)) with
-        | Vcipher a, Vcipher b -> Vcipher (Eval.mul eval a b)
+        | Vcipher a, Vcipher b ->
+            if fuse_mul.(o.Prog.id) then Vpending_mul (a, b) else Vcipher (Eval.mul eval a b)
         | Vcipher a, Vplain b | Vplain b, Vcipher a -> Vcipher (Eval.mul_plain eval a b)
-        | (Vplain _ | Vfree _), (Vplain _ | Vfree _) | Vcipher _, Vfree _ | Vfree _, Vcipher _ ->
-            invalid_arg "Interp.execute: mul operands must pair a ciphertext with a plaintext")
+        | _ -> invalid_arg "Interp.execute: mul operands must pair a ciphertext with a plaintext")
     | Prog.Negate -> Vcipher (Eval.negate eval (cipher_exn o.Prog.args.(0)))
-    | Prog.Rotate { amount } -> Vcipher (Eval.rotate eval (cipher_exn o.Prog.args.(0)) amount)
-    | Prog.Rescale -> Vcipher (Eval.rescale eval (cipher_exn o.Prog.args.(0)))
+    | Prog.Rotate { amount } -> (
+        let src = o.Prog.args.(0) in
+        match Hashtbl.find_opt hoisted (src, amount) with
+        | Some c ->
+            Hashtbl.remove hoisted (src, amount);
+            Vcipher c
+        | None -> (
+            match Hashtbl.find_opt fans src with
+            | Some amounts ->
+                let results = Eval.rotate_many eval (cipher_exn src) amounts in
+                List.iter2 (fun a c -> Hashtbl.replace hoisted (src, a) c) amounts results;
+                Hashtbl.remove fans src;
+                let c = Hashtbl.find hoisted (src, amount) in
+                Hashtbl.remove hoisted (src, amount);
+                Vcipher c
+            | None -> Vcipher (Eval.rotate eval (cipher_exn src) amount)))
+    | Prog.Rescale -> (
+        match get o.Prog.args.(0) with
+        | Vpending_mul (a, b) -> Vcipher (Eval.mul_rescale eval a b)
+        | Vcipher c -> Vcipher (Eval.rescale eval c)
+        | Vplain _ | Vfree _ -> invalid_arg "Interp.execute: rescale on a non-ciphertext")
     | Prog.Modswitch -> (
         match get o.Prog.args.(0) with
         | Vcipher c -> Vcipher (Eval.mod_switch eval c)
         | Vplain pt -> Vplain (Eval.mod_switch_plain eval pt)
-        | Vfree _ -> invalid_arg "Interp.execute: modswitch on a free value")
+        | _ -> invalid_arg "Interp.execute: modswitch on a free value")
     | Prog.Upscale { target_scale } ->
         let c = cipher_exn o.Prog.args.(0) in
         let factor = Float.exp2 target_scale /. Eval.scale c in
@@ -164,7 +236,7 @@ let execute eval ~waterline_bits (p : Prog.t) ~inputs =
           Hashtbl.replace stats cls { count = prev.count + 1; seconds = prev.seconds +. dt });
       values.(o.Prog.id) <- Some v;
       (match v with
-      | Vcipher _ ->
+      | Vcipher _ | Vpending_mul _ ->
           incr live_count;
           peak := max !peak !live_count
       | Vplain _ | Vfree _ -> ());
@@ -172,7 +244,9 @@ let execute eval ~waterline_bits (p : Prog.t) ~inputs =
       Array.iter
         (fun a ->
           if live.Liveness.last_use.(a) = o.Prog.id then begin
-            (match values.(a) with Some (Vcipher _) -> decr live_count | _ -> ());
+            (match values.(a) with
+            | Some (Vcipher _ | Vpending_mul _) -> decr live_count
+            | _ -> ());
             values.(a) <- None
           end)
         o.Prog.args)
@@ -182,7 +256,8 @@ let execute eval ~waterline_bits (p : Prog.t) ~inputs =
       (fun v ->
         match get v with
         | Vcipher c -> Eval.decrypt eval c
-        | Vplain _ | Vfree _ -> invalid_arg "Interp.execute: output is not a ciphertext")
+        | Vplain _ | Vfree _ | Vpending_mul _ ->
+            invalid_arg "Interp.execute: output is not a ciphertext")
       p.Prog.outputs
   in
   {

@@ -26,11 +26,19 @@ let measure ?(reps = 3) eval =
     record Costmodel.Plain_add ~level (time_reps reps (fun () -> Eval.add_plain eval c pt));
     record Costmodel.Cipher_mul ~level (time_reps reps (fun () -> Eval.mul eval c c));
     record Costmodel.Plain_mul ~level (time_reps reps (fun () -> Eval.mul_plain eval c pt));
-    (try record Costmodel.Rotate ~level (time_reps reps (fun () -> Eval.rotate eval c 1))
+    (try
+       let t_rot = time_reps reps (fun () -> Eval.rotate eval c 1) in
+       record Costmodel.Rotate ~level t_rot;
+       (* marginal hoisted rotation: a 3-rotation fan pays the decomposition
+          once, so (fan - single) / 2 isolates the per-extra-rotation cost;
+          clamp against timer noise driving the difference negative *)
+       let t_fan = time_reps reps (fun () -> Eval.rotate_many eval c [ 1; 1; 1 ]) in
+       record Costmodel.Rotate_hoisted ~level (Float.max ((t_fan -. t_rot) /. 2.) (0.05 *. t_rot))
      with Not_found -> ());
     if level < levels then begin
       let squared = Eval.mul eval c c in
       record Costmodel.Rescale ~level (time_reps reps (fun () -> Eval.rescale eval squared));
+      record Costmodel.Mul_rescale ~level (time_reps reps (fun () -> Eval.mul_rescale eval c c));
       record Costmodel.Modswitch ~level (time_reps reps (fun () -> Eval.mod_switch eval c));
       ct := Eval.mod_switch eval c
     end

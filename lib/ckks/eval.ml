@@ -145,22 +145,28 @@ let keyswitch_reference t ~lc d (key : Keys.switch_key) =
 (* Fast path: one scratch digit buffer NTT'd in place and fused
    multiply-accumulate directly against the full-level key material
    (mul_add_into reads the key's matching components), so the per-digit
-   loop allocates nothing. *)
+   loop allocates nothing. Returns the switched pair in Coeff domain —
+   callers that consume it in Eval transform it themselves, and the fused
+   mul+rescale path consumes it in Coeff directly, skipping those NTTs. *)
+let keyswitch_fast_coeff t ~lc d (key : Keys.switch_key) =
+  let chain = t.params.Params.chain in
+  let acc0 = Poly.zero chain ~level_count:lc ~with_special:true Poly.Eval in
+  let acc1 = Poly.zero chain ~level_count:lc ~with_special:true Poly.Eval in
+  let dig = Poly.zero chain ~level_count:lc ~with_special:true Poly.Coeff in
+  for i = 0 to lc - 1 do
+    Poly.lift_digit_into ~dst:dig d ~digit:i;
+    let dig_e = Poly.to_eval_inplace dig in
+    Poly.mul_add_into ~acc:acc0 dig_e key.Keys.k0.(i);
+    Poly.mul_add_into ~acc:acc1 dig_e key.Keys.k1.(i)
+  done;
+  let p0 = Poly.mod_down_special (Poly.to_coeff_inplace acc0) in
+  let p1 = Poly.mod_down_special (Poly.to_coeff_inplace acc1) in
+  (p0, p1)
+
 let keyswitch t ~lc d (key : Keys.switch_key) =
   if Kernels.use_naive () then keyswitch_reference t ~lc d key
   else begin
-    let chain = t.params.Params.chain in
-    let acc0 = Poly.zero chain ~level_count:lc ~with_special:true Poly.Eval in
-    let acc1 = Poly.zero chain ~level_count:lc ~with_special:true Poly.Eval in
-    let dig = Poly.zero chain ~level_count:lc ~with_special:true Poly.Coeff in
-    for i = 0 to lc - 1 do
-      Poly.lift_digit_into ~dst:dig d ~digit:i;
-      let dig_e = Poly.to_eval_inplace dig in
-      Poly.mul_add_into ~acc:acc0 dig_e key.Keys.k0.(i);
-      Poly.mul_add_into ~acc:acc1 dig_e key.Keys.k1.(i)
-    done;
-    let p0 = Poly.mod_down_special (Poly.to_coeff_inplace acc0) in
-    let p1 = Poly.mod_down_special (Poly.to_coeff_inplace acc1) in
+    let p0, p1 = keyswitch_fast_coeff t ~lc d key in
     (Poly.to_eval_inplace p0, Poly.to_eval_inplace p1)
   end
 
@@ -205,6 +211,43 @@ let rescale t ct =
   let c1 = Poly.to_eval_inplace (Poly.rescale_last (Poly.to_coeff ct.c1)) in
   { c0; c1; scale = ct.scale /. float_of_int dropped_prime; level = ct.level + 1 }
 
+(* Fused multiply + rescale. The baseline sequence forward-transforms the
+   key-switched pair (2 * lc NTTs) only for [rescale] to immediately
+   inverse-transform the sums again (2 * lc more). Fusing the two ops keeps
+   the key-switch output in Coeff, brings d0/d1 down instead, accumulates
+   and rescales in Coeff, and pays a single forward transform of the
+   (lc - 1)-component results — one full NTT round-trip saved per
+   ciphertext multiplication. The inverse NTT is linear and exact, so
+   accumulating before or after the transform yields the same canonical
+   residues: bit-identical to [rescale t (mul t a b)], which remains the
+   reference path (and the naive-kernel branch). *)
+let mul_rescale t a b =
+  check_binop "mul_rescale" a b;
+  if a.level >= max_level t then
+    raise (Level_mismatch "Eval.mul_rescale: no rescaling prime remains");
+  if Kernels.use_naive () then rescale t (mul t a b)
+  else begin
+    let lc = level_count t a.level in
+    let d0 = Poly.mul a.c0 b.c0 in
+    let d1 = Poly.mul a.c0 b.c1 in
+    Poly.mul_add_into ~acc:d1 a.c1 b.c0;
+    let d2 = Poly.mul a.c1 b.c1 in
+    let p0, p1 = keyswitch_fast_coeff t ~lc (Poly.to_coeff_inplace d2) t.keys.Keys.relin in
+    let d0c = Poly.to_coeff_inplace d0 in
+    Poly.add_into ~dst:d0c d0c p0;
+    let d1c = Poly.to_coeff_inplace d1 in
+    Poly.add_into ~dst:d1c d1c p1;
+    let dropped_prime = Chain.prime t.params.Params.chain (lc - 1) in
+    let c0 = Poly.to_eval_inplace (Poly.rescale_last d0c) in
+    let c1 = Poly.to_eval_inplace (Poly.rescale_last d1c) in
+    {
+      c0;
+      c1;
+      scale = a.scale *. b.scale /. float_of_int dropped_prime;
+      level = a.level + 1;
+    }
+  end
+
 let mod_switch t ct =
   if ct.level >= max_level t then
     raise (Level_mismatch "Eval.mod_switch: no chain prime remains");
@@ -245,4 +288,58 @@ let rotate t ct r =
     let c0e = Poly.to_eval_inplace c0r in
     Poly.add_into ~dst:c0e c0e p0;
     { ct with c0 = c0e; c1 = p1 }
+  end
+
+(* Hoisted rotation fan (Halevi–Shoup hoisting): every rotation of the same
+   ciphertext key-switches an automorphism of the same [c1], and the
+   expensive part of key switching — lifting each RNS digit and
+   forward-transforming it over the extended basis, lc * (lc+1) NTTs — does
+   not depend on the rotation amount. Digit extraction commutes with the
+   automorphism (the centered lift is symmetric, so negating a residue
+   negates its lift), and on Eval-domain vectors the automorphism is the
+   pure slot permutation {!Poly.automorphism_eval}. So: decompose once,
+   then per rotation permute the cached Eval-domain digits (O(n) copies)
+   instead of re-lifting and re-transforming. The digit loop runs in the
+   same order with the same accumulation as {!keyswitch}, so every output
+   residue is bit-identical to the per-rotation path — [rotate] stays the
+   reference oracle, and the naive-kernel branch simply calls it. *)
+let rotate_many t ct rs =
+  let half = t.params.Params.n / 2 in
+  let norm r = ((r mod half) + half) mod half in
+  if Kernels.use_naive () || List.length (List.filter (fun r -> norm r <> 0) rs) < 2 then
+    List.map (rotate t ct) rs
+  else begin
+    let chain = t.params.Params.chain in
+    let lc = level_count t ct.level in
+    (* shared decomposition of c1: lift + NTT each digit once *)
+    let d = Poly.to_coeff ct.c1 in
+    let dig = Poly.zero chain ~level_count:lc ~with_special:true Poly.Coeff in
+    let digits =
+      Array.init lc (fun i ->
+          Poly.lift_digit_into ~dst:dig d ~digit:i;
+          let e = Poly.to_eval_inplace (Poly.copy dig) in
+          e)
+    in
+    let rot_dig = Poly.zero chain ~level_count:lc ~with_special:true Poly.Eval in
+    List.map
+      (fun r ->
+        let r = norm r in
+        if r = 0 then ct
+        else begin
+          let g = Encoder.galois_element t.encoder ~rotation:r in
+          let key = Keys.galois_key t.keys g in
+          let acc0 = Poly.zero chain ~level_count:lc ~with_special:true Poly.Eval in
+          let acc1 = Poly.zero chain ~level_count:lc ~with_special:true Poly.Eval in
+          for i = 0 to lc - 1 do
+            Poly.automorphism_eval_into ~dst:rot_dig digits.(i) ~galois:g;
+            Poly.mul_add_into ~acc:acc0 rot_dig key.Keys.k0.(i);
+            Poly.mul_add_into ~acc:acc1 rot_dig key.Keys.k1.(i)
+          done;
+          let p0 = Poly.to_eval_inplace (Poly.mod_down_special (Poly.to_coeff_inplace acc0)) in
+          let p1 = Poly.to_eval_inplace (Poly.mod_down_special (Poly.to_coeff_inplace acc1)) in
+          let c0r = Poly.automorphism_eval ct.c0 ~galois:g in
+          Poly.add_into ~dst:c0r c0r p0;
+          { ct with c0 = c0r; c1 = p1 }
+        end)
+      rs
   end

@@ -61,6 +61,14 @@ val rescale : t -> ciphertext -> ciphertext
     that prime (≈ [2^sf_bits]) and the level grows by one.
     @raise Level_mismatch when no rescaling prime remains. *)
 
+val mul_rescale : t -> ciphertext -> ciphertext -> ciphertext
+(** [mul_rescale t a b] is bit-identical to [rescale t (mul t a b)] but
+    fuses the two: the key-switched pair is consumed in [Coeff] domain and
+    the sums are rescaled before the single forward transform, saving one
+    full NTT round-trip per ciphertext multiplication. Under naive kernels
+    it runs the unfused reference sequence.
+    @raise Level_mismatch when no rescaling prime remains. *)
+
 val mod_switch : t -> ciphertext -> ciphertext
 (** Drop the last chain prime without dividing: level + 1, scale unchanged. *)
 
@@ -82,6 +90,16 @@ val rotate : t -> ciphertext -> int -> ciphertext
 (** [rotate t ct r] rotates slots left by [r] (negative [r]: right). Requires
     the matching rotation key.
     @raise Not_found if the key set lacks that rotation. *)
+
+val rotate_many : t -> ciphertext -> int list -> ciphertext list
+(** [rotate_many t ct rs] rotates [ct] by every amount in [rs]
+    (result [i] corresponds to [rs]'s element [i]) with Halevi–Shoup
+    hoisting: the RNS digit decomposition and its forward transforms —
+    the dominant cost of rotation key switching — are computed once for
+    [ct] and shared by all rotations, each of which only permutes the
+    cached Eval-domain digits. Every result is bit-identical to the
+    corresponding [rotate t ct r]; with naive kernels (or fewer than two
+    non-trivial amounts) it simply maps {!rotate}. *)
 
 val keyswitch :
   t ->

@@ -25,7 +25,7 @@ let uniform_poly g chain ~level_count ~with_special =
     let q = Poly.modulus_at p i in
     let dst = p.Poly.data.(i) in
     for t = 0 to n - 1 do
-      dst.(t) <- Prng.uniform_mod g q
+      Hecate_support.Buf.set dst t (Prng.uniform_mod g q)
     done
   done;
   p

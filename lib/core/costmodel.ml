@@ -4,14 +4,27 @@ type op_class =
   | Cipher_mul
   | Plain_mul
   | Rotate
+  | Rotate_hoisted
   | Rescale
+  | Mul_rescale
   | Modswitch
   | Encode
 
 type t = { cost : op_class -> num_primes:int -> n:int -> float }
 
 let classes =
-  [ Cipher_add; Plain_add; Cipher_mul; Plain_mul; Rotate; Rescale; Modswitch; Encode ]
+  [
+    Cipher_add;
+    Plain_add;
+    Cipher_mul;
+    Plain_mul;
+    Rotate;
+    Rotate_hoisted;
+    Rescale;
+    Mul_rescale;
+    Modswitch;
+    Encode;
+  ]
 
 let class_name = function
   | Cipher_add -> "cipher_add"
@@ -19,12 +32,14 @@ let class_name = function
   | Cipher_mul -> "cipher_mul"
   | Plain_mul -> "plain_mul"
   | Rotate -> "rotate"
+  | Rotate_hoisted -> "rotate_hoisted"
   | Rescale -> "rescale"
+  | Mul_rescale -> "mul_rescale"
   | Modswitch -> "modswitch"
   | Encode -> "encode"
 
 (* Work in abstract units; one unit is roughly one modular multiply. *)
-let units cls ~num_primes ~n =
+let rec units cls ~num_primes ~n =
   let l = float_of_int num_primes in
   let nf = float_of_int n in
   let ntt = nf *. (log nf /. log 2.) in
@@ -38,7 +53,20 @@ let units cls ~num_primes ~n =
   | Cipher_mul -> (5. *. l *. nf) +. keyswitch
   | Plain_mul -> 2. *. l *. nf
   | Rotate -> (4. *. l *. ntt) +. (2. *. l *. nf) +. keyswitch
+  | Rotate_hoisted ->
+      (* marginal rotation in a hoisted fan (Halevi–Shoup): the digit
+         decomposition's l*(l+1) lifts and forward NTTs are shared, leaving
+         per rotation: digit permutations + multiply-accumulates
+         (3 linear passes per digit per modulus), the accumulator inverse
+         NTTs + mod-down, the switched pair's forward NTTs, and the
+         permutation/add of c0. *)
+      (3. *. l *. (l +. 1.) *. nf) +. (2. *. (l +. 1.) *. ntt) +. (2. *. l *. ntt)
+      +. (6. *. l *. nf)
   | Rescale -> (2. *. l *. ntt) +. (2. *. (l -. 1.) *. (ntt +. nf))
+  | Mul_rescale ->
+      (* fused multiply + rescale: the switched pair stays in Coeff, saving
+         its 2l forward NTTs relative to Cipher_mul + Rescale *)
+      units Cipher_mul ~num_primes ~n +. units Rescale ~num_primes ~n -. (2. *. l *. ntt)
   | Modswitch -> 0.25 *. l *. nf (* copying the surviving components *)
   | Encode -> ntt +. (l *. (ntt +. nf))
 

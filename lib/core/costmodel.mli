@@ -13,7 +13,14 @@ type op_class =
   | Cipher_mul (** tensor + relinearization *)
   | Plain_mul
   | Rotate
+  | Rotate_hoisted
+      (** marginal rotation in a hoisted fan: the digit decomposition of the
+          shared source is paid once (by the fan's first [Rotate]) and each
+          further rotation only permutes the cached digits *)
   | Rescale
+  | Mul_rescale
+      (** fused ciphertext multiply + rescale (one NTT round-trip saved
+          relative to [Cipher_mul] followed by [Rescale]) *)
   | Modswitch
   | Encode
 

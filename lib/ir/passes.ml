@@ -177,7 +177,7 @@ let fold_rotations p =
   in
   fix p
 
-let early_modswitch (p : Prog.t) =
+let early_modswitch_once (p : Prog.t) =
   let n = Prog.num_ops p in
   let uses = Prog.use_counts p in
   (* absorbed.(v): number of modswitch layers to fold into the op defining v *)
@@ -213,6 +213,22 @@ let early_modswitch (p : Prog.t) =
       incr count;
       id
     in
+    (* Share the wrapper chains: wrapping [mul %x, %x] must produce ONE
+       [modswitch %x] feeding both operands, not two. With distinct copies
+       the base value gains a second use, the copies stop being absorbable,
+       and migration stalls until a later cse merges them — which is what
+       made convergence take one fixpoint iteration per dataflow step. *)
+    let wrap_memo = Hashtbl.create 16 in
+    let rec wrap v k =
+      if k = 0 then v
+      else
+        match Hashtbl.find_opt wrap_memo (v, k) with
+        | Some id -> id
+        | None ->
+            let id = emit Prog.Modswitch [| wrap v (k - 1) |] in
+            Hashtbl.add wrap_memo (v, k) id;
+            id
+    in
     for i = 0 to n - 1 do
       let o = Prog.op p i in
       if elided.(i) then remap.(i) <- remap.(o.Prog.args.(0))
@@ -229,9 +245,7 @@ let early_modswitch (p : Prog.t) =
               let base = remap.(a) in
               match o.Prog.kind with
               | Prog.Encode _ -> base (* absorbed into the level attribute *)
-              | _ ->
-                  let rec wrap v k = if k = 0 then v else wrap (emit Prog.Modswitch [| v |]) (k - 1) in
-                  wrap base m)
+              | _ -> wrap base m)
             o.Prog.args
         in
         remap.(i) <- emit kind args
@@ -249,3 +263,22 @@ let early_modswitch (p : Prog.t) =
     | Ok () -> out
     | Error msg -> invalid_arg ("Passes.early_modswitch: " ^ msg)
   end
+
+(* One [early_modswitch_once] moves each modswitch one def earlier: the
+   wrappers it emits around an absorbing op's operands only become
+   absorbable themselves on the next sweep. Iterating here makes the pass
+   transitive (and idempotent) as documented, instead of leaning on the
+   enclosing fixpoint pipeline for the propagation — on deep programs
+   (LeNet's conv chains) the per-iteration step used to exceed the pass
+   manager's 64-iteration fixpoint budget and crash the compile. Each sweep
+   strictly moves some modswitch earlier and never moves one later, so the
+   number of sweeps is bounded by the program's dataflow depth; [num_ops]
+   is a safe cap that can only be hit by a genuine non-termination bug. *)
+let early_modswitch (p : Prog.t) =
+  let rec fix p budget =
+    if budget = 0 then p
+    else
+      let p' = early_modswitch_once p in
+      if p' == p then p else fix p' (budget - 1)
+  in
+  fix p (Prog.num_ops p + 1)

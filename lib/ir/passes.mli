@@ -35,5 +35,9 @@ val early_modswitch : Prog.t -> Prog.t
 (** EVA's early-modswitch optimization: a [modswitch] applied to the single
     use of an eligible operation is absorbed into that operation's operands
     (or its attribute, for [encode]), so the operation itself executes at
-    the higher — cheaper — level. Applied transitively in one backward
-    pass. *)
+    the higher — cheaper — level. Applied transitively: the backward
+    absorption sweep is iterated internally until no modswitch can move
+    (each sweep pushes a modswitch one definition earlier; the iteration
+    count is bounded by the program's dataflow depth), so the result is
+    idempotent and an enclosing [fixpoint] converges in O(1) iterations
+    regardless of program depth. *)

@@ -3,15 +3,22 @@ module Ntt = Hecate_support.Ntt
 module Bigint = Hecate_support.Bigint
 module Kernels = Hecate_support.Kernels
 module Pool = Hecate_support.Pool
+module Buf = Hecate_support.Buf
 
 type domain = Coeff | Eval
 
+(* Residues live in one flat unboxed [Buf.t] per polynomial ([component i]
+   occupies [i*n .. (i+1)*n-1]); [data] holds O(1) per-component views into
+   that allocation. The payload is outside the OCaml heap, so a polynomial
+   costs the GC two small blocks regardless of ring degree — at N = 2^15 a
+   boxed [int array array] representation made every major collection walk
+   megabytes of residues per live ciphertext. *)
 type t = {
   chain : Chain.t;
   level_count : int;
   with_special : bool;
   domain : domain;
-  data : int array array;
+  data : Buf.t array;
 }
 
 let component_count p = p.level_count + if p.with_special then 1 else 0
@@ -42,17 +49,25 @@ let kernel_par comps degree f =
       f i
     done
 
+let views comps n flat = Array.init comps (fun i -> Buf.sub flat (i * n) n)
+
 let zero chain ~level_count ~with_special domain =
   if level_count < 1 || level_count > Chain.length chain then
     invalid_arg "Poly.zero: bad level count";
   let comps = level_count + if with_special then 1 else 0 in
   let n = Chain.degree chain in
-  { chain; level_count; with_special; domain; data = Array.init comps (fun _ -> Array.make n 0) }
-
-let copy p = { p with data = Array.map Array.copy p.data }
+  { chain; level_count; with_special; domain; data = views comps n (Buf.create (comps * n)) }
 
 (* Like [copy] but with uninitialized (zero) payload: a destination shell. *)
-let alloc_like p = { p with data = Array.map (fun d -> Array.make (Array.length d) 0) p.data }
+let alloc_like p =
+  let comps = component_count p in
+  let n = Chain.degree p.chain in
+  { p with data = views comps n (Buf.create (comps * n)) }
+
+let copy p =
+  let out = alloc_like p in
+  Array.iteri (fun i src -> Buf.blit ~src ~dst:out.data.(i)) p.data;
+  out
 
 let check_compatible name a b =
   if
@@ -68,7 +83,7 @@ let of_centered_coeffs chain ~level_count ~with_special coeffs =
     let q = modulus_at p i in
     let dst = p.data.(i) in
     for t = 0 to n - 1 do
-      dst.(t) <- M.reduce ~q coeffs.(t)
+      Buf.set dst t (M.reduce ~q coeffs.(t))
     done
   done;
   p
@@ -78,15 +93,15 @@ let of_centered_coeffs chain ~level_count ~with_special coeffs =
 (* ------------------------------------------------------------------ *)
 
 let add_loop q da db dst =
-  for t = 0 to Array.length da - 1 do
-    let s = da.(t) + db.(t) in
-    dst.(t) <- (if s >= q then s - q else s)
+  for t = 0 to Buf.length da - 1 do
+    let s = Buf.unsafe_get da t + Buf.unsafe_get db t in
+    Buf.unsafe_set dst t (if s >= q then s - q else s)
   done
 
 let sub_loop q da db dst =
-  for t = 0 to Array.length da - 1 do
-    let d = da.(t) - db.(t) in
-    dst.(t) <- (if d < 0 then d + q else d)
+  for t = 0 to Buf.length da - 1 do
+    let d = Buf.unsafe_get da t - Buf.unsafe_get db t in
+    Buf.unsafe_set dst t (if d < 0 then d + q else d)
   done
 
 let binop_into name loop ~dst a b =
@@ -117,23 +132,23 @@ let neg a =
   kernel_par (component_count a) (Chain.degree a.chain) (fun i ->
       let q = modulus_at a i in
       let src = a.data.(i) and dst = out.data.(i) in
-      for t = 0 to Array.length src - 1 do
-        let x = src.(t) in
-        dst.(t) <- (if x = 0 then 0 else q - x)
+      for t = 0 to Buf.length src - 1 do
+        let x = Buf.unsafe_get src t in
+        Buf.unsafe_set dst t (if x = 0 then 0 else q - x)
       done);
   out
 
 let mul_loop_naive q da db dst =
-  for t = 0 to Array.length da - 1 do
-    dst.(t) <- M.mul ~q da.(t) db.(t)
+  for t = 0 to Buf.length da - 1 do
+    Buf.set dst t (M.mul ~q (Buf.get da t) (Buf.get db t))
   done
 
-(* Fast loops use unchecked accesses: every residue array of a polynomial
+(* Fast loops use unchecked accesses: every residue view of a polynomial
    has length [Chain.degree] by construction, and [check_compatible] has
    already matched the operands' chains. *)
 let mul_loop ctx da db dst =
-  for t = 0 to Array.length da - 1 do
-    Array.unsafe_set dst t (M.mulmod ctx (Array.unsafe_get da t) (Array.unsafe_get db t))
+  for t = 0 to Buf.length da - 1 do
+    Buf.unsafe_set dst t (M.mulmod ctx (Buf.unsafe_get da t) (Buf.unsafe_get db t))
   done
 
 let check_eval name a b =
@@ -177,28 +192,28 @@ let mul_add_into ~acc a b =
         if a.with_special && i = a.level_count then b.data.(b.level_count) else b.data.(i)
       in
       let da = a.data.(i) and dacc = acc.data.(i) in
-      for t = 0 to Array.length da - 1 do
+      for t = 0 to Buf.length da - 1 do
         let s =
-          Array.unsafe_get dacc t
-          + M.mulmod ctx (Array.unsafe_get da t) (Array.unsafe_get bi t)
+          Buf.unsafe_get dacc t
+          + M.mulmod ctx (Buf.unsafe_get da t) (Buf.unsafe_get bi t)
           - q
         in
-        Array.unsafe_set dacc t (s + (s asr 62 land q))
+        Buf.unsafe_set dacc t (s + (s asr 62 land q))
       done)
 
 let scalar_mul_loop p i k out =
   if Kernels.use_naive () then begin
     let q = modulus_at p i in
     let dst = out.data.(i) and src = p.data.(i) in
-    for t = 0 to Array.length src - 1 do
-      dst.(t) <- M.mul ~q src.(t) k
+    for t = 0 to Buf.length src - 1 do
+      Buf.set dst t (M.mul ~q (Buf.get src t) k)
     done
   end
   else begin
     let ctx = ctx_at p i in
     let dst = out.data.(i) and src = p.data.(i) in
-    for t = 0 to Array.length src - 1 do
-      dst.(t) <- M.mulmod ctx src.(t) k
+    for t = 0 to Buf.length src - 1 do
+      Buf.unsafe_set dst t (M.mulmod ctx (Buf.unsafe_get src t) k)
     done
   end
 
@@ -260,9 +275,35 @@ let automorphism p ~galois =
       for j = 0 to n - 1 do
         (* n is a power of two, so X^j -> X^(j*galois mod 2n) is a mask *)
         let k = (j * galois) land mask in
-        if k < n then dst.(k) <- M.add ~q dst.(k) src.(j)
-        else dst.(k - n) <- M.sub ~q dst.(k - n) src.(j)
+        if k < n then Buf.set dst k (M.add ~q (Buf.get dst k) (Buf.get src j))
+        else Buf.set dst (k - n) (M.sub ~q (Buf.get dst (k - n)) (Buf.get src j))
       done);
+  out
+
+(* Eval-domain automorphism: on forward-transformed vectors [X -> X^g] is a
+   pure slot permutation (values move between evaluation points, no sign
+   fixups — those live in the Coeff-domain picture). Bit-identical to
+   [to_eval (automorphism (to_coeff p) ~galois)] because the NTT is an exact
+   ring isomorphism; hoisted rotation key switching depends on that to reuse
+   one digit decomposition across every rotation of a ciphertext. *)
+let automorphism_eval_into ~dst p ~galois =
+  if p.domain <> Eval then invalid_arg "Poly.automorphism_eval: operand must be in Eval domain";
+  if galois land 1 = 0 then invalid_arg "Poly.automorphism_eval: galois element must be odd";
+  check_compatible "automorphism_eval" dst p;
+  if dst == p then invalid_arg "Poly.automorphism_eval_into: dst must not alias the source";
+  let n = Chain.degree p.chain in
+  (* resolve (and cache) the permutation before fanning out over components *)
+  let perm = Ntt.galois_perm (Chain.table p.chain 0) ~galois in
+  kernel_par (component_count p) n (fun i ->
+      let src = p.data.(i) and d = dst.data.(i) in
+      for j = 0 to n - 1 do
+        Buf.unsafe_set d j (Buf.unsafe_get src (Array.unsafe_get perm j))
+      done)
+
+let automorphism_eval p ~galois =
+  if p.domain <> Eval then invalid_arg "Poly.automorphism_eval: operand must be in Eval domain";
+  let out = alloc_like p in
+  automorphism_eval_into ~dst:out p ~galois;
   out
 
 let rescale_last p =
@@ -281,15 +322,15 @@ let rescale_last p =
       let src = p.data.(i) and dst = out.data.(i) in
       if naive then
         for t = 0 to n - 1 do
-          let c = M.to_centered ~q:q_last last.(t) in
-          dst.(t) <- M.mul ~q (M.sub ~q src.(t) (M.reduce ~q c)) inv
+          let c = M.to_centered ~q:q_last (Buf.get last t) in
+          Buf.set dst t (M.mul ~q (M.sub ~q (Buf.get src t) (M.reduce ~q c)) inv)
         done
       else begin
         let ctx = Chain.ctx p.chain i in
         for t = 0 to n - 1 do
-          let c = M.to_centered ~q:q_last (Array.unsafe_get last t) in
-          Array.unsafe_set dst t
-            (M.mulmod ctx (M.sub ~q (Array.unsafe_get src t) (M.reduce_ctx ctx c)) inv)
+          let c = M.to_centered ~q:q_last (Buf.unsafe_get last t) in
+          Buf.unsafe_set dst t
+            (M.mulmod ctx (M.sub ~q (Buf.unsafe_get src t) (M.reduce_ctx ctx c)) inv)
         done
       end);
   out
@@ -297,11 +338,10 @@ let rescale_last p =
 let drop_last p =
   if p.with_special then invalid_arg "Poly.drop_last: special component present";
   if p.level_count < 2 then invalid_arg "Poly.drop_last: nothing to drop";
-  {
-    p with
-    level_count = p.level_count - 1;
-    data = Array.map Array.copy (Array.sub p.data 0 (p.level_count - 1));
-  }
+  let out = { p with level_count = p.level_count - 1; data = [||] } in
+  let out = alloc_like out in
+  Array.iteri (fun i dst -> Buf.blit ~src:p.data.(i) ~dst) out.data;
+  out
 
 let mod_down_special p =
   if p.domain <> Coeff then invalid_arg "Poly.mod_down_special: operand must be in Coeff domain";
@@ -317,15 +357,15 @@ let mod_down_special p =
       let src = p.data.(i) and dst = out.data.(i) in
       if naive then
         for t = 0 to n - 1 do
-          let c = M.to_centered ~q:sp last.(t) in
-          dst.(t) <- M.mul ~q (M.sub ~q src.(t) (M.reduce ~q c)) inv
+          let c = M.to_centered ~q:sp (Buf.get last t) in
+          Buf.set dst t (M.mul ~q (M.sub ~q (Buf.get src t) (M.reduce ~q c)) inv)
         done
       else begin
         let ctx = Chain.ctx p.chain i in
         for t = 0 to n - 1 do
-          let c = M.to_centered ~q:sp (Array.unsafe_get last t) in
-          Array.unsafe_set dst t
-            (M.mulmod ctx (M.sub ~q (Array.unsafe_get src t) (M.reduce_ctx ctx c)) inv)
+          let c = M.to_centered ~q:sp (Buf.unsafe_get last t) in
+          Buf.unsafe_set dst t
+            (M.mulmod ctx (M.sub ~q (Buf.unsafe_get src t) (M.reduce_ctx ctx c)) inv)
         done
       end);
   out
@@ -340,13 +380,13 @@ let lift_digit_loop ~dst p ~digit =
       if naive then begin
         let q = modulus_at dst i in
         for t = 0 to n - 1 do
-          d.(t) <- M.reduce ~q (M.to_centered ~q:q_digit src.(t))
+          Buf.set d t (M.reduce ~q (M.to_centered ~q:q_digit (Buf.get src t)))
         done
       end
       else begin
         let ctx = ctx_at dst i in
         for t = 0 to n - 1 do
-          Array.unsafe_set d t (M.reduce_ctx ctx (M.to_centered ~q:q_digit (Array.unsafe_get src t)))
+          Buf.unsafe_set d t (M.reduce_ctx ctx (M.to_centered ~q:q_digit (Buf.unsafe_get src t)))
         done
       end)
 
@@ -370,12 +410,15 @@ let restrict_levels p ~level_count =
   if level_count < 1 || level_count > p.level_count then
     invalid_arg "Poly.restrict_levels: bad level count";
   if level_count = p.level_count then p
-  else
-    let chain_part = Array.sub p.data 0 level_count in
-    let data =
-      if p.with_special then Array.append chain_part [| p.data.(p.level_count) |] else chain_part
-    in
-    { p with level_count; data = Array.map Array.copy data }
+  else begin
+    let out = { p with level_count; data = [||] } in
+    let out = alloc_like out in
+    for i = 0 to level_count - 1 do
+      Buf.blit ~src:p.data.(i) ~dst:out.data.(i)
+    done;
+    if p.with_special then Buf.blit ~src:p.data.(p.level_count) ~dst:out.data.(level_count);
+    out
+  end
 
 let crt_reconstruct_centered p =
   if p.domain <> Coeff then invalid_arg "Poly.crt_reconstruct_centered: Coeff domain required";
@@ -390,7 +433,7 @@ let crt_reconstruct_centered p =
     (* Garner mixed-radix digits *)
     for i = 0 to k - 1 do
       let q = Chain.prime p.chain i in
-      let u = ref (p.data.(i).(t)) in
+      let u = ref (Buf.get p.data.(i) t) in
       if naive then
         for j = 0 to i - 1 do
           u := M.mul ~q (M.sub ~q !u (M.reduce ~q digits.(j))) (Chain.garner_inv p.chain i j)
@@ -421,4 +464,4 @@ let crt_reconstruct_centered p =
 let equal a b =
   a.chain == b.chain && a.level_count = b.level_count && a.with_special = b.with_special
   && a.domain = b.domain
-  && Array.for_all2 (fun x y -> x = y) a.data b.data
+  && Array.for_all2 Buf.equal a.data b.data

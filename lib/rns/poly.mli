@@ -12,10 +12,12 @@ type t = private {
   level_count : int; (** number of chain primes present, [1 <= level_count <= L] *)
   with_special : bool;
   domain : domain;
-  data : int array array;
+  data : Hecate_support.Buf.t array;
       (** [data.(i)] are the residues modulo chain prime [i]; if
           [with_special] then the final entry holds the special-prime
-          residues. *)
+          residues. Components are O(1) views into one flat unboxed
+          allocation (see {!Hecate_support.Buf}), so the GC never scans
+          coefficient payloads. *)
 }
 
 val zero : Chain.t -> level_count:int -> with_special:bool -> domain -> t
@@ -104,6 +106,18 @@ val to_coeff_inplace : t -> t
 val automorphism : t -> galois:int -> t
 (** [automorphism p ~galois:g] applies [X -> X^g] ([g] odd). Operand must be
     in [Coeff] domain. *)
+
+val automorphism_eval : t -> galois:int -> t
+(** [automorphism_eval p ~galois:g] applies [X -> X^g] directly to an
+    [Eval]-domain polynomial as a slot permutation — bit-identical to
+    [to_eval (automorphism (to_coeff p) ~galois:g)] without the two NTT
+    round-trips. Hoisted rotation key switching uses this to rotate a
+    shared digit decomposition once per rotation instead of re-decomposing
+    (see {!Hecate_support.Ntt.galois_perm}). *)
+
+val automorphism_eval_into : dst:t -> t -> galois:int -> unit
+(** Destination-buffer form of {!automorphism_eval}. [dst] must not alias
+    the source (the permutation is not applied in place). *)
 
 val rescale_last : t -> t
 (** Exact RNS rescale: divide by the last chain prime with centered rounding

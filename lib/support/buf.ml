@@ -1,0 +1,54 @@
+(* Unboxed residue storage: a Bigarray of native ints. The payload lives
+   outside the OCaml heap, so the GC neither scans nor moves it — at ring
+   degrees 2^15/2^16 a single polynomial carries megabytes of residues, and
+   keeping them out of the major heap is what makes the evaluator hot paths
+   allocation-pressure-free. Accessors are re-declared [external]s at the
+   concrete type so ocamlopt compiles them to the specialized one-load
+   bigarray primitives (no polymorphic dispatch, no boxing). *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external get : t -> int -> int = "%caml_ba_ref_1"
+external set : t -> int -> int -> unit = "%caml_ba_set_1"
+external unsafe_get : t -> int -> int = "%caml_ba_unsafe_ref_1"
+external unsafe_set : t -> int -> int -> unit = "%caml_ba_unsafe_set_1"
+external length : t -> int = "%caml_ba_dim_1"
+
+let create n =
+  let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  Bigarray.Array1.fill b 0;
+  b
+
+let fill (b : t) v = Bigarray.Array1.fill b v
+
+let sub (b : t) pos len : t = Bigarray.Array1.sub b pos len
+
+let blit ~(src : t) ~(dst : t) = Bigarray.Array1.blit src dst
+
+let copy (b : t) =
+  let c = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (length b) in
+  Bigarray.Array1.blit b c;
+  c
+
+let of_array a =
+  let n = Array.length a in
+  let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    unsafe_set b i (Array.unsafe_get a i)
+  done;
+  b
+
+let to_array (b : t) = Array.init (length b) (fun i -> unsafe_get b i)
+
+let init n f =
+  let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    unsafe_set b i (f i)
+  done;
+  b
+
+let equal (a : t) (b : t) =
+  length a = length b
+  &&
+  let rec go i = i >= length a || (unsafe_get a i = unsafe_get b i && go (i + 1)) in
+  go 0

@@ -1,0 +1,42 @@
+(** Unboxed residue storage for the RNS kernels.
+
+    A [Buf.t] is a one-dimensional Bigarray of native [int]s. Its payload is
+    allocated outside the OCaml heap, so the GC neither scans nor relocates
+    it; at large ring degrees (N = 2^15/2^16) this removes the residue
+    arrays — by far the largest live data — from every major collection.
+
+    {!get}/{!set}/{!unsafe_get}/{!unsafe_set} are re-declared compiler
+    primitives at the concrete element type, so they compile to single
+    loads/stores exactly like [Array.unsafe_get] on an [int array].
+    {!sub} returns an O(1) view sharing storage with its parent — the
+    polynomial layer stores one flat allocation per polynomial and hands
+    out per-RNS-component views. *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+external get : t -> int -> int = "%caml_ba_ref_1"
+external set : t -> int -> int -> unit = "%caml_ba_set_1"
+external unsafe_get : t -> int -> int = "%caml_ba_unsafe_ref_1"
+external unsafe_set : t -> int -> int -> unit = "%caml_ba_unsafe_set_1"
+external length : t -> int = "%caml_ba_dim_1"
+
+val create : int -> t
+(** [create n] is a zero-filled buffer of length [n]. *)
+
+val fill : t -> int -> unit
+
+val sub : t -> int -> int -> t
+(** [sub b pos len] is an O(1) view of [b.(pos .. pos+len-1)] {e sharing}
+    storage with [b]: writes through either alias are visible in both. *)
+
+val blit : src:t -> dst:t -> unit
+(** Copy [src] into [dst] (same length required). *)
+
+val copy : t -> t
+
+val of_array : int array -> t
+val to_array : t -> int array
+val init : int -> (int -> int) -> t
+
+val equal : t -> t -> bool
+(** Element-wise equality (and equal length). *)

@@ -1,0 +1,28 @@
+(* Atomic whole-file writes. The bench harness used to stream JSON straight
+   into its destination with [open_out]: an interrupted run (Ctrl-C mid
+   write, crash, full disk) left a truncated artifact in place, and because
+   the BENCH_*.json files are committed, a torn write could silently become
+   the repository baseline. Writing to a temporary sibling and renaming is
+   atomic on POSIX filesystems: readers (and git) see either the old
+   contents or the complete new contents, never a prefix. *)
+
+let write_atomic ~path contents =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp" in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc contents);
+    Sys.rename tmp path
+  with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let read_file ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,10 @@
+(** Whole-file I/O helpers for the bench harness's committed artifacts. *)
+
+val write_atomic : path:string -> string -> unit
+(** [write_atomic ~path contents] writes [contents] to [path] via a
+    temporary file in the same directory and an atomic rename, so an
+    interrupted run can never leave a truncated file at [path]. The
+    temporary file is removed on failure. *)
+
+val read_file : path:string -> string
+(** Read a whole file into a string. *)

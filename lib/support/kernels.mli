@@ -8,7 +8,9 @@
     for property tests and for the [bench kernels] before/after comparison.
 
     The initial mode is fast unless the [HECATE_NAIVE_KERNELS] environment
-    variable is set to a non-empty value other than ["0"]. *)
+    variable asks for the reference kernels: [1]/[true]/[yes]/[on] enable
+    them, [0]/[false]/[no]/[off] (or unset/empty) keep the fast kernels,
+    and any other value enables them {e with a warning on stderr}. *)
 
 val use_naive : unit -> bool
 (** True when the reference (division-based) kernels are selected. *)

@@ -61,10 +61,15 @@ let make_table ~p ~n =
    and are kept as the validation/benchmark reference; the default paths use
    Shoup twiddle multiplication, whose estimated quotient leaves the product
    in [0, 2p) (see docs/PERFORMANCE.md) — one conditional subtraction
-   canonicalizes, so the butterflies contain no division instruction. *)
+   canonicalizes, so the butterflies contain no division instruction.
+
+   Residue vectors are [Buf.t] (unboxed Bigarray storage, see buf.mli):
+   the GC never scans the coefficient payload, and [Buf.unsafe_get]/
+   [Buf.unsafe_set] compile to the same single loads/stores as unsafe
+   [int array] accesses. *)
 
 let check_length name t a =
-  if Array.length a <> t.n then invalid_arg ("Ntt." ^ name ^ ": wrong length")
+  if Buf.length a <> t.n then invalid_arg ("Ntt." ^ name ^ ": wrong length")
 
 let forward_naive t a =
   let p = t.p and n = t.n in
@@ -77,10 +82,10 @@ let forward_naive t a =
       let j2 = j1 + !tlen - 1 in
       let s = t.psi_rev.(!m + i) in
       for j = j1 to j2 do
-        let u = a.(j) in
-        let v = Modarith.mul ~q:p a.(j + !tlen) s in
-        a.(j) <- Modarith.add ~q:p u v;
-        a.(j + !tlen) <- Modarith.sub ~q:p u v
+        let u = Buf.get a j in
+        let v = Modarith.mul ~q:p (Buf.get a (j + !tlen)) s in
+        Buf.set a j (Modarith.add ~q:p u v);
+        Buf.set a (j + !tlen) (Modarith.sub ~q:p u v)
       done
     done;
     m := !m * 2
@@ -97,10 +102,10 @@ let inverse_naive t a =
       let j2 = !j1 + !tlen - 1 in
       let s = t.psi_inv_rev.(h + i) in
       for j = !j1 to j2 do
-        let u = a.(j) in
-        let v = a.(j + !tlen) in
-        a.(j) <- Modarith.add ~q:p u v;
-        a.(j + !tlen) <- Modarith.mul ~q:p (Modarith.sub ~q:p u v) s
+        let u = Buf.get a j in
+        let v = Buf.get a (j + !tlen) in
+        Buf.set a j (Modarith.add ~q:p u v);
+        Buf.set a (j + !tlen) (Modarith.mul ~q:p (Modarith.sub ~q:p u v) s)
       done;
       j1 := !j1 + (2 * !tlen)
     done;
@@ -108,11 +113,11 @@ let inverse_naive t a =
     m := h
   done;
   for i = 0 to n - 1 do
-    a.(i) <- Modarith.mul ~q:p a.(i) t.n_inv
+    Buf.set a i (Modarith.mul ~q:p (Buf.get a i) t.n_inv)
   done
 
-(* The fast paths use unchecked array accesses: every index is bounded by
-   the loop structure once [check_length] has validated the input, and the
+(* The fast paths use unchecked accesses: every index is bounded by the loop
+   structure once [check_length] has validated the input, and the
    butterflies are branch-light enough that bounds checks would dominate. *)
 let forward_fast t a =
   let p = t.p and n = t.n in
@@ -126,16 +131,16 @@ let forward_fast t a =
       let j2 = j1 + !tlen - 1 in
       let s = Array.unsafe_get psi (!m + i) and s' = Array.unsafe_get psi' (!m + i) in
       for j = j1 to j2 do
-        let u = Array.unsafe_get a j in
-        let x = Array.unsafe_get a (j + !tlen) in
+        let u = Buf.unsafe_get a j in
+        let x = Buf.unsafe_get a (j + !tlen) in
         (* branchless conditional add/subtract, as in Modarith.csub *)
         let v = (x * s) - (((x * s') lsr 31) * p) in
         let v = v - p in
         let v = v + (v asr 62 land p) in
         let su = u + v - p in
-        Array.unsafe_set a j (su + (su asr 62 land p));
+        Buf.unsafe_set a j (su + (su asr 62 land p));
         let d = u - v in
-        Array.unsafe_set a (j + !tlen) (d + (d asr 62 land p))
+        Buf.unsafe_set a (j + !tlen) (d + (d asr 62 land p))
       done
     done;
     m := !m * 2
@@ -153,15 +158,15 @@ let inverse_fast t a =
       let j2 = !j1 + !tlen - 1 in
       let s = Array.unsafe_get psi (h + i) and s' = Array.unsafe_get psi' (h + i) in
       for j = !j1 to j2 do
-        let u = Array.unsafe_get a j in
-        let v = Array.unsafe_get a (j + !tlen) in
+        let u = Buf.unsafe_get a j in
+        let v = Buf.unsafe_get a (j + !tlen) in
         let su = u + v - p in
-        Array.unsafe_set a j (su + (su asr 62 land p));
+        Buf.unsafe_set a j (su + (su asr 62 land p));
         let d = u - v in
         let d = d + (d asr 62 land p) in
         let w = (d * s) - (((d * s') lsr 31) * p) in
         let w = w - p in
-        Array.unsafe_set a (j + !tlen) (w + (w asr 62 land p))
+        Buf.unsafe_set a (j + !tlen) (w + (w asr 62 land p))
       done;
       j1 := !j1 + (2 * !tlen)
     done;
@@ -170,10 +175,10 @@ let inverse_fast t a =
   done;
   let ni = t.n_inv and ni' = t.n_inv_shoup in
   for i = 0 to n - 1 do
-    let x = Array.unsafe_get a i in
+    let x = Buf.unsafe_get a i in
     let w = (x * ni) - (((x * ni') lsr 31) * p) in
     let w = w - p in
-    Array.unsafe_set a i (w + (w asr 62 land p))
+    Buf.unsafe_set a i (w + (w asr 62 land p))
   done
 
 let forward t a = if Kernels.use_naive () then forward_naive t a else forward_fast t a
@@ -183,21 +188,93 @@ let pointwise_mul t dst a b =
   if Kernels.use_naive () then begin
     let p = t.p in
     for i = 0 to t.n - 1 do
-      dst.(i) <- Modarith.mul ~q:p a.(i) b.(i)
+      Buf.set dst i (Modarith.mul ~q:p (Buf.get a i) (Buf.get b i))
     done
   end
   else begin
     let ctx = t.ctx in
     for i = 0 to t.n - 1 do
-      dst.(i) <- Modarith.mulmod ctx a.(i) b.(i)
+      Buf.unsafe_set dst i (Modarith.mulmod ctx (Buf.unsafe_get a i) (Buf.unsafe_get b i))
     done
   end
 
 let negacyclic_mul t a b =
-  let fa = Array.copy a and fb = Array.copy b in
+  let fa = Buf.copy a and fb = Buf.copy b in
   forward t fa;
   forward t fb;
-  let dst = Array.make t.n 0 in
+  let dst = Buf.create t.n in
   pointwise_mul t dst fa fb;
   inverse t dst;
   dst
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation-domain Galois permutations                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [forward] evaluates the input polynomial at the odd powers of psi in a
+   fixed (bit-reversal-derived) order: slot [j] holds [f(psi^{e(j)})] where
+   the exponent map [e] depends only on the transform structure, not on the
+   prime or the particular psi. The automorphism [X -> X^g] therefore acts
+   on Eval-domain vectors as the pure permutation
+   [out.(j) = in.(index_of_exponent (g * e(j) mod 2n))], identical for every
+   RNS component of a given degree.
+
+   [e] is recovered empirically rather than derived from the butterfly
+   layout: transforming the monomial X yields the evaluation points
+   [psi^{e(j)}] themselves, and a discrete-log table over the powers of psi
+   turns them back into exponents. This keeps the permutation correct by
+   construction if the transform ordering ever changes. *)
+
+let exp_cache : (int, int array) Hashtbl.t = Hashtbl.create 4
+let perm_cache : (int * int, int array) Hashtbl.t = Hashtbl.create 8
+let galois_lock = Mutex.create ()
+
+let slot_exponents t =
+  match Hashtbl.find_opt exp_cache t.n with
+  | Some e -> e
+  | None ->
+      let n = t.n and p = t.p in
+      let two_n = 2 * n in
+      (* psi = psi^bitrev(n/2 .. ) : bitrev maps n/2 back to 1 *)
+      let psi = if n = 1 then 1 else t.psi_rev.(n / 2) in
+      let dlog = Hashtbl.create (2 * two_n) in
+      let pow = ref 1 in
+      for k = 0 to two_n - 1 do
+        Hashtbl.replace dlog !pow k;
+        pow := Modarith.mul ~q:p !pow psi
+      done;
+      let x = Buf.create n in
+      if n > 1 then Buf.set x 1 1 else Buf.set x 0 1;
+      forward_naive t x;
+      let e =
+        Array.init n (fun j ->
+            match Hashtbl.find_opt dlog (Buf.get x j) with
+            | Some k -> k
+            | None -> invalid_arg "Ntt.slot_exponents: transform point is not a power of psi")
+      in
+      Hashtbl.replace exp_cache t.n e;
+      e
+
+let galois_perm t ~galois =
+  if galois land 1 = 0 then invalid_arg "Ntt.galois_perm: galois element must be odd";
+  let two_n = 2 * t.n in
+  let g = ((galois mod two_n) + two_n) mod two_n in
+  Mutex.lock galois_lock;
+  let perm =
+    match Hashtbl.find_opt perm_cache (t.n, g) with
+    | Some p -> p
+    | None ->
+        let e = slot_exponents t in
+        let idx_of_exp = Array.make two_n (-1) in
+        Array.iteri (fun j ej -> idx_of_exp.(ej) <- j) e;
+        let perm =
+          Array.init t.n (fun j ->
+              let k = idx_of_exp.(e.(j) * g mod two_n) in
+              if k < 0 then invalid_arg "Ntt.galois_perm: exponent set not closed under galois";
+              k)
+        in
+        Hashtbl.replace perm_cache (t.n, g) perm;
+        perm
+  in
+  Mutex.unlock galois_lock;
+  perm

@@ -6,6 +6,9 @@
     prime. Point-wise multiplication of two forward-transformed vectors
     followed by {!inverse} computes the product in [Z_p\[X\]/(X^n + 1)].
 
+    Residue vectors are {!Buf.t} — unboxed Bigarray storage the GC never
+    scans (see buf.mli); transforms mutate them in place.
+
     The default {!forward}/{!inverse} butterflies use Shoup multiplication
     and contain no division instruction; the [*_naive] entry points are the
     division-based reference used for validation and the [bench kernels]
@@ -26,26 +29,35 @@ val degree : table -> int
 val barrett : table -> Modarith.ctx
 (** Barrett context for the table's prime. *)
 
-val forward : table -> int array -> unit
+val forward : table -> Buf.t -> unit
 (** In-place forward negacyclic NTT. Input and output are canonical residues.
     The output ordering is an internal (bit-reversed) one; it is consistent
     between {!forward} and {!inverse} and suitable for point-wise products. *)
 
-val inverse : table -> int array -> unit
+val inverse : table -> Buf.t -> unit
 (** In-place inverse transform; [inverse t (forward t a) = a]. *)
 
-val forward_naive : table -> int array -> unit
+val forward_naive : table -> Buf.t -> unit
 (** Division-based reference forward transform (bit-identical to
     {!forward}). *)
 
-val inverse_naive : table -> int array -> unit
+val inverse_naive : table -> Buf.t -> unit
 (** Division-based reference inverse transform (bit-identical to
     {!inverse}). *)
 
-val pointwise_mul : table -> int array -> int array -> int array -> unit
+val pointwise_mul : table -> Buf.t -> Buf.t -> Buf.t -> unit
 (** [pointwise_mul t dst a b] sets [dst.(i) <- a.(i) * b.(i) mod p]. [dst]
     may alias [a] or [b]. *)
 
-val negacyclic_mul : table -> int array -> int array -> int array
+val negacyclic_mul : table -> Buf.t -> Buf.t -> Buf.t
 (** Reference entry point: full negacyclic polynomial product of two
     coefficient vectors (allocates; transforms copies). *)
+
+val galois_perm : table -> galois:int -> int array
+(** [galois_perm t ~galois:g] is the slot permutation the automorphism
+    [X -> X^g] ([g] odd) induces on forward-transformed vectors:
+    [out.(j) = in.(perm.(j))] applied point-wise equals transforming
+    [f(X^g)] directly. The permutation depends only on the ring degree and
+    [g] (not the prime), and is cached process-wide; safe to call from
+    multiple domains. Hoisted rotation key switching uses it to rotate
+    already-decomposed digits without leaving the Eval domain. *)

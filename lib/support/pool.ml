@@ -100,13 +100,31 @@ let with_pool ?size f =
 (* ------------------------------------------------------------------ *)
 
 module Kernel = struct
-  let env_jobs () =
-    match Sys.getenv_opt "HECATE_KERNEL_JOBS" with
-    | None -> None
-    | Some s -> (
-        match int_of_string_opt (String.trim s) with
-        | Some j when j >= 1 -> Some j
-        | _ -> None)
+  (* Parsed once: a malformed HECATE_KERNEL_JOBS used to be silently
+     ignored, which meant "HECATE_KERNEL_JOBS=eight" benchmarked the
+     serial kernels while the user believed they were parallel. Warn on
+     stderr (once) and fall back to serial. *)
+  let env_jobs =
+    let parsed =
+      lazy
+        (match Sys.getenv_opt "HECATE_KERNEL_JOBS" with
+        | None | Some "" -> None
+        | Some s -> (
+            match int_of_string_opt (String.trim s) with
+            | Some j when j >= 1 -> Some j
+            | Some j ->
+                Printf.eprintf
+                  "hecate: warning: HECATE_KERNEL_JOBS=%d is out of range (must be >= 1); \
+                   running serial\n%!"
+                  j;
+                None
+            | None ->
+                Printf.eprintf
+                  "hecate: warning: HECATE_KERNEL_JOBS=%S is not an integer; running serial\n%!"
+                  s;
+                None))
+    in
+    fun () -> Lazy.force parsed
 
   let requested : int option Atomic.t = Atomic.make None
 

@@ -352,6 +352,55 @@ let test_eval_fast_matches_naive () =
   let dec_naive, dec_fast = pair (fun () -> Eval.decrypt t rs_fast) in
   check Alcotest.bool "decrypt" true (Stats.max_abs_diff dec_naive dec_fast = 0.)
 
+(* Hoisting shares one digit decomposition across a rotation fan; the
+   result must nevertheless be bit-identical to repeated single-rotation
+   key switching, for every amount shape: positive, negative, the
+   identity, and amounts at or beyond the slot count (wrap-around). *)
+let test_rotate_many_matches_rotate () =
+  let t = Lazy.force ctx in
+  let a = random_vector 139 512 in
+  let ca = Eval.encrypt_vector t ~scale:scale20 a in
+  let rs = [ 1; 3; -2; 511; 513; 0; 1024 ] in
+  let hoisted = Eval.rotate_many t ca rs in
+  let single = List.map (Eval.rotate t ca) rs in
+  List.iteri
+    (fun i (h, s) ->
+      let name = Printf.sprintf "rotate %d" (List.nth rs i) in
+      check Alcotest.bool (name ^ " c0") true (Poly.equal h.Eval.c0 s.Eval.c0);
+      check Alcotest.bool (name ^ " c1") true (Poly.equal h.Eval.c1 s.Eval.c1))
+    (List.combine hoisted single)
+
+(* ... and the fast hoisted path must match the naive-kernel oracle,
+   which takes the unhoisted per-rotation route. *)
+let test_rotate_many_matches_naive () =
+  let module K = Hecate_support.Kernels in
+  let t = Lazy.force ctx in
+  let a = random_vector 149 512 in
+  let ca = Eval.encrypt_vector t ~scale:scale20 a in
+  let rs = [ 3; -2; 511 ] in
+  let fast = K.with_naive false (fun () -> Eval.rotate_many t ca rs) in
+  let naive = K.with_naive true (fun () -> Eval.rotate_many t ca rs) in
+  List.iteri
+    (fun i (f, n) ->
+      let name = Printf.sprintf "rotate %d" (List.nth rs i) in
+      check Alcotest.bool (name ^ " c0") true (Poly.equal f.Eval.c0 n.Eval.c0);
+      check Alcotest.bool (name ^ " c1") true (Poly.equal f.Eval.c1 n.Eval.c1))
+    (List.combine fast naive)
+
+let test_mul_rescale_matches_composition () =
+  (* the fused path drops one NTT round-trip but must stay bit-identical
+     to rescale-after-mul, in payload, scale, and level *)
+  let t = Lazy.force ctx in
+  let a = random_vector 151 512 and b = random_vector 157 512 in
+  let ca = Eval.encrypt_vector t ~scale:scale20 a in
+  let cb = Eval.encrypt_vector t ~scale:scale20 b in
+  let fused = Eval.mul_rescale t ca cb in
+  let composed = Eval.rescale t (Eval.mul t ca cb) in
+  check Alcotest.bool "c0" true (Poly.equal fused.Eval.c0 composed.Eval.c0);
+  check Alcotest.bool "c1" true (Poly.equal fused.Eval.c1 composed.Eval.c1);
+  check (Alcotest.float 0.) "scale" (Eval.scale composed) (Eval.scale fused);
+  check Alcotest.int "level" (Eval.level composed) (Eval.level fused)
+
 (* ------------------------------------------------------------------ *)
 (* Failure injection / security smoke                                  *)
 (* ------------------------------------------------------------------ *)
@@ -584,7 +633,13 @@ let () =
           Alcotest.test_case "level speeds up mul" `Slow test_mul_faster_at_higher_level;
         ] );
       ( "kernels",
-        [ Alcotest.test_case "fast matches naive" `Quick test_eval_fast_matches_naive ] );
+        [
+          Alcotest.test_case "fast matches naive" `Quick test_eval_fast_matches_naive;
+          Alcotest.test_case "rotate_many matches rotate" `Quick test_rotate_many_matches_rotate;
+          Alcotest.test_case "rotate_many matches naive" `Quick test_rotate_many_matches_naive;
+          Alcotest.test_case "mul_rescale matches composition" `Quick
+            test_mul_rescale_matches_composition;
+        ] );
       ( "properties",
         [
           qtest prop_encode_roundtrip_presets;

@@ -668,7 +668,9 @@ let test_compile_matches_golden () =
   (* test/golden/*.ir is the printed output of the pre-pass-manager driver
      (hardcoded pass order, no fixpoint, no constant folding in finalize):
      the rewiring through Pass_manager must reproduce it byte for byte for
-     every scheme *)
+     every scheme. The files are regenerated only on deliberate changes to
+     the cost model (exploration-based schemes pick plans by estimated
+     cost, so repricing an op class can change the chosen plan). *)
   let progs =
     [
       ("fig2", Parser.parse_file "../examples/fig2.hec");

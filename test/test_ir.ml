@@ -362,6 +362,62 @@ func f(%0: cipher "x", %1: cipher "y") slots=4 {
     (Prog.op p (Prog.num_ops p - 1)).Prog.ty
     (Prog.op p' (Prog.num_ops p' - 1)).Prog.ty
 
+(* a deep single-use chain: one pass application must carry the modswitch
+   the whole way down (the old one-step-per-application behaviour needed a
+   pipeline fixpoint iteration per dataflow step and overflowed the
+   64-iteration budget on LeNet-sized programs) *)
+let deep_chain_prog depth =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "func f(%0: cipher \"x\") slots=4 {\n";
+  for i = 1 to depth do
+    Buffer.add_string buf (Printf.sprintf "  %%%d = add %%%d, %%%d\n" i (i - 1) (i - 1))
+  done;
+  Buffer.add_string buf (Printf.sprintf "  %%%d = modswitch %%%d\n" (depth + 1) depth);
+  Buffer.add_string buf (Printf.sprintf "  return %%%d\n}\n" (depth + 1));
+  Parser.parse (Buffer.contents buf)
+
+let test_early_modswitch_deep_chain () =
+  let p = deep_chain_prog 100 in
+  let p' = Passes.early_modswitch p in
+  check Alcotest.bool "still valid" true (Result.is_ok (Prog.validate p'));
+  check Alcotest.int "op count unchanged" (Prog.num_ops p) (Prog.num_ops p');
+  check Alcotest.string "modswitch migrated onto the input" "modswitch"
+    (Prog.kind_name (Prog.op p' 1).Prog.kind);
+  check Alcotest.bool "idempotent" true (Prog.equal p' (Passes.early_modswitch p'))
+
+let test_early_modswitch_shared_operand () =
+  (* modswitch(mul %1, %1): both wrapped operands must share ONE modswitch,
+     otherwise the copies give %0 two users and migration stalls *)
+  let p =
+    Parser.parse
+      {|
+func f(%0: cipher "x") slots=4 {
+  %1 = mul %0, %0
+  %2 = modswitch %1
+  %3 = mul %2, %2
+  return %3
+}
+|}
+  in
+  let p' = Passes.early_modswitch p in
+  check Alcotest.bool "still valid" true (Result.is_ok (Prog.validate p'));
+  check Alcotest.int "no duplicate wrappers" (Prog.num_ops p) (Prog.num_ops p');
+  let modswitches =
+    Array.fold_left
+      (fun n (o : Prog.op) -> match o.Prog.kind with Prog.Modswitch -> n + 1 | _ -> n)
+      0 p'.Prog.body
+  in
+  check Alcotest.int "single shared modswitch" 1 modswitches;
+  check Alcotest.string "it sits on the input" "modswitch"
+    (Prog.kind_name (Prog.op p' 1).Prog.kind)
+
+let test_finalize_fixpoint_deep_chain () =
+  (* the full finalize pipeline must converge on programs deeper than the
+     64-iteration fixpoint budget *)
+  let p = deep_chain_prog 200 in
+  let p' = Pass_manager.run (Pass_manager.finalize ~early_modswitch:true) p in
+  check Alcotest.bool "still valid" true (Result.is_ok (Prog.validate p'))
+
 let test_early_modswitch_multiuse_blocked () =
   (* the producing op has another user: the modswitch must stay *)
   let p =
@@ -679,6 +735,11 @@ let () =
           Alcotest.test_case "constant fold rotate" `Quick test_constant_fold_rotate;
           Alcotest.test_case "early modswitch" `Quick test_early_modswitch;
           Alcotest.test_case "early modswitch blocked" `Quick test_early_modswitch_multiuse_blocked;
+          Alcotest.test_case "early modswitch deep chain" `Quick test_early_modswitch_deep_chain;
+          Alcotest.test_case "early modswitch shared operand" `Quick
+            test_early_modswitch_shared_operand;
+          Alcotest.test_case "finalize fixpoint deep chain" `Quick
+            test_finalize_fixpoint_deep_chain;
           Alcotest.test_case "fold rotations chain" `Quick test_fold_rotations_chain;
           Alcotest.test_case "fold rotations cancel" `Quick test_fold_rotations_cancel;
           Alcotest.test_case "fold rotations multiuse" `Quick test_fold_rotations_multiuse_blocked;

@@ -212,6 +212,47 @@ let test_poly_automorphism_homomorphic () =
   let rhs = mul (Poly.automorphism a ~galois:5) (Poly.automorphism b ~galois:5) in
   check Alcotest.bool "ring homomorphism" true (Poly.equal lhs rhs)
 
+let test_poly_automorphism_odd_precondition () =
+  (* the Galois group of a power-of-two cyclotomic is (Z/2nZ)^*: only odd
+     elements are units, so both automorphism entry points must reject
+     even ones instead of building a non-permutation *)
+  let p, _ = random_poly 30 in
+  (match Poly.automorphism p ~galois:4 with
+  | _ -> Alcotest.fail "expected rejection of even galois element (coeff)"
+  | exception Invalid_argument _ -> ());
+  match Poly.automorphism_eval (Poly.to_eval p) ~galois:6 with
+  | _ -> Alcotest.fail "expected rejection of even galois element (eval)"
+  | exception Invalid_argument _ -> ()
+
+let test_poly_automorphism_composition () =
+  (* sigma_a (sigma_b p) = sigma_{a*b mod 2n} p *)
+  let c = Lazy.force chain in
+  let two_n = 2 * Chain.degree c in
+  let p, _ = random_poly 31 in
+  List.iter
+    (fun (a, b) ->
+      let lhs = Poly.automorphism (Poly.automorphism p ~galois:b) ~galois:a in
+      let rhs = Poly.automorphism p ~galois:(a * b mod two_n) in
+      check Alcotest.bool (Printf.sprintf "sigma_%d o sigma_%d" a b) true (Poly.equal lhs rhs))
+    [ (3, 5); (5, 25); (7, 9); (two_n - 1, 3) ]
+
+let test_poly_automorphism_eval_inverse_roundtrip () =
+  (* the Eval-domain slot permutation agrees with the Coeff-domain
+     definition through the NTT, and composing with the inverse Galois
+     element is the identity *)
+  let c = Lazy.force chain in
+  let two_n = 2 * Chain.degree c in
+  let g = 5 in
+  let rec inv k = if k * g mod two_n = 1 then k else inv (k + 2) in
+  let g_inv = inv 1 in
+  let p, _ = random_poly 32 in
+  let pe = Poly.to_eval p in
+  let rot = Poly.automorphism_eval pe ~galois:g in
+  check Alcotest.bool "matches coeff-domain automorphism" true
+    (Poly.equal rot (Poly.to_eval (Poly.automorphism p ~galois:g)));
+  check Alcotest.bool "inverse round-trip" true
+    (Poly.equal pe (Poly.automorphism_eval rot ~galois:g_inv))
+
 let test_poly_lift_digit () =
   (* gadget identity: sum_i lift(digit_i) * w_i = p (mod every chain prime) *)
   let c = Lazy.force chain in
@@ -230,7 +271,7 @@ let test_poly_restrict_levels () =
   check Alcotest.int "components" 3 (Poly.component_count r);
   check Alcotest.bool "keeps special" true r.Poly.with_special;
   check Alcotest.bool "prefix preserved" true
-    (Array.for_all2 ( = ) p.Poly.data.(0) r.Poly.data.(0))
+    (Hecate_support.Buf.equal p.Poly.data.(0) r.Poly.data.(0))
 
 let test_poly_incompatible_rejected () =
   let p4, _ = random_poly 15 in
@@ -403,6 +444,11 @@ let () =
           Alcotest.test_case "mod down special" `Quick test_poly_mod_down_special;
           Alcotest.test_case "automorphism involution" `Quick test_poly_automorphism_involution;
           Alcotest.test_case "automorphism homomorphic" `Quick test_poly_automorphism_homomorphic;
+          Alcotest.test_case "automorphism odd precondition" `Quick
+            test_poly_automorphism_odd_precondition;
+          Alcotest.test_case "automorphism composition" `Quick test_poly_automorphism_composition;
+          Alcotest.test_case "automorphism eval inverse" `Quick
+            test_poly_automorphism_eval_inverse_roundtrip;
           Alcotest.test_case "gadget decomposition" `Quick test_poly_lift_digit;
           Alcotest.test_case "restrict levels" `Quick test_poly_restrict_levels;
           Alcotest.test_case "incompatible rejected" `Quick test_poly_incompatible_rejected;

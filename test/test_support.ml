@@ -6,6 +6,7 @@ module F = Hecate_support.Fft
 module Pr = Hecate_support.Primes
 module N = Hecate_support.Ntt
 module S = Hecate_support.Stats
+module B = Hecate_support.Buf
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -383,10 +384,10 @@ let test_ntt_roundtrip () =
       let t = ntt_table n in
       let g = P.create ~seed:31 in
       let a = Array.init n (fun _ -> P.uniform_mod g (N.prime t)) in
-      let b = Array.copy a in
+      let b = B.of_array a in
       N.forward t b;
       N.inverse t b;
-      check Alcotest.(array int) (Printf.sprintf "roundtrip n=%d" n) a b)
+      check Alcotest.(array int) (Printf.sprintf "roundtrip n=%d" n) a (B.to_array b))
     [ 8; 64; 512; 1024 ]
 
 let test_ntt_fast_vs_naive () =
@@ -397,15 +398,19 @@ let test_ntt_fast_vs_naive () =
       let t = ntt_table n in
       let g = P.create ~seed:41 in
       let a = Array.init n (fun _ -> P.uniform_mod g (N.prime t)) in
-      let fwd_fast = Array.copy a and fwd_naive = Array.copy a in
+      let fwd_fast = B.of_array a and fwd_naive = B.of_array a in
       N.forward t fwd_fast;
       N.forward_naive t fwd_naive;
-      check Alcotest.(array int) (Printf.sprintf "forward n=%d" n) fwd_naive fwd_fast;
-      let inv_fast = Array.copy fwd_fast and inv_naive = Array.copy fwd_fast in
+      check Alcotest.(array int)
+        (Printf.sprintf "forward n=%d" n)
+        (B.to_array fwd_naive) (B.to_array fwd_fast);
+      let inv_fast = B.copy fwd_fast and inv_naive = B.copy fwd_fast in
       N.inverse t inv_fast;
       N.inverse_naive t inv_naive;
-      check Alcotest.(array int) (Printf.sprintf "inverse n=%d" n) inv_naive inv_fast;
-      check Alcotest.(array int) (Printf.sprintf "roundtrip n=%d" n) a inv_fast)
+      check Alcotest.(array int)
+        (Printf.sprintf "inverse n=%d" n)
+        (B.to_array inv_naive) (B.to_array inv_fast);
+      check Alcotest.(array int) (Printf.sprintf "roundtrip n=%d" n) a (B.to_array inv_fast))
     [ 8; 64; 1024 ]
 
 let test_kernels_toggle () =
@@ -442,7 +447,7 @@ let test_ntt_vs_schoolbook () =
     let a = Array.init n (fun _ -> P.uniform_mod g q) in
     let b = Array.init n (fun _ -> P.uniform_mod g q) in
     check Alcotest.(array int) "matches schoolbook" (schoolbook_negacyclic ~q a b)
-      (N.negacyclic_mul t a b)
+      (B.to_array (N.negacyclic_mul t (B.of_array a) (B.of_array b)))
   done
 
 let test_ntt_negacyclic_wrap () =
@@ -450,13 +455,13 @@ let test_ntt_negacyclic_wrap () =
   let n = 32 in
   let t = ntt_table n in
   let q = N.prime t in
-  let a = Array.make n 0 and b = Array.make n 0 in
-  a.(n - 1) <- 1;
-  b.(1) <- 1;
+  let a = B.create n and b = B.create n in
+  B.set a (n - 1) 1;
+  B.set b 1 1;
   let r = N.negacyclic_mul t a b in
-  check Alcotest.int "constant term is -1" (q - 1) r.(0);
+  check Alcotest.int "constant term is -1" (q - 1) (B.get r 0);
   for i = 1 to n - 1 do
-    check Alcotest.int "other terms zero" 0 r.(i)
+    check Alcotest.int "other terms zero" 0 (B.get r i)
   done
 
 let prop_ntt_convolution_linear =
@@ -469,13 +474,13 @@ let prop_ntt_convolution_linear =
       let n = 16 in
       let t = ntt_table n in
       let q = N.prime t in
-      let a = Array.of_list la and b = Array.of_list lb in
-      let c = Array.init n (fun i -> i * 7 mod q) in
+      let a = B.of_array (Array.of_list la) and b = B.of_array (Array.of_list lb) in
+      let c = B.init n (fun i -> i * 7 mod q) in
       let ab = N.negacyclic_mul t a b and ac = N.negacyclic_mul t a c in
-      let b_plus_c = Array.init n (fun i -> M.add ~q b.(i) c.(i)) in
+      let b_plus_c = B.init n (fun i -> M.add ~q (B.get b i) (B.get c i)) in
       let lhs = N.negacyclic_mul t a b_plus_c in
-      let rhs = Array.init n (fun i -> M.add ~q ab.(i) ac.(i)) in
-      lhs = rhs)
+      let rhs = B.init n (fun i -> M.add ~q (B.get ab i) (B.get ac i)) in
+      B.equal lhs rhs)
 
 (* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
