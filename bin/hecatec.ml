@@ -11,6 +11,7 @@
 open Cmdliner
 
 module Prog = Hecate_ir.Prog
+module Diagnostic = Hecate_ir.Diagnostic
 module Parser = Hecate_ir.Parser
 module Printer = Hecate_ir.Printer
 module Liveness = Hecate_ir.Liveness
@@ -21,6 +22,61 @@ module Paramselect = Hecate.Paramselect
 module Interp = Hecate_backend.Interp
 module Accuracy = Hecate_backend.Accuracy
 module Apps = Hecate_apps.Apps
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic rendering                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type error_format = Human | Json
+
+(* Set by every subcommand before doing any work, read by the top-level
+   handler after the exception has unwound the cmdliner evaluation. *)
+let error_format = ref Human
+
+let error_format_arg =
+  Arg.(value & opt (enum [ ("human", Human); ("json", Json) ]) Human
+         & info [ "error-format" ] ~docv:"FMT"
+             ~doc:"How to render compilation errors on stderr: $(b,human) (multi-line, \
+                   with source provenance and a hint) or $(b,json) (a single machine-readable \
+                   object; field $(b,code) is the stable error class).")
+
+let set_error_format fmt = error_format := fmt
+
+let render_diagnostic (d : Diagnostic.t) =
+  (match !error_format with
+  | Human -> Format.eprintf "%a@." Diagnostic.pp d
+  | Json -> Printf.eprintf "%s\n" (Diagnostic.to_json d));
+  1
+
+(* Every failure mode of the subcommands funnels into a diagnostic: already
+   structured ones pass through; parse errors, pass-manager failures and
+   configuration errors are wrapped. No exception reaches the user as a
+   backtrace. *)
+let handle_errors f =
+  try f () with
+  | Diagnostic.Error d -> exit (render_diagnostic d)
+  | Parser.Parse_error { line; message } ->
+      exit
+        (render_diagnostic
+           (Diagnostic.v ~code:Diagnostic.Parse_error
+              ~hint:"see docs/ARCHITECTURE.md for the textual program grammar"
+              (Printf.sprintf "line %d: %s" line message)))
+  | Pass_manager.Pass_failed { pass; reason } ->
+      exit
+        (render_diagnostic
+           (Diagnostic.v ~code:Diagnostic.Internal
+              ~hint:"this is a compiler bug; re-run with --print-ir-after to bisect the pipeline"
+              (Printf.sprintf "pass %s failed: %s" pass reason)))
+  | Invalid_argument msg ->
+      exit
+        (render_diagnostic
+           (Diagnostic.v ~code:Diagnostic.Precondition
+              ~hint:
+                "the configuration cannot accommodate this program; adjust the waterline, \
+                 rescaling factor or program depth"
+              msg))
+  | Sys_error msg ->
+      exit (render_diagnostic (Diagnostic.v ~code:Diagnostic.Precondition msg))
 
 let scheme_conv =
   let parse s =
@@ -167,7 +223,9 @@ let report_compiled ?(dump = true) ?(verbose = false) (c : Driver.compiled) =
       end
 
 let compile_cmd =
-  let run file scheme waterline sf show_schedule jobs verbose passes timing ir_after =
+  let run efmt file scheme waterline sf show_schedule jobs verbose passes timing ir_after =
+    set_error_format efmt;
+    handle_errors @@ fun () ->
     let prog = Parser.parse_file file in
     let c =
       Driver.compile ?pool_size:jobs ?passes ~instr:(instr_of ir_after) scheme ~sf_bits:sf
@@ -187,11 +245,13 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Scale-manage a .hec program and print the result.")
-    Term.(const run $ file_arg $ scheme_arg $ waterline_arg $ sf_arg $ schedule_arg
-          $ jobs_arg $ verbose_arg $ passes_arg $ timing_arg $ ir_after_arg)
+    Term.(const run $ error_format_arg $ file_arg $ scheme_arg $ waterline_arg $ sf_arg
+          $ schedule_arg $ jobs_arg $ verbose_arg $ passes_arg $ timing_arg $ ir_after_arg)
 
 let run_cmd =
-  let run file scheme waterline sf seed jobs kernel_jobs verbose =
+  let run efmt file scheme waterline sf seed jobs kernel_jobs verbose =
+    set_error_format efmt;
+    handle_errors @@ fun () ->
     set_kernel_jobs kernel_jobs;
     let prog = Parser.parse_file file in
     let c = Driver.compile ?pool_size:jobs scheme ~sf_bits:sf ~waterline_bits:waterline prog in
@@ -233,11 +293,13 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a .hec program on the in-repo CKKS backend.")
-    Term.(const run $ file_arg $ scheme_arg $ waterline_arg $ sf_arg $ seed_arg $ jobs_arg
-          $ kernel_jobs_arg $ verbose_arg)
+    Term.(const run $ error_format_arg $ file_arg $ scheme_arg $ waterline_arg $ sf_arg
+          $ seed_arg $ jobs_arg $ kernel_jobs_arg $ verbose_arg)
 
 let bench_cmd =
-  let run bench scheme waterline sf dump jobs kernel_jobs verbose passes timing ir_after =
+  let run efmt bench scheme waterline sf dump jobs kernel_jobs verbose passes timing ir_after =
+    set_error_format efmt;
+    handle_errors @@ fun () ->
     set_kernel_jobs kernel_jobs;
     let (b : Apps.t) = bench in
     Printf.printf "; benchmark %s (%d ops before scale management)\n" b.Apps.name
@@ -258,11 +320,14 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Compile a built-in benchmark and report statistics.")
-    Term.(const run $ bench_arg $ scheme_arg $ waterline_arg $ sf_arg $ dump_arg $ jobs_arg
-          $ kernel_jobs_arg $ verbose_arg $ passes_arg $ timing_arg $ ir_after_arg)
+    Term.(const run $ error_format_arg $ bench_arg $ scheme_arg $ waterline_arg $ sf_arg
+          $ dump_arg $ jobs_arg $ kernel_jobs_arg $ verbose_arg $ passes_arg $ timing_arg
+          $ ir_after_arg)
 
 let dump_cmd =
-  let run bench out =
+  let run efmt bench out =
+    set_error_format efmt;
+    handle_errors @@ fun () ->
     let (b : Apps.t) = bench in
     let text = Printer.to_string b.Apps.prog in
     match out with
@@ -285,10 +350,12 @@ let dump_cmd =
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"Export a built-in benchmark as a textual .hec program.")
-    Term.(const run $ bench_arg $ out_arg)
+    Term.(const run $ error_format_arg $ bench_arg $ out_arg)
 
 let info_cmd =
-  let run file =
+  let run efmt file =
+    set_error_format efmt;
+    handle_errors @@ fun () ->
     let prog = Parser.parse_file file in
     let uses =
       Array.fold_left (fun acc (o : Prog.op) -> acc + Array.length o.Prog.args) 0 prog.Prog.body
@@ -308,7 +375,7 @@ let info_cmd =
     Printf.printf "buffers needed: %d\n" live.Liveness.buffer_count
   in
   Cmd.v (Cmd.info "info" ~doc:"Structural statistics of a .hec program.")
-    Term.(const run $ file_arg)
+    Term.(const run $ error_format_arg $ file_arg)
 
 let () =
   let doc = "HECATE: performance-aware scale optimization for RNS-CKKS programs" in

@@ -24,7 +24,8 @@ let () =
   List.iter
     (fun wl ->
       match Driver.compile Driver.Hecate ~sf_bits:28 ~waterline_bits:wl bench.Apps.prog with
-      | exception Invalid_argument _ -> Printf.printf "%4.0f   (does not compile)\n" wl
+      | exception (Invalid_argument _ | Hecate_ir.Diagnostic.Error _) ->
+          Printf.printf "%4.0f   (does not compile)\n" wl
       | c -> (
           let ncfg = Noisemodel.default_config ~n:2048 in
           let predicted = (Noisemodel.analyze ncfg c.Driver.prog).Noisemodel.predicted_rmse in

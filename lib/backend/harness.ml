@@ -24,6 +24,7 @@ let estimate_only ?(waterlines = default_waterlines) ?(sf_bits = 28) ?(max_epoch
         match Driver.compile scheme ~max_epochs ~sf_bits ~waterline_bits:wl bench.Apps.prog with
         | compiled -> Some (wl, compiled)
         | exception Invalid_argument _ -> None
+        | exception Hecate_ir.Diagnostic.Error _ -> None
         | exception Hecate_ir.Pass_manager.Pass_failed { pass; reason } ->
             (* A pass-manager failure at one waterline is a compiler bug for
                that configuration, not an infeasibility — skip the waterline

@@ -1,6 +1,7 @@
 module Prog = Hecate_ir.Prog
 module Types = Hecate_ir.Types
 module Typing = Hecate_ir.Typing
+module Diagnostic = Hecate_ir.Diagnostic
 module R = Hecate_ir.Prog.Rewriter
 
 type hook = op_id:int -> operand:int -> int
@@ -97,7 +98,7 @@ let binop_kind_exn (o : Prog.op) =
 
 let emit_binop r o a b ty =
   let kind = match binop_kind_exn o with `Add -> Prog.Add | `Sub -> Prog.Sub | `Mul -> Prog.Mul in
-  R.emit r kind [| a; b |] ty
+  R.emit ?prov:o.Prog.prov r kind [| a; b |] ty
 
 let result_scaled r ~is_mul a b : Types.scaled =
   let sa = scale_of r a and ka = level_of r a in
@@ -116,15 +117,16 @@ let run (cfg : Typing.config) ~hook ~binop (p : Prog.t) =
       let new_id =
         match o.Prog.kind with
         | Prog.Input { name } ->
-            R.emit r (Prog.Input { name }) [||] (Types.Cipher { scale = cfg.waterline; level = 0 })
-        | Prog.Const { value } -> R.emit r (Prog.Const { value }) [||] Types.Free
+            R.emit ?prov:o.Prog.prov r (Prog.Input { name }) [||]
+              (Types.Cipher { scale = cfg.waterline; level = 0 })
+        | Prog.Const { value } -> R.emit ?prov:o.Prog.prov r (Prog.Const { value }) [||] Types.Free
         | Prog.Negate | Prog.Rotate _ ->
             let a = R.mapped r o.Prog.args.(0) in
             let a = apply_hook r cfg hook ~op_id:o.Prog.id ~operand:0 a in
             let a =
               if is_free r a then encode_free r cfg a ~scale:cfg.waterline ~level:0 else a
             in
-            R.emit r o.Prog.kind [| a |]
+            R.emit ?prov:o.Prog.prov r o.Prog.kind [| a |]
               (retag r a { scale = scale_of r a; level = level_of r a })
         | Prog.Add | Prog.Sub | Prog.Mul ->
             let a = R.mapped r o.Prog.args.(0) in
@@ -133,7 +135,13 @@ let run (cfg : Typing.config) ~hook ~binop (p : Prog.t) =
             let b = apply_hook r cfg hook ~op_id:o.Prog.id ~operand:1 b in
             binop r o a b
         | Prog.Encode _ | Prog.Rescale | Prog.Modswitch | Prog.Upscale _ | Prog.Downscale _ ->
-            invalid_arg "Codegen: input program already contains scale-management operations"
+            Diagnostic.error
+              (Diagnostic.at o
+                 (Diagnostic.v ~code:Diagnostic.Already_managed
+                    ~hint:
+                      "strip the existing rescale/modswitch/encode operations (or compile \
+                       the program as-is without a scheme) before re-managing it"
+                    "Codegen: input program already contains scale-management operations"))
       in
       R.set_mapped r ~old_value:o.Prog.id new_id)
     p;

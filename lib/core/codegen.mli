@@ -23,9 +23,11 @@ type hook = op_id:int -> operand:int -> int
 val no_hook : hook
 
 val waterline : Hecate_ir.Typing.config -> ?hook:hook -> Hecate_ir.Prog.t -> Hecate_ir.Prog.t
-(** EVA's waterline rescaling.
-    @raise Invalid_argument if the input already contains opaque
-    scale-management operations. *)
+(** EVA's waterline rescaling. Surface provenance is carried onto the
+    re-emitted operations, so diagnostics on the managed program still name
+    the originating combinators.
+    @raise Hecate_ir.Diagnostic.Error (code [Already_managed]) if the input
+    already contains scale-management operations. *)
 
 val pars :
   Hecate_ir.Typing.config ->

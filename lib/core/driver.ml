@@ -2,6 +2,7 @@ module Prog = Hecate_ir.Prog
 module Typing = Hecate_ir.Typing
 module Passes = Hecate_ir.Passes
 module Pass_manager = Hecate_ir.Pass_manager
+module Diagnostic = Hecate_ir.Diagnostic
 
 type scheme = Eva | Pars | Smse | Hecate
 
@@ -30,7 +31,9 @@ let all_schemes = [ Eva; Pars; Smse; Hecate ]
 let finalize ?q0_bits ?(early_modswitch = true)
     ?(instr = Pass_manager.instrumentation ()) ?stats ~cfg prog =
   let prog = Pass_manager.run ~instr ?stats (Pass_manager.finalize ~early_modswitch) prog in
-  let types = Typing.check_exn cfg prog in
+  let types =
+    match Typing.check cfg prog with Ok tys -> tys | Error d -> Diagnostic.error d
+  in
   let params =
     Paramselect.select ?q0_bits
       ~sf_bits:(int_of_float cfg.Typing.sf)
@@ -44,6 +47,27 @@ let compile ?(model = Costmodel.analytic ()) ?(max_epochs = 100) ?(naive_explora
     scheme ~sf_bits ~waterline_bits prog =
   let cfg = Typing.config ~sf:(float_of_int sf_bits) ~waterline:waterline_bits () in
   let stats = Pass_manager.create_stats () in
+  (* Reject managed inputs up front, for every scheme: Codegen would raise
+     the same diagnostic for [Eva]/[Pars], but the exploring schemes hit
+     [Smu.generate]'s bare [Invalid_argument] first. *)
+  (match
+     Array.find_opt
+       (fun (o : Prog.op) ->
+         match o.Prog.kind with
+         | Prog.Encode _ | Prog.Rescale | Prog.Modswitch | Prog.Upscale _ | Prog.Downscale _ ->
+             true
+         | _ -> false)
+       prog.Prog.body
+   with
+  | Some o ->
+      Diagnostic.error
+        (Diagnostic.at o
+           (Diagnostic.v ~code:Diagnostic.Already_managed
+              ~hint:
+                "the driver inserts all scale management itself; strip the existing \
+                 rescale/modswitch/encode operations first"
+              "Driver.compile: input program already contains scale-management operations"))
+  | None -> ());
   let prog = Pass_manager.run ~instr ~stats passes prog in
   let generator ~hook =
     match scheme with
@@ -118,6 +142,30 @@ let compile ?(model = Costmodel.analytic ()) ?(max_epochs = 100) ?(naive_explora
             };
         pass_timings = Pass_manager.timings stats;
       }
+
+let compile_result ?model ?max_epochs ?naive_exploration ?q0_bits ?early_modswitch
+    ?downscale_analysis ?smu_phases ?noise_budget_bits ?pool_size ?passes ?instr scheme
+    ~sf_bits ~waterline_bits prog =
+  match
+    compile ?model ?max_epochs ?naive_exploration ?q0_bits ?early_modswitch
+      ?downscale_analysis ?smu_phases ?noise_budget_bits ?pool_size ?passes ?instr scheme
+      ~sf_bits ~waterline_bits prog
+  with
+  | c -> Ok c
+  | exception Diagnostic.Error d -> Error d
+  | exception Pass_manager.Pass_failed { pass; reason } ->
+      Error
+        (Diagnostic.v ~code:Diagnostic.Internal
+           ~hint:"this is a compiler bug; re-run with --print-ir-after to bisect the pipeline"
+           (Printf.sprintf "pass %s failed: %s" pass reason))
+  | exception Invalid_argument msg ->
+      Error
+        (Diagnostic.v ~code:Diagnostic.Precondition
+           ~hint:
+             "the compiler configuration cannot accommodate this program (e.g. the modulus \
+              chain outgrew every supported ring degree); adjust the waterline, rescaling \
+              factor or program depth"
+           msg)
 
 let estimate_at ?(model = Costmodel.analytic ()) compiled ~n =
   Estimator.estimate ~model ~params:compiled.params ~n compiled.prog

@@ -67,7 +67,34 @@ val compile :
     rejected during the climb (only meaningful for [Smse]/[Hecate]).
     [pool_size] sets the exploration worker-domain count (see
     {!Explore.hill_climb}); every pool size returns the same result.
-    @raise Invalid_argument if the program cannot be scale-managed. *)
+    @raise Hecate_ir.Diagnostic.Error with code [Already_managed] if the
+    input already contains scale-management operations, or with the typing
+    code (C1–C3) if the managed program fails the checker.
+    @raise Invalid_argument if the configuration itself is infeasible
+    (e.g. parameter selection cannot find a supported ring degree). *)
+
+val compile_result :
+  ?model:Costmodel.t ->
+  ?max_epochs:int ->
+  ?naive_exploration:bool ->
+  ?q0_bits:int ->
+  ?early_modswitch:bool ->
+  ?downscale_analysis:bool ->
+  ?smu_phases:int ->
+  ?noise_budget_bits:float ->
+  ?pool_size:int ->
+  ?passes:Hecate_ir.Pass_manager.pipeline ->
+  ?instr:Hecate_ir.Pass_manager.instrumentation ->
+  scheme ->
+  sf_bits:int ->
+  waterline_bits:float ->
+  Hecate_ir.Prog.t ->
+  (compiled, Hecate_ir.Diagnostic.t) result
+(** Non-raising counterpart of {!compile}: every failure — structured
+    diagnostics, pass-manager failures ([Internal]), infeasible
+    configurations ([Precondition]) — comes back as [Error]. This is the
+    API front ends and tools should consume; {!compile} remains for callers
+    that prefer exceptions. *)
 
 val finalize :
   ?q0_bits:int ->

@@ -59,6 +59,7 @@ let hill_climb ~codegen ~evaluate ~(edges : Smu.edge array) ?(max_epochs = 100)
     with
     | prog, cost -> (Some prog, cost)
     | exception Invalid_argument _ -> (None, infinity)
+    | exception Hecate_ir.Diagnostic.Error _ -> (None, infinity)
   in
   let base_plan = Array.make num_edges 0 in
   let base_prog, base_cost =

@@ -1,7 +1,19 @@
 module B = Hecate_ir.Prog.Builder
+module Diagnostic = Hecate_ir.Diagnostic
 
 type t = { b : B.t; slots : int }
 type expr = Hecate_ir.Prog.value
+
+(* Combinator preconditions are user errors in the surface program: raise a
+   structured diagnostic stamped with the provenance chain of the open
+   scopes, so the renderer can say which surface construct was misused. *)
+let precondition d ~hint fmt =
+  Printf.ksprintf
+    (fun message ->
+      Diagnostic.error
+        (Diagnostic.v ~code:Diagnostic.Precondition
+           ?provenance:(B.current_prov d.b) ~hint message))
+    fmt
 
 let create ?(name = "main") ~slot_count () =
   if slot_count <= 0 || slot_count land (slot_count - 1) <> 0 then
@@ -9,33 +21,39 @@ let create ?(name = "main") ~slot_count () =
   { b = B.create ~name ~slot_count (); slots = slot_count }
 
 let slot_count d = d.slots
+let with_label d label f = B.in_scope d.b label f
 let input d name = B.input d.b name
 let const_vector d v = B.const_vector d.b v
 let const_scalar d x = B.const_scalar d.b x
-let add d a b = B.add d.b a b
-let sub d a b = B.sub d.b a b
-let mul d a b = B.mul d.b a b
-let neg d a = B.negate d.b a
+let add d a b = B.in_scope d.b "add" (fun () -> B.add d.b a b)
+let sub d a b = B.in_scope d.b "sub" (fun () -> B.sub d.b a b)
+let mul d a b = B.in_scope d.b "mul" (fun () -> B.mul d.b a b)
+let neg d a = B.in_scope d.b "neg" (fun () -> B.negate d.b a)
 
 let rotate d a amount =
   let r = ((amount mod d.slots) + d.slots) mod d.slots in
-  if r = 0 then a else B.rotate d.b a r
+  if r = 0 then a else B.in_scope d.b "rotate" (fun () -> B.rotate d.b a r)
 
-let square d a = mul d a a
-let scale_by d a c = if c = 1. then a else mul d a (const_scalar d c)
+let square d a = B.in_scope d.b "square" (fun () -> mul d a a)
 
-let add_many d = function
-  | [] -> invalid_arg "Dsl.add_many: empty list"
-  | first :: rest ->
-      (* balanced tree keeps multiplicative depth irrelevant but shortens
-         dependence chains for readability of the generated IR *)
-      let rec level = function
-        | [] -> []
-        | [ x ] -> [ x ]
-        | x :: y :: tl -> add d x y :: level tl
-      in
-      let rec go = function [ x ] -> x | xs -> go (level xs) in
-      go (first :: rest)
+let scale_by d a c =
+  if c = 1. then a else B.in_scope d.b "scale_by" (fun () -> mul d a (const_scalar d c))
+
+let add_many d xs =
+  B.in_scope d.b "add_many" (fun () ->
+      match xs with
+      | [] ->
+          precondition d ~hint:"pass at least one term to sum" "Dsl.add_many: empty list"
+      | first :: rest ->
+          (* balanced tree keeps multiplicative depth irrelevant but shortens
+             dependence chains for readability of the generated IR *)
+          let rec level = function
+            | [] -> []
+            | [ x ] -> [ x ]
+            | x :: y :: tl -> add d x y :: level tl
+          in
+          let rec go = function [ x ] -> x | xs -> go (level xs) in
+          go (first :: rest))
 
 let output d v = B.output d.b v
 let finish d = B.finish d.b
@@ -43,97 +61,124 @@ let finish d = B.finish d.b
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
 let replicate d x ~width =
-  if not (is_pow2 width) || width > d.slots then invalid_arg "Dsl.replicate: bad width";
-  let rec go x w =
-    if w >= d.slots then x
-    else
-      (* copy the populated prefix one block to the right: rotating right by
-         w moves slots [0..w) to [w..2w) *)
-      go (add d x (rotate d x (-w))) (2 * w)
-  in
-  go x width
+  B.in_scope d.b (Printf.sprintf "replicate w%d" width) (fun () ->
+      if not (is_pow2 width) || width > d.slots then
+        precondition d
+          ~hint:
+            (Printf.sprintf "width must be a power of two no larger than the %d slots" d.slots)
+          "Dsl.replicate: bad width";
+      let rec go x w =
+        if w >= d.slots then x
+        else
+          (* copy the populated prefix one block to the right: rotating right
+             by w moves slots [0..w) to [w..2w) *)
+          go (add d x (rotate d x (-w))) (2 * w)
+      in
+      go x width)
 
 let reduce_sum d x ~width =
-  if not (is_pow2 width) || width > d.slots then invalid_arg "Dsl.reduce_sum: bad width";
-  let rec go x step = if step >= width then x else go (add d x (rotate d x step)) (2 * step) in
-  go x 1
+  B.in_scope d.b (Printf.sprintf "reduce_sum w%d" width) (fun () ->
+      if not (is_pow2 width) || width > d.slots then
+        precondition d
+          ~hint:
+            (Printf.sprintf "width must be a power of two no larger than the %d slots" d.slots)
+          "Dsl.reduce_sum: bad width";
+      let rec go x step = if step >= width then x else go (add d x (rotate d x step)) (2 * step) in
+      go x 1)
 
 let mask d x pred =
-  let m = Array.init d.slots (fun i -> if pred i then 1. else 0.) in
-  mul d x (const_vector d m)
+  B.in_scope d.b "mask" (fun () ->
+      let m = Array.init d.slots (fun i -> if pred i then 1. else 0.) in
+      mul d x (const_vector d m))
 
 let next_pow2 n =
   let rec go p = if p >= n then p else go (2 * p) in
   go 1
 
 let matvec d ~rows ~cols w x =
-  if rows <= 0 || cols <= 0 then invalid_arg "Dsl.matvec: empty matrix";
-  let dim = next_pow2 (max rows cols) in
-  if dim > d.slots then invalid_arg "Dsl.matvec: matrix exceeds slot count";
-  (* replicate x so every length-dim window contains a copy *)
-  let x = replicate d x ~width:dim in
-  (* generalized diagonals of the zero-padded dim x dim matrix, replicated
-     across the slot vector *)
-  let diag k =
-    Array.init d.slots (fun s ->
-        let j = s mod dim in
-        let i = (j + k) mod dim in
-        if j < rows && i < cols then w j i else 0.)
-  in
-  (* baby-step giant-step: k = g*n1 + b *)
-  let n1 = next_pow2 (int_of_float (Float.ceil (sqrt (float_of_int dim)))) in
-  let n2 = (dim + n1 - 1) / n1 in
-  let baby = Array.init n1 (fun b -> rotate d x b) in
-  let giants =
-    List.init n2 (fun g ->
-        let terms =
-          List.init n1 (fun bi ->
-              let k = (g * n1) + bi in
-              if k >= dim then None
-              else
-                let dg = diag k in
-                if Array.for_all (fun v -> v = 0.) dg then None
-                else
-                  (* pre-rotate the diagonal right by g*n1 so the final left
-                     giant rotation realigns it: D[s] = diag[s - g*n1] *)
-                  let rotated_diag =
-                    Array.init d.slots (fun s -> dg.(((s - (g * n1)) mod d.slots + d.slots) mod d.slots))
-                  in
-                  Some (mul d baby.(bi) (const_vector d rotated_diag)))
-          |> List.filter_map Fun.id
-        in
-        match terms with
-        | [] -> None
-        | _ -> Some (rotate d (add_many d terms) (g * n1)))
-    |> List.filter_map Fun.id
-  in
-  match giants with
-  | [] -> invalid_arg "Dsl.matvec: zero matrix"
-  | _ -> add_many d giants
+  B.in_scope d.b (Printf.sprintf "matvec %dx%d" rows cols) (fun () ->
+      if rows <= 0 || cols <= 0 then
+        precondition d ~hint:"rows and cols must both be positive" "Dsl.matvec: empty matrix";
+      let dim = next_pow2 (max rows cols) in
+      if dim > d.slots then
+        precondition d
+          ~hint:
+            (Printf.sprintf
+               "the padded dimension %d exceeds the %d slots; use more slots or a smaller matrix"
+               dim d.slots)
+          "Dsl.matvec: matrix exceeds slot count";
+      (* replicate x so every length-dim window contains a copy *)
+      let x = replicate d x ~width:dim in
+      (* generalized diagonals of the zero-padded dim x dim matrix, replicated
+         across the slot vector *)
+      let diag k =
+        Array.init d.slots (fun s ->
+            let j = s mod dim in
+            let i = (j + k) mod dim in
+            if j < rows && i < cols then w j i else 0.)
+      in
+      (* baby-step giant-step: k = g*n1 + b *)
+      let n1 = next_pow2 (int_of_float (Float.ceil (sqrt (float_of_int dim)))) in
+      let n2 = (dim + n1 - 1) / n1 in
+      let baby = Array.init n1 (fun b -> rotate d x b) in
+      let giants =
+        List.init n2 (fun g ->
+            let terms =
+              List.init n1 (fun bi ->
+                  let k = (g * n1) + bi in
+                  if k >= dim then None
+                  else
+                    let dg = diag k in
+                    if Array.for_all (fun v -> v = 0.) dg then None
+                    else
+                      (* pre-rotate the diagonal right by g*n1 so the final left
+                         giant rotation realigns it: D[s] = diag[s - g*n1] *)
+                      let rotated_diag =
+                        Array.init d.slots (fun s ->
+                            dg.(((s - (g * n1)) mod d.slots + d.slots) mod d.slots))
+                      in
+                      Some (mul d baby.(bi) (const_vector d rotated_diag)))
+              |> List.filter_map Fun.id
+            in
+            match terms with
+            | [] -> None
+            | _ -> Some (rotate d (add_many d terms) (g * n1)))
+        |> List.filter_map Fun.id
+      in
+      match giants with
+      | [] ->
+          precondition d ~hint:"an all-zero matrix has no ciphertext product" "Dsl.matvec: zero matrix"
+      | _ -> add_many d giants)
 
 let conv2d d ~image ~img_width ~stride ~taps =
-  match taps with
-  | [] -> invalid_arg "Dsl.conv2d: no taps"
-  | _ ->
-      let terms =
-        List.filter_map
-          (fun (dy, dx, w) ->
-            if w = 0. then None
-            else
-              let shifted = rotate d image (((dy * img_width) + dx) * stride) in
-              Some (if w = 1. then shifted else scale_by d shifted w))
-          taps
-      in
-      (match terms with [] -> invalid_arg "Dsl.conv2d: all-zero taps" | _ -> add_many d terms)
+  B.in_scope d.b "conv2d" (fun () ->
+      match taps with
+      | [] -> precondition d ~hint:"supply at least one stencil tap" "Dsl.conv2d: no taps"
+      | _ ->
+          let terms =
+            List.filter_map
+              (fun (dy, dx, w) ->
+                if w = 0. then None
+                else
+                  let shifted = rotate d image (((dy * img_width) + dx) * stride) in
+                  Some (if w = 1. then shifted else scale_by d shifted w))
+              taps
+          in
+          (match terms with
+          | [] ->
+              precondition d ~hint:"at least one tap weight must be non-zero"
+                "Dsl.conv2d: all-zero taps"
+          | _ -> add_many d terms))
 
 let avg_pool2x2 d x ~img_width ~stride =
-  let sum =
-    add_many d
-      [
-        x;
-        rotate d x stride;
-        rotate d x (img_width * stride);
-        rotate d x ((img_width + 1) * stride);
-      ]
-  in
-  scale_by d sum 0.25
+  B.in_scope d.b "avg_pool2x2" (fun () ->
+      let sum =
+        add_many d
+          [
+            x;
+            rotate d x stride;
+            rotate d x (img_width * stride);
+            rotate d x ((img_width + 1) * stride);
+          ]
+      in
+      scale_by d sum 0.25)

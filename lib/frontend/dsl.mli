@@ -5,13 +5,28 @@
     wrappers that emit operations. Higher-level helpers implement the
     packing idioms the benchmarks need: rotation-tree reductions,
     replication, masking, baby-step/giant-step matrix-vector products and
-    2-D convolution taps. *)
+    2-D convolution taps.
+
+    Every combinator records a provenance label on the operations it emits
+    (see {!Hecate_ir.Prog.provenance}), nesting through helper internals, so
+    type errors in elaborated programs point back at the surface construct
+    ("from: matvec 4x4 > add_many > add"). Combinator preconditions raise
+    {!Hecate_ir.Diagnostic.Error} with code [Precondition] carrying that
+    same chain. *)
 
 type t
 type expr = Hecate_ir.Prog.value
 
 val create : ?name:string -> slot_count:int -> unit -> t
+(** @raise Invalid_argument unless the slot count is a positive power of
+    two (a configuration error, not a surface-program diagnostic). *)
+
 val slot_count : t -> int
+
+val with_label : t -> string -> (unit -> 'a) -> 'a
+(** [with_label d label f] runs [f] with [label] pushed on the provenance
+    scope: user-defined combinators appear in diagnostic chains exactly like
+    the built-in ones. *)
 
 val input : t -> string -> expr
 val const_vector : t -> float array -> expr
@@ -30,7 +45,8 @@ val scale_by : t -> expr -> float -> expr
 (** Multiply by a scalar constant. *)
 
 val add_many : t -> expr list -> expr
-(** Balanced addition tree. @raise Invalid_argument on the empty list. *)
+(** Balanced addition tree.
+    @raise Hecate_ir.Diagnostic.Error ([Precondition]) on the empty list. *)
 
 val output : t -> expr -> unit
 val finish : t -> Hecate_ir.Prog.t

@@ -1,0 +1,175 @@
+module Prog = Hecate_ir.Prog
+module Types = Hecate_ir.Types
+module Typing = Hecate_ir.Typing
+module Diagnostic = Hecate_ir.Diagnostic
+module R = Hecate_ir.Prog.Rewriter
+
+let eps = 1e-6
+
+let managed (p : Prog.t) =
+  Array.exists
+    (fun (o : Prog.op) ->
+      match o.Prog.kind with
+      | Prog.Encode _ | Prog.Rescale | Prog.Modswitch | Prog.Upscale _ | Prog.Downscale _ -> true
+      | _ -> false)
+    p.Prog.body
+
+(* Provenance for an operation inserted on behalf of surface op [o]: the
+   op's own chain, extended with an "(inferred)" marker, so diagnostics and
+   provenance-printed IR distinguish user ops from inferred management. *)
+let inferred_prov (o : Prog.op) name =
+  match o.Prog.prov with
+  | None -> None
+  | Some pr ->
+      Some { Prog.label = name ^ " (inferred)"; context = pr.Prog.context @ [ pr.Prog.label ] }
+
+(* The abstract domain is exactly the type annotation the Rewriter tracks:
+   (scale, level) plus plain/cipher-ness. These helpers mirror
+   Hecate.Codegen's — the elaborated placement must coincide with the
+   driver's EVA code generation so both roads lead to the same finalized
+   program. *)
+
+let scale_of r v = Types.scale_exn (R.ty r v)
+let level_of r v = Types.level_exn (R.ty r v)
+let is_cipher r v = Types.is_cipher (R.ty r v)
+let is_free r v = R.ty r v = Types.Free
+
+let retag r v (s : Types.scaled) =
+  if is_cipher r v then Types.Cipher s else Types.Plain s
+
+let emit_rescale ?prov r (cfg : Typing.config) v =
+  let s = scale_of r v and k = level_of r v in
+  R.emit ?prov r Prog.Rescale [| v |] (Types.Cipher { scale = s -. cfg.sf; level = k + 1 })
+
+let emit_modswitch ?prov r v =
+  let s = scale_of r v and k = level_of r v in
+  R.emit ?prov r Prog.Modswitch [| v |] (retag r v { scale = s; level = k + 1 })
+
+let emit_upscale ?prov r v target =
+  let k = level_of r v in
+  R.emit ?prov r
+    (Prog.Upscale { target_scale = target })
+    [| v |]
+    (retag r v { scale = target; level = k })
+
+let encode_free ?prov r (cfg : Typing.config) v ~scale ~level =
+  let scale = Float.max scale cfg.waterline in
+  R.emit ?prov r (Prog.Encode { scale; level }) [| v |] (Types.Plain { scale; level })
+
+let rescale_applicable (cfg : Typing.config) s = s -. cfg.sf >= cfg.waterline -. eps
+
+(* Waterline rescale analysis: drop a ciphertext's scale by the rescaling
+   factor as long as the result stays at or above the waterline. *)
+let rescale_while ?prov r cfg v =
+  let rec go v =
+    if is_cipher r v && rescale_applicable cfg (scale_of r v) then go (emit_rescale ?prov r cfg v)
+    else v
+  in
+  go v
+
+(* Level match, EVA flavor: modswitch only. *)
+let raise_level ?prov r v ~target =
+  let rec go v = if level_of r v >= target then v else go (emit_modswitch ?prov r v) in
+  go v
+
+(* Scale match for additive operations. *)
+let scale_match ?prov r a b =
+  let sa = scale_of r a and sb = scale_of r b in
+  if Types.scale_close sa sb then (a, b)
+  else if sa < sb then (emit_upscale ?prov r a sb, b)
+  else (a, emit_upscale ?prov r b sa)
+
+let result_ty r ~is_mul a b =
+  let sa = scale_of r a and ka = level_of r a in
+  let sb = scale_of r b in
+  let s : Types.scaled =
+    if is_mul then { scale = sa +. sb; level = ka } else { scale = sa; level = ka }
+  in
+  if is_cipher r a || is_cipher r b then Types.Cipher s else Types.Plain s
+
+let elaborate (cfg : Typing.config) (p : Prog.t) =
+  let r = R.create p in
+  Prog.iter
+    (fun (o : Prog.op) ->
+      let prov name = inferred_prov o name in
+      let new_id =
+        match o.Prog.kind with
+        | Prog.Input { name } ->
+            R.emit ?prov:o.Prog.prov r (Prog.Input { name }) [||]
+              (Types.Cipher { scale = cfg.waterline; level = 0 })
+        | Prog.Const { value } -> R.emit ?prov:o.Prog.prov r (Prog.Const { value }) [||] Types.Free
+        | Prog.Negate | Prog.Rotate _ ->
+            let a = R.mapped r o.Prog.args.(0) in
+            let a =
+              if is_free r a then
+                encode_free ?prov:(prov "encode") r cfg a ~scale:cfg.waterline ~level:0
+              else a
+            in
+            R.emit ?prov:o.Prog.prov r o.Prog.kind [| a |]
+              (retag r a { scale = scale_of r a; level = level_of r a })
+        | Prog.Add | Prog.Sub | Prog.Mul -> (
+            let is_mul = o.Prog.kind = Prog.Mul in
+            let a = R.mapped r o.Prog.args.(0) in
+            let b = R.mapped r o.Prog.args.(1) in
+            match (is_free r a, is_free r b) with
+            | true, true ->
+                let a = encode_free ?prov:(prov "encode") r cfg a ~scale:cfg.waterline ~level:0 in
+                let b = encode_free ?prov:(prov "encode") r cfg b ~scale:cfg.waterline ~level:0 in
+                R.emit ?prov:o.Prog.prov r o.Prog.kind [| a; b |] (result_ty r ~is_mul a b)
+            | _ ->
+                (* normalize ciphers: waterline rescaling *)
+                let norm v =
+                  if is_free r v then v else rescale_while ?prov:(prov "rescale") r cfg v
+                in
+                let a = norm a and b = norm b in
+                (* level match the scaled operands by modswitch *)
+                let target =
+                  max
+                    (if is_free r a then 0 else level_of r a)
+                    (if is_free r b then 0 else level_of r b)
+                in
+                let lift v =
+                  if is_free r v then v
+                  else raise_level ?prov:(prov "modswitch") r v ~target
+                in
+                let a = lift a and b = lift b in
+                (* encode free operands at the sibling's level; additive ops
+                   need the sibling's scale, multiplicative the waterline *)
+                let encode_at sibling v =
+                  if is_free r v then
+                    encode_free ?prov:(prov "encode") r cfg v
+                      ~scale:(if is_mul then cfg.waterline else scale_of r sibling)
+                      ~level:(level_of r sibling)
+                  else v
+                in
+                let a = encode_at b a and b = encode_at a b in
+                let a, b =
+                  if is_mul then (a, b) else scale_match ?prov:(prov "upscale") r a b
+                in
+                let res = R.emit ?prov:o.Prog.prov r o.Prog.kind [| a; b |] (result_ty r ~is_mul a b) in
+                (* reactive rescaling of multiplication results *)
+                if is_mul then rescale_while ?prov:(prov "rescale") r cfg res else res)
+        | Prog.Encode _ | Prog.Rescale | Prog.Modswitch | Prog.Upscale _ | Prog.Downscale _ ->
+            (* unreachable: [infer] dispatches managed programs to the
+               checker without elaborating *)
+            assert false
+      in
+      R.set_mapped r ~old_value:o.Prog.id new_id)
+    p;
+  R.finish r
+
+let infer cfg (p : Prog.t) =
+  match Prog.validate p with
+  | Error msg ->
+      Error
+        (Diagnostic.v ~code:Diagnostic.Invalid_program
+           ~hint:"the program is structurally malformed; this is a frontend bug, not a typing error"
+           msg)
+  | Ok () -> (
+      let candidate = if managed p then p else elaborate cfg p in
+      match Typing.check cfg candidate with
+      | Ok _ -> Ok candidate
+      | Error d -> Error d)
+
+let infer_exn cfg p =
+  match infer cfg p with Ok p -> p | Error d -> Diagnostic.error d

@@ -1,0 +1,37 @@
+(** Staged scale/level inference over surface programs (ROADMAP item 3).
+
+    The typing rules (paper §IV-B, C1–C3) are a post-hoc checker; [Infer]
+    inverts them into elaboration: a forward abstract interpretation of
+    (scale, level) under a {!Hecate_ir.Typing.config} that inserts
+    [rescale]/[modswitch]/[upscale]/[encode] operations at the waterline
+    discipline (EVA semantics — rescale eagerly while the result stays at or
+    above the waterline, modswitch to level-match, upscale to scale-match
+    additive operands), so DSL programs need no manual scale management.
+
+    Programs that already contain scale-management operations are accepted
+    unchanged — they are only checked, never re-elaborated — so explicitly
+    managed IR keeps its hand placement.
+
+    Every inserted operation carries provenance derived from the consumer
+    it was inserted for (label ["rescale (inferred)"] etc., context the
+    consumer's surface chain); re-emitted surface operations keep their own
+    provenance. Failures are structured {!Hecate_ir.Diagnostic.t} values
+    naming the offending surface construct. *)
+
+val managed : Hecate_ir.Prog.t -> bool
+(** Does the program already contain any scale-management operation
+    ([encode]/[rescale]/[modswitch]/[upscale]/[downscale])? *)
+
+val infer :
+  Hecate_ir.Typing.config ->
+  Hecate_ir.Prog.t ->
+  (Hecate_ir.Prog.t, Hecate_ir.Diagnostic.t) result
+(** Elaborate (or, for managed programs, just check) under the config.
+    [Ok p] is fully typed: {!Hecate_ir.Typing.check} has passed on it and
+    every op carries its type annotation. The result still benefits from
+    {!Hecate_ir.Pass_manager.finalize} (early-modswitch hoisting, CSE) —
+    elaboration places operations exactly where the waterline discipline
+    demands, matching {!Hecate.Driver}'s EVA code generation. *)
+
+val infer_exn : Hecate_ir.Typing.config -> Hecate_ir.Prog.t -> Hecate_ir.Prog.t
+(** @raise Hecate_ir.Diagnostic.Error on failure. *)

@@ -16,13 +16,16 @@ type report = { count : int; failures : case_failure list; elapsed_seconds : flo
 let repro_text ~case_seed ~(oracle : Oracle.config) (failure : Oracle.failure) prog =
   let b = Buffer.create 512 in
   Buffer.add_string b
-    (Printf.sprintf "# fuzz-repro seed=%d check=%s scheme=%s sf_bits=%d waterline=%g\n"
+    (Printf.sprintf "# fuzz-repro seed=%d check=%s scheme=%s sf_bits=%d waterline=%g%s\n"
        case_seed
        (Oracle.check_name failure.Oracle.check)
        (match failure.Oracle.scheme with
        | Some s -> Hecate.Driver.scheme_name s
        | None -> "all")
-       oracle.Oracle.sf_bits oracle.Oracle.waterline_bits);
+       oracle.Oracle.sf_bits oracle.Oracle.waterline_bits
+       (match failure.Oracle.code with
+       | Some c -> " code=" ^ Hecate_ir.Diagnostic.code_name c
+       | None -> ""));
   Buffer.add_string b ("# " ^ failure.Oracle.detail ^ "\n");
   Buffer.add_string b
     (Printf.sprintf
@@ -60,17 +63,29 @@ let header_field line key =
   in
   find 0
 
-let replay ?transform path =
+let read_header path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  let header =
-    match String.split_on_char '\n' text with
-    | first :: _ when String.length first >= 12 && String.sub first 0 12 = "# fuzz-repro" ->
-        first
-    | _ -> invalid_arg (Printf.sprintf "Campaign.replay: %s has no '# fuzz-repro' header" path)
+  match String.split_on_char '\n' text with
+  | first :: _ when String.length first >= 12 && String.sub first 0 12 = "# fuzz-repro" ->
+      (text, first)
+  | _ -> invalid_arg (Printf.sprintf "Campaign.replay: %s has no '# fuzz-repro' header" path)
+
+let recorded_class path =
+  let _, header = read_header path in
+  let check =
+    match Option.bind (header_field header "check") Oracle.check_of_name with
+    | Some c -> c
+    | None ->
+        invalid_arg (Printf.sprintf "Campaign.recorded_class: %s header lacks a known check=" path)
   in
+  let code = Option.bind (header_field header "code") Hecate_ir.Diagnostic.code_of_name in
+  (check, code)
+
+let replay ?transform path =
+  let text, header = read_header path in
   let field key =
     match header_field header key with
     | Some v -> v
@@ -100,12 +115,13 @@ let run ?gen ?(oracle = Oracle.default_config) ?transform ?out_dir ?(log = ignor
         log
           (Printf.sprintf "case %d (seed %d, %d ops) FAILED %s" index case_seed
              (Prog.num_ops case.Gen.prog) (Oracle.describe failure));
-        (* shrink while the same check class still fails *)
+        (* shrink while the same failure class (check + diagnostic code)
+           still fails *)
         let keep candidate =
           match
             Oracle.run ?transform oracle candidate ~inputs:(Gen.inputs_for ~seed:case_seed candidate)
           with
-          | Error f -> f.Oracle.check = failure.Oracle.check
+          | Error f -> Oracle.same_class f failure
           | Ok () -> false
         in
         let shrunk = Shrink.shrink ~keep case.Gen.prog in

@@ -41,6 +41,14 @@ val write_repro :
   dir:string -> case_seed:int -> oracle:Oracle.config -> Oracle.failure -> Hecate_ir.Prog.t -> string
 (** Write {!repro_text} to [dir/fuzz_seed<seed>_<check>.hec]; returns the path. *)
 
+val recorded_class : string -> Oracle.check * Hecate_ir.Diagnostic.code option
+(** The failure class a reproducer header records: its check and, when the
+    failure carried one, its structured diagnostic code. Replay assertions
+    compare against this class (see {!Oracle.same_class}) rather than the
+    free-form detail string, so they survive message-wording changes.
+    Headers written before codes were recorded yield [None].
+    @raise Invalid_argument if the header is missing or lacks [check=]. *)
+
 val replay : ?transform:(Hecate.Driver.scheme -> Hecate_ir.Prog.t -> Hecate_ir.Prog.t) ->
   string -> (unit, Oracle.failure) result
 (** [replay path] parses a reproducer file, re-derives its inputs from the

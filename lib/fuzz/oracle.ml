@@ -2,6 +2,7 @@ module Prog = Hecate_ir.Prog
 module Typing = Hecate_ir.Typing
 module Printer = Hecate_ir.Printer
 module Parser = Hecate_ir.Parser
+module Diagnostic = Hecate_ir.Diagnostic
 module Driver = Hecate.Driver
 module Interp = Hecate_backend.Interp
 module Accuracy = Hecate_backend.Accuracy
@@ -9,7 +10,14 @@ module Harness = Hecate_backend.Harness
 
 type check = Compile | Validate | Typecheck | Roundtrip | Estimate | Accuracy | Cross_scheme
 
-type failure = { check : check; scheme : Driver.scheme option; detail : string }
+type failure = {
+  check : check;
+  scheme : Driver.scheme option;
+  detail : string;
+  code : Diagnostic.code option;
+}
+
+let same_class a b = a.check = b.check && a.code = b.code
 
 let check_name = function
   | Compile -> "compile"
@@ -31,8 +39,9 @@ let check_of_name = function
   | _ -> None
 
 let describe f =
-  Printf.sprintf "%s[%s]: %s" (check_name f.check)
+  Printf.sprintf "%s[%s]%s: %s" (check_name f.check)
     (match f.scheme with Some s -> Driver.scheme_name s | None -> "all")
+    (match f.code with Some c -> Printf.sprintf "{%s}" (Diagnostic.code_name c) | None -> "")
     f.detail
 
 type config = {
@@ -59,22 +68,23 @@ let exn_text e = Printexc.to_string e
 (* One scheme: compile, then run the per-scheme checks. Returns the decrypted
    outputs for the cross-scheme comparison. *)
 let run_scheme ~transform cfg scheme prog ~inputs =
-  let fail check detail = Error { check; scheme = Some scheme; detail } in
+  let fail ?code check detail = Error { check; scheme = Some scheme; detail; code } in
   match
     Driver.compile ~max_epochs:cfg.max_epochs scheme ~sf_bits:cfg.sf_bits
       ~waterline_bits:cfg.waterline_bits prog
   with
+  | exception Diagnostic.Error d -> fail ~code:d.Diagnostic.code Compile (Diagnostic.to_string d)
   | exception e -> fail Compile (exn_text e)
   | compiled -> (
       let p = transform scheme compiled.Driver.prog in
       match Prog.validate p with
-      | Error msg -> fail Validate msg
+      | Error msg -> fail ~code:Diagnostic.Invalid_program Validate msg
       | Ok () -> (
           let tcfg =
             Typing.config ~sf:(float_of_int cfg.sf_bits) ~waterline:cfg.waterline_bits ()
           in
           match Typing.check tcfg p with
-          | Error msg -> fail Typecheck msg
+          | Error d -> fail ~code:d.Diagnostic.code Typecheck (Diagnostic.to_string d)
           | Ok _ -> (
               match Parser.parse (Printer.to_string p) with
               | exception e -> fail Roundtrip ("re-parse raised: " ^ exn_text e)
@@ -137,6 +147,7 @@ let run ?(transform = fun _ p -> p) cfg prog ~inputs =
                           Printf.sprintf "%s vs %s deviate by %.3e (bound %.3e)"
                             (Driver.scheme_name sa) (Driver.scheme_name sb) dev
                             cfg.cross_bound;
+                        code = None;
                       }
                   else against more
             in

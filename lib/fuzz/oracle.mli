@@ -26,10 +26,19 @@ type failure = {
   check : check;
   scheme : Hecate.Driver.scheme option;  (** [None] for cross-scheme disagreements *)
   detail : string;
+  code : Hecate_ir.Diagnostic.code option;
+      (** structured diagnostic class for compile/validate/typecheck
+          failures; [None] for checks with no diagnostic (accuracy etc.) *)
 }
 
 val check_name : check -> string
 val check_of_name : string -> check option
+
+val same_class : failure -> failure -> bool
+(** Same check and same diagnostic code — the identity used when shrinking
+    and when asserting on replayed corpus entries, robust to changes in
+    message wording. *)
+
 val describe : failure -> string
 
 type config = {

@@ -38,6 +38,7 @@ let rebuild (p : Prog.t) ~outputs ~subst =
                    kind = o.Prog.kind;
                    args = Array.map (fun a -> new_id.(map a)) o.Prog.args;
                    ty = Hecate_ir.Types.Free;
+                   prov = o.Prog.prov;
                  };
                ]
              else [])

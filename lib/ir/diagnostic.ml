@@ -1,0 +1,155 @@
+type code =
+  | Parse_error
+  | Invalid_program
+  | Operand_kind
+  | Scale_overflow
+  | Below_waterline
+  | Level_mismatch
+  | Scale_mismatch
+  | Level_exceeded
+  | Bad_upscale
+  | Bad_downscale
+  | Redundant_op
+  | Output_not_cipher
+  | Arity
+  | Precondition
+  | Already_managed
+  | Internal
+
+let all_codes =
+  [
+    Parse_error;
+    Invalid_program;
+    Operand_kind;
+    Scale_overflow;
+    Below_waterline;
+    Level_mismatch;
+    Scale_mismatch;
+    Level_exceeded;
+    Bad_upscale;
+    Bad_downscale;
+    Redundant_op;
+    Output_not_cipher;
+    Arity;
+    Precondition;
+    Already_managed;
+    Internal;
+  ]
+
+let code_name = function
+  | Parse_error -> "parse-error"
+  | Invalid_program -> "invalid-program"
+  | Operand_kind -> "operand-kind"
+  | Scale_overflow -> "scale-overflow"
+  | Below_waterline -> "below-waterline"
+  | Level_mismatch -> "level-mismatch"
+  | Scale_mismatch -> "scale-mismatch"
+  | Level_exceeded -> "level-exceeded"
+  | Bad_upscale -> "bad-upscale"
+  | Bad_downscale -> "bad-downscale"
+  | Redundant_op -> "redundant-op"
+  | Output_not_cipher -> "output-not-cipher"
+  | Arity -> "arity"
+  | Precondition -> "precondition"
+  | Already_managed -> "already-managed"
+  | Internal -> "internal"
+
+let code_of_name s = List.find_opt (fun c -> code_name c = s) all_codes
+
+type t = {
+  code : code;
+  message : string;
+  op : Prog.value option;
+  op_kind : string option;
+  operand_types : Types.t list;
+  provenance : Prog.provenance option;
+  hint : string option;
+}
+
+let v ?op ?op_kind ?(operand_types = []) ?provenance ?hint ~code message =
+  { code; message; op; op_kind; operand_types; provenance; hint }
+
+let errf ?op ?op_kind ?operand_types ?provenance ?hint ~code fmt =
+  Printf.ksprintf
+    (fun message -> Error (v ?op ?op_kind ?operand_types ?provenance ?hint ~code message))
+    fmt
+
+let at (o : Prog.op) d =
+  {
+    d with
+    op = (match d.op with Some _ as v -> v | None -> Some o.Prog.id);
+    op_kind = (match d.op_kind with Some _ as v -> v | None -> Some (Prog.kind_name o.Prog.kind));
+    provenance = (match d.provenance with Some _ as v -> v | None -> o.Prog.prov);
+  }
+
+(* Byte-compatible with the pre-structured checker: "op %d: <message>",
+   except diagnostics whose message already locates itself. *)
+let to_string d =
+  match (d.op, d.code) with
+  | Some _, (Output_not_cipher | Parse_error) | None, _ -> d.message
+  | Some i, _ -> Printf.sprintf "op %d: %s" i d.message
+
+let pp fmt d =
+  Format.fprintf fmt "error[%s]: %s" (code_name d.code) d.message;
+  (match d.op with
+  | Some i ->
+      Format.fprintf fmt "@\n  --> op %%%d" i;
+      (match d.op_kind with Some k -> Format.fprintf fmt " (%s)" k | None -> ());
+      (match d.operand_types with
+      | [] -> ()
+      | tys ->
+          Format.fprintf fmt " applied to %s"
+            (String.concat ", " (List.map (Format.asprintf "%a" Types.pp) tys)))
+  | None -> ());
+  (match d.provenance with
+  | Some p -> Format.fprintf fmt "@\n  from: %s" (Prog.provenance_to_string p)
+  | None -> ());
+  match d.hint with Some h -> Format.fprintf fmt "@\n  hint: %s" h | None -> ()
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let str s = Printf.sprintf "\"%s\"" (json_escape s) in
+  let opt f = function Some x -> f x | None -> "null" in
+  let fields =
+    [
+      ("code", str (code_name d.code));
+      ("message", str d.message);
+      ("op", opt string_of_int d.op);
+      ("op_kind", opt str d.op_kind);
+      ( "operand_types",
+        Printf.sprintf "[%s]"
+          (String.concat ","
+             (List.map (fun ty -> str (Format.asprintf "%a" Types.pp ty)) d.operand_types)) );
+      ( "provenance",
+        opt
+          (fun (p : Prog.provenance) ->
+            Printf.sprintf "[%s]"
+              (String.concat "," (List.map str (p.Prog.context @ [ p.Prog.label ]))))
+          d.provenance );
+      ("hint", opt str d.hint);
+    ]
+  in
+  Printf.sprintf "{%s}" (String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields))
+
+exception Error of t
+
+let error d = raise (Error d)
+
+let () =
+  Printexc.register_printer (function
+    | Error d -> Some (Printf.sprintf "Diagnostic.Error(%s: %s)" (code_name d.code) (to_string d))
+    | _ -> None)

@@ -1,0 +1,96 @@
+(** Structured compiler diagnostics.
+
+    Every failure surfaced by the typing rules, the frontend elaborator, or
+    the driver is a {!t}: a machine-readable error code, a human message, and
+    whatever is known about the offending operation — its id, kind, operand
+    types, and surface provenance chain — plus a suggested fix.
+
+    {!to_string} reproduces the exact legacy error strings that
+    {!Typing.check} used to return, so string-matching callers (the pass
+    manager, the fuzz oracle, existing tests) keep working unchanged. *)
+
+type code =
+  | Parse_error  (** surface text does not parse *)
+  | Invalid_program  (** structural {!Prog.validate} failure *)
+  | Operand_kind  (** operand is free/plain/cipher where another kind is required *)
+  | Scale_overflow  (** C1: scale exceeds the modulus remaining at the level *)
+  | Below_waterline  (** C2: a rescale/downscale/encode lands below the waterline *)
+  | Level_mismatch  (** C3: binary operation with unequal operand levels *)
+  | Scale_mismatch  (** C3: add/sub with unequal operand scales *)
+  | Level_exceeded  (** level grew past [max_level] *)
+  | Bad_upscale  (** upscale target below the current scale *)
+  | Bad_downscale  (** downscale attribute disagrees with the configuration *)
+  | Redundant_op  (** a cheaper scale-management op applies (use modswitch/rescale) *)
+  | Output_not_cipher  (** program output is not a ciphertext *)
+  | Arity  (** wrong operand count for the kind *)
+  | Precondition  (** surface-combinator precondition violated (DSL misuse) *)
+  | Already_managed  (** program already contains scale-management operations *)
+  | Internal  (** a pass or the driver broke an invariant *)
+
+val code_name : code -> string
+(** Stable kebab-case name, e.g. [Scale_overflow -> "scale-overflow"].
+    These names are the contract for [--error-format json] and for fuzz
+    reproducer headers; see docs/DIAGNOSTICS.md. *)
+
+val code_of_name : string -> code option
+
+type t = {
+  code : code;
+  message : string;  (** bare message, no ["op %d: "] prefix *)
+  op : Prog.value option;  (** offending operation, when known *)
+  op_kind : string option;  (** {!Prog.kind_name} of the offending op *)
+  operand_types : Types.t list;  (** types of the offending op's operands *)
+  provenance : Prog.provenance option;  (** surface chain of the offending op *)
+  hint : string option;  (** suggested fix *)
+}
+
+val v :
+  ?op:Prog.value ->
+  ?op_kind:string ->
+  ?operand_types:Types.t list ->
+  ?provenance:Prog.provenance ->
+  ?hint:string ->
+  code:code ->
+  string ->
+  t
+
+val errf :
+  ?op:Prog.value ->
+  ?op_kind:string ->
+  ?operand_types:Types.t list ->
+  ?provenance:Prog.provenance ->
+  ?hint:string ->
+  code:code ->
+  ('a, unit, string, ('b, t) result) format4 ->
+  'a
+(** [errf ~code fmt ...] builds [Error (v ~code msg)] from a format string. *)
+
+val at : Prog.op -> t -> t
+(** Attach op-level context (id, kind, provenance) from a concrete op,
+    keeping any fields already set. *)
+
+val to_string : t -> string
+(** Legacy one-line rendering: ["op %d: %s"] when the op is known, the bare
+    message otherwise — byte-identical to the strings the typer returned
+    before diagnostics were structured. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty multi-line rendering:
+    {v
+error[scale-mismatch]: add: operand scales 2^80.00 and 2^40.00 differ (C3)
+  --> op %12 (add) applied to cipher<80,0>, cipher<40,0>
+  from: matvec 4x4 > add
+  hint: rescale or upscale one operand so both scales match
+    v} *)
+
+val to_json : t -> string
+(** One-line JSON object (hand-rolled; stable field order):
+    [{"code":..,"message":..,"op":..,"op_kind":..,"operand_types":[..],
+      "provenance":[..],"hint":..}]. Unknown fields are [null]. *)
+
+exception Error of t
+(** Raising counterpart for code paths that cannot return [result].
+    Registered with {!Printexc} to render via {!to_string}. *)
+
+val error : t -> 'a
+(** [error d] raises [Error d]. *)

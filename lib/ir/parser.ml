@@ -19,7 +19,14 @@ type token =
   | Gt
   | Eof
 
-type lexer = { src : string; mutable pos : int; mutable line : int }
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable pending_prov : string option;
+      (* payload of the last "# !from ..." comment crossed, awaiting
+         attachment to the op whose line it trailed *)
+}
 
 let error lx msg = raise (Parse_error { line = lx.line; message = msg })
 
@@ -42,10 +49,18 @@ let rec skip_ws lx =
         lx.line <- lx.line + 1;
         skip_ws lx
     | '#' ->
-        (* comment to end of line *)
+        (* comment to end of line; "# !from ..." carries provenance *)
+        let start = lx.pos + 1 in
         while lx.pos < String.length lx.src && lx.src.[lx.pos] <> '\n' do
           lx.pos <- lx.pos + 1
         done;
+        let comment = String.trim (String.sub lx.src start (lx.pos - start)) in
+        let tag = "!from " in
+        if String.length comment > String.length tag
+           && String.sub comment 0 (String.length tag) = tag
+        then
+          lx.pending_prov <-
+            Some (String.sub comment (String.length tag) (String.length comment - String.length tag));
         skip_ws lx
     | _ -> ()
 
@@ -146,7 +161,7 @@ let parse_key_eq_number st key =
   expect st Equals (Printf.sprintf "expected '=' after %s" key)
 
 let parse prog_text =
-  let lx = { src = prog_text; pos = 0; line = 1 } in
+  let lx = { src = prog_text; pos = 0; line = 1; pending_prov = None } in
   let st = { lx; tok = Eof } in
   advance st;
   expect_ident st "func";
@@ -170,6 +185,8 @@ let parse prog_text =
   parse_key_eq_number st "slots";
   let slot_count = parse_int st in
   expect st Lbrace "expected '{'";
+  (* any provenance comment crossed so far trailed the header, not an op *)
+  lx.pending_prov <- None;
   (* body *)
   let remap = Hashtbl.create 64 in
   let ops = ref [] in
@@ -178,7 +195,7 @@ let parse prog_text =
     let id = !count in
     incr count;
     Hashtbl.replace remap old_id id;
-    ops := { Prog.id; kind; args; ty = Types.Free } :: !ops
+    ops := { Prog.id; kind; args; ty = Types.Free; prov = None } :: !ops
   in
   let lookup v =
     match Hashtbl.find_opt remap v with
@@ -261,6 +278,12 @@ let parse prog_text =
             emit old_id (Prog.Downscale { waterline = parse_float st }) [| a |]
         | other -> error lx (Printf.sprintf "unknown operation %S" other));
         skip_type_annotation st;
+        (* the lookahead that ended this op's line consumed its trailing
+           comment, if any; attach it to the op just emitted *)
+        (match (lx.pending_prov, !ops) with
+        | Some s, o :: _ -> o.Prog.prov <- Prog.provenance_of_string s
+        | _ -> ());
+        lx.pending_prov <- None;
         parse_body ()
     | Eof -> error lx "unexpected end of input (missing '}')"
     | _ -> error lx "unexpected token in body"

@@ -205,7 +205,7 @@ let check_after instr name p =
   | Some cfg -> (
       match Typing.check cfg p with
       | Ok _ -> ()
-      | Error msg -> failed name "produced an ill-typed program: %s" msg));
+      | Error d -> failed name "produced an ill-typed program: %s" (Diagnostic.to_string d)));
   match instr.dump_after with
   | No_dump -> ()
   | Dump_all -> instr.dump ~pass:name p

@@ -209,7 +209,7 @@ let early_modswitch_once (p : Prog.t) =
     let count = ref 0 in
     let emit kind args =
       let id = !count in
-      ops := { Prog.id; kind; args; ty = Types.Free } :: !ops;
+      ops := { Prog.id; kind; args; ty = Types.Free; prov = None } :: !ops;
       incr count;
       id
     in

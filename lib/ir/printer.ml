@@ -5,7 +5,7 @@ let pp_const fmt = function
       Array.iteri (fun i x -> Format.fprintf fmt "%s%h" (if i = 0 then "" else ", ") x) v;
       Format.fprintf fmt "]"
 
-let pp_op fmt (o : Prog.op) =
+let pp_op ?(provenance = false) fmt (o : Prog.op) =
   let arg i = Format.asprintf "%%%d" o.args.(i) in
   (match o.kind with
   | Prog.Input { name } -> Format.fprintf fmt "%%%d = input \"%s\"" o.id name
@@ -23,11 +23,15 @@ let pp_op fmt (o : Prog.op) =
       Format.fprintf fmt "%%%d = upscale %s, %h" o.id (arg 0) target_scale
   | Prog.Downscale { waterline } ->
       Format.fprintf fmt "%%%d = downscale %s, %h" o.id (arg 0) waterline);
-  match o.ty with
+  (match o.ty with
   | Types.Free -> ()
-  | ty -> Format.fprintf fmt " : %a" Types.pp ty
+  | ty -> Format.fprintf fmt " : %a" Types.pp ty);
+  match o.prov with
+  | Some p when provenance ->
+      Format.fprintf fmt "  # !from %s" (Prog.provenance_to_string p)
+  | _ -> ()
 
-let pp fmt (p : Prog.t) =
+let pp ?(provenance = false) fmt (p : Prog.t) =
   Format.fprintf fmt "func %s(" p.name;
   List.iteri
     (fun i v ->
@@ -41,9 +45,9 @@ let pp fmt (p : Prog.t) =
     (fun o ->
       match o.kind with
       | Prog.Input _ -> ()
-      | _ -> Format.fprintf fmt "  %a@\n" pp_op o)
+      | _ -> Format.fprintf fmt "  %a@\n" (pp_op ~provenance) o)
     p;
   Format.fprintf fmt "  return %s@\n}@\n"
     (String.concat ", " (List.map (Printf.sprintf "%%%d") p.outputs))
 
-let to_string p = Format.asprintf "%a" pp p
+let to_string ?(provenance = false) p = Format.asprintf "%a" (pp ~provenance) p

@@ -10,7 +10,13 @@
     v}
 
     Type annotations are printed when known; {!Parser.parse} accepts and
-    ignores them (types are recomputed by the checker). *)
+    ignores them (types are recomputed by the checker).
 
-val pp : Format.formatter -> Prog.t -> unit
-val to_string : Prog.t -> string
+    With [~provenance:true], each op with recorded provenance gets a
+    trailing [# !from matvec 4x4 > mul] comment; {!Parser.parse} reads these
+    back onto the op, so provenance round-trips. The default is off, keeping
+    output byte-identical to the pre-provenance printer (golden pins, fuzz
+    reproducers). *)
+
+val pp : ?provenance:bool -> Format.formatter -> Prog.t -> unit
+val to_string : ?provenance:bool -> Prog.t -> string

@@ -15,7 +15,27 @@ type kind =
   | Upscale of { target_scale : float }
   | Downscale of { waterline : float }
 
-type op = { id : value; kind : kind; args : value array; mutable ty : Types.t }
+type provenance = { label : string; context : string list }
+
+let provenance_to_string { label; context } = String.concat " > " (context @ [ label ])
+
+let provenance_of_string s =
+  let parts =
+    String.split_on_char '>' s
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  match List.rev parts with
+  | [] -> None
+  | label :: rev_context -> Some { label; context = List.rev rev_context }
+
+type op = {
+  id : value;
+  kind : kind;
+  args : value array;
+  mutable ty : Types.t;
+  mutable prov : provenance option;
+}
 
 type t = {
   name : string;
@@ -126,14 +146,31 @@ module Builder = struct
     mutable count : int;
     mutable inputs : value list; (* reversed *)
     mutable outputs : value list; (* reversed *)
+    mutable scope : string list; (* innermost label first *)
   }
 
   let create ?(name = "main") ~slot_count () =
-    { name; slot_count; ops = []; count = 0; inputs = []; outputs = [] }
+    { name; slot_count; ops = []; count = 0; inputs = []; outputs = []; scope = [] }
+
+  let enter_scope b label = b.scope <- label :: b.scope
+
+  let leave_scope b =
+    match b.scope with
+    | [] -> invalid_arg "Prog.Builder.leave_scope: no scope to leave"
+    | _ :: rest -> b.scope <- rest
+
+  let in_scope b label f =
+    enter_scope b label;
+    Fun.protect ~finally:(fun () -> leave_scope b) f
+
+  let current_prov b =
+    match b.scope with
+    | [] -> None
+    | label :: rest -> Some { label; context = List.rev rest }
 
   let emit b kind args =
     let id = b.count in
-    b.ops <- { id; kind; args; ty = Types.Free } :: b.ops;
+    b.ops <- { id; kind; args; ty = Types.Free; prov = current_prov b } :: b.ops;
     b.count <- id + 1;
     id
 
@@ -188,9 +225,9 @@ module Rewriter = struct
       new_inputs = [];
     }
 
-  let emit r kind args ty =
+  let emit ?prov r kind args ty =
     let id = r.count in
-    r.ops <- { id; kind; args; ty } :: r.ops;
+    r.ops <- { id; kind; args; ty; prov } :: r.ops;
     r.count <- id + 1;
     Hashtbl.replace r.tys id ty;
     (match kind with Input _ -> r.new_inputs <- id :: r.new_inputs | _ -> ());

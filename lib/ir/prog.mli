@@ -27,7 +27,25 @@ type kind =
   | Upscale of { target_scale : float } (** absolute target scale, log2 *)
   | Downscale of { waterline : float }
 
-type op = { id : value; kind : kind; args : value array; mutable ty : Types.t }
+type provenance = { label : string; context : string list }
+(** Where an operation came from in the surface program: [label] names the
+    surface construct that emitted it (e.g. ["mul"], ["rescale (inferred)"]),
+    [context] is the enclosing combinator chain, outermost first (e.g.
+    [["matvec 4x4"]]). Metadata only — ignored by {!equal} and every pass. *)
+
+val provenance_to_string : provenance -> string
+(** [context] then [label], joined with [" > "]. *)
+
+val provenance_of_string : string -> provenance option
+(** Inverse of {!provenance_to_string}; [None] on an all-blank string. *)
+
+type op = {
+  id : value;
+  kind : kind;
+  args : value array;
+  mutable ty : Types.t;
+  mutable prov : provenance option;
+}
 
 type t = {
   name : string;
@@ -71,6 +89,24 @@ module Builder : sig
   type t
 
   val create : ?name:string -> slot_count:int -> unit -> t
+
+  val enter_scope : t -> string -> unit
+  (** Push a provenance scope label: every op emitted until the matching
+      {!leave_scope} records it. The innermost open scope becomes the op's
+      provenance [label]; outer scopes form its [context]. With no open
+      scope, ops carry no provenance. *)
+
+  val leave_scope : t -> unit
+  (** @raise Invalid_argument if no scope is open. *)
+
+  val in_scope : t -> string -> (unit -> 'a) -> 'a
+  (** [in_scope b label f] runs [f] inside the scope, closing it even if
+      [f] raises. *)
+
+  val current_prov : t -> provenance option
+  (** The provenance an op emitted right now would carry ([None] outside
+      any scope) — lets surface layers stamp diagnostics with the chain. *)
+
   val input : t -> string -> value
   val const_scalar : t -> float -> value
   val const_vector : t -> float array -> value
@@ -93,8 +129,9 @@ module Rewriter : sig
   type t
 
   val create : prog -> t
-  val emit : t -> kind -> value array -> Types.t -> value
-  (** Append a new op with explicit type; returns its id in the new program. *)
+  val emit : ?prov:provenance -> t -> kind -> value array -> Types.t -> value
+  (** Append a new op with explicit type (and optional provenance); returns
+      its id in the new program. *)
 
   val mapped : t -> value -> value
   (** New id standing for an old value. @raise Not_found before it is set. *)

@@ -11,24 +11,33 @@ let eps = 1e-6
    dropped first are rescaling primes of sf bits each. *)
 let remaining_log_q cfg level = cfg.max_log_q -. (float_of_int level *. cfg.sf)
 
+let errf = Diagnostic.errf
+
 let scaled_pair name a b =
   match (Types.scaled_of a, Types.scaled_of b) with
   | Some x, Some y -> Ok (x, y)
-  | _ -> Error (name ^ ": operands must be scaled (encode free operands first)")
+  | _ ->
+      errf ~code:Diagnostic.Operand_kind
+        ~hint:"wrap the free operand in an encode at the consumer's scale and level" "%s%s" name
+        ": operands must be scaled (encode free operands first)"
 
 let cipherness a b =
   if Types.is_cipher a || Types.is_cipher b then fun s -> Types.Cipher s else fun s -> Types.Plain s
 
 let check_level_bound cfg name level =
   match cfg.max_level with
-  | Some m when level > m -> Error (Printf.sprintf "%s: level %d exceeds maximum %d" name level m)
+  | Some m when level > m ->
+      errf ~code:Diagnostic.Level_exceeded
+        ~hint:"the program consumes more rescaling primes than the parameter set provides; raise max_level or shorten the multiplication chain"
+        "%s: level %d exceeds maximum %d" name level m
   | Some _ | None -> Ok ()
 
 let check_c1 cfg name (s : Types.scaled) =
   if s.scale > remaining_log_q cfg s.level +. eps then
-    Error
-      (Printf.sprintf "%s: scale 2^%.2f overflows the 2^%.2f modulus remaining at level %d (C1)"
-         name s.scale (remaining_log_q cfg s.level) s.level)
+    errf ~code:Diagnostic.Scale_overflow
+      ~hint:"insert a rescale on an operand so the scale drops before this point"
+      "%s: scale 2^%.2f overflows the 2^%.2f modulus remaining at level %d (C1)" name s.scale
+      (remaining_log_q cfg s.level) s.level
   else Ok ()
 
 let ( let* ) = Result.bind
@@ -44,27 +53,39 @@ let infer cfg kind (args : Types.t array) =
   | Prog.Const _, [||] -> Ok Types.Free
   | Prog.Encode { scale; level }, [| Types.Free |] ->
       if scale +. eps < cfg.waterline then
-        Error (Printf.sprintf "encode: scale 2^%.2f below the waterline 2^%.2f (C2)" scale cfg.waterline)
+        errf ~code:Diagnostic.Below_waterline
+          ~hint:"encode at the waterline scale or above" "encode: scale 2^%.2f below the waterline 2^%.2f (C2)"
+          scale cfg.waterline
       else scaled_result cfg "encode" (fun s -> Types.Plain s) { scale; level }
-  | Prog.Encode _, [| _ |] -> Error "encode: operand must be free"
+  | Prog.Encode _, [| _ |] ->
+      errf ~code:Diagnostic.Operand_kind ~hint:"encode applies to const/free values only"
+        "encode: operand must be free"
   | Prog.Add, [| a; b |] | Prog.Sub, [| a; b |] ->
       let name = Prog.kind_name kind in
       let* x, y = scaled_pair name a b in
       if x.level <> y.level then
-        Error (Printf.sprintf "%s: operand levels %d and %d differ (C3)" name x.level y.level)
+        errf ~code:Diagnostic.Level_mismatch
+          ~hint:"insert modswitch on the shallower operand to equalize levels"
+          "%s: operand levels %d and %d differ (C3)" name x.level y.level
       else if not (Types.scale_close x.scale y.scale) then
-        Error
-          (Printf.sprintf "%s: operand scales 2^%.2f and 2^%.2f differ (C3)" name x.scale y.scale)
+        errf ~code:Diagnostic.Scale_mismatch
+          ~hint:"rescale or upscale one operand so both scales match"
+          "%s: operand scales 2^%.2f and 2^%.2f differ (C3)" name x.scale y.scale
       else scaled_result cfg name (cipherness a b) x
   | Prog.Mul, [| a; b |] ->
       let* x, y = scaled_pair "mul" a b in
       if x.level <> y.level then
-        Error (Printf.sprintf "mul: operand levels %d and %d differ (C3)" x.level y.level)
+        errf ~code:Diagnostic.Level_mismatch
+          ~hint:"insert modswitch on the shallower operand to equalize levels"
+          "mul: operand levels %d and %d differ (C3)" x.level y.level
       else
         scaled_result cfg "mul" (cipherness a b) { scale = x.scale +. y.scale; level = x.level }
   | Prog.Negate, [| a |] | (Prog.Rotate _, [| a |]) -> (
       match Types.scaled_of a with
-      | None -> Error (Prog.kind_name kind ^ ": operand must be scaled")
+      | None ->
+          errf ~code:Diagnostic.Operand_kind
+            ~hint:"wrap the free operand in an encode at the consumer's scale and level" "%s%s"
+            (Prog.kind_name kind) ": operand must be scaled"
       | Some s ->
           scaled_result cfg (Prog.kind_name kind)
             (fun s -> if Types.is_cipher a then Types.Cipher s else Types.Plain s)
@@ -74,26 +95,33 @@ let infer cfg kind (args : Types.t array) =
       | Types.Cipher s ->
           let scale = s.scale -. cfg.sf in
           if scale +. eps < cfg.waterline then
-            Error
-              (Printf.sprintf "rescale: result scale 2^%.2f below the waterline 2^%.2f (C2)" scale
-                 cfg.waterline)
+            errf ~code:Diagnostic.Below_waterline
+              ~hint:"use downscale (which lands exactly on the waterline) instead of rescale here"
+              "rescale: result scale 2^%.2f below the waterline 2^%.2f (C2)" scale cfg.waterline
           else scaled_result cfg "rescale" (fun s -> Types.Cipher s) { scale; level = s.level + 1 }
-      | Types.Free | Types.Plain _ -> Error "rescale: operand must be a ciphertext")
+      | Types.Free | Types.Plain _ ->
+          errf ~code:Diagnostic.Operand_kind ~hint:"rescale applies to ciphertexts only"
+            "rescale: operand must be a ciphertext")
   | Prog.Modswitch, [| a |] -> (
       match Types.scaled_of a with
-      | None -> Error "modswitch: operand must be scaled"
+      | None ->
+          errf ~code:Diagnostic.Operand_kind
+            ~hint:"wrap the free operand in an encode at the consumer's scale and level"
+            "modswitch: operand must be scaled"
       | Some s ->
           scaled_result cfg "modswitch"
             (fun s -> if Types.is_cipher a then Types.Cipher s else Types.Plain s)
             { s with level = s.level + 1 })
   | Prog.Upscale { target_scale }, [| a |] -> (
       match Types.scaled_of a with
-      | None -> Error "upscale: operand must be scaled"
+      | None ->
+          errf ~code:Diagnostic.Operand_kind
+            ~hint:"wrap the free operand in an encode at the consumer's scale and level"
+            "upscale: operand must be scaled"
       | Some s ->
           if target_scale +. eps < s.scale then
-            Error
-              (Printf.sprintf "upscale: target 2^%.2f below current scale 2^%.2f" target_scale
-                 s.scale)
+            errf ~code:Diagnostic.Bad_upscale ~hint:"upscale can only raise a scale; use rescale to lower it"
+              "upscale: target 2^%.2f below current scale 2^%.2f" target_scale s.scale
           else
             scaled_result cfg "upscale"
               (fun s -> if Types.is_cipher a then Types.Cipher s else Types.Plain s)
@@ -102,15 +130,15 @@ let infer cfg kind (args : Types.t array) =
       match a with
       | Types.Cipher s ->
           if not (Types.scale_close waterline cfg.waterline) then
-            Error "downscale: attribute disagrees with the configured waterline"
+            errf ~code:Diagnostic.Bad_downscale
+              ~hint:"re-emit the downscale with the configured waterline attribute"
+              "downscale: attribute disagrees with the configured waterline"
           else if s.scale <= cfg.waterline +. eps then
-            Error
-              (Printf.sprintf
-                 "downscale: scale 2^%.2f is already at the waterline (use modswitch)" s.scale)
+            errf ~code:Diagnostic.Redundant_op ~hint:"replace this downscale with a modswitch"
+              "downscale: scale 2^%.2f is already at the waterline (use modswitch)" s.scale
           else if s.scale -. cfg.sf +. eps >= cfg.waterline then
-            Error
-              (Printf.sprintf "downscale: rescale is applicable at scale 2^%.2f (use rescale)"
-                 s.scale)
+            errf ~code:Diagnostic.Redundant_op ~hint:"replace this downscale with a rescale"
+              "downscale: rescale is applicable at scale 2^%.2f (use rescale)" s.scale
           else
             (* peak scale during the upscale-to-(sf + waterline) implementation
                counts toward C1 at the operand's level *)
@@ -118,8 +146,11 @@ let infer cfg kind (args : Types.t array) =
             scaled_result cfg "downscale"
               (fun s -> Types.Cipher s)
               { scale = cfg.waterline; level = s.level + 1 }
-      | Types.Free | Types.Plain _ -> Error "downscale: operand must be a ciphertext")
-  | _ -> Error (Prog.kind_name kind ^ ": wrong operand count")
+      | Types.Free | Types.Plain _ ->
+          errf ~code:Diagnostic.Operand_kind ~hint:"downscale applies to ciphertexts only"
+            "downscale: operand must be a ciphertext")
+  | _ ->
+      errf ~code:Diagnostic.Arity "%s%s" (Prog.kind_name kind) ": wrong operand count"
 
 let check cfg (p : Prog.t) =
   let n = Prog.num_ops p in
@@ -130,7 +161,8 @@ let check cfg (p : Prog.t) =
       let o = Prog.op p i in
       let arg_tys = Array.map (fun a -> tys.(a)) o.Prog.args in
       match infer cfg o.Prog.kind arg_tys with
-      | Error e -> Error (Printf.sprintf "op %d: %s" i e)
+      | Error d ->
+          Error (Diagnostic.at o { d with Diagnostic.operand_types = Array.to_list arg_tys })
       | Ok ty ->
           tys.(i) <- ty;
           o.Prog.ty <- ty;
@@ -142,7 +174,12 @@ let check cfg (p : Prog.t) =
       (fun acc v ->
         let* () = acc in
         if Types.is_cipher tys.(v) then Ok ()
-        else Error (Printf.sprintf "output %d is not a ciphertext" v))
+        else
+          Error
+            (Diagnostic.at (Prog.op p v)
+               (Diagnostic.v ~code:Diagnostic.Output_not_cipher
+                  ~hint:"every returned value must be a ciphertext; check the output list"
+                  (Printf.sprintf "output %d is not a ciphertext" v))))
       (Ok ()) p.Prog.outputs
   in
   Ok tys
@@ -150,4 +187,4 @@ let check cfg (p : Prog.t) =
 let check_exn cfg p =
   match check cfg p with
   | Ok tys -> tys
-  | Error msg -> invalid_arg ("Typing.check: " ^ msg)
+  | Error d -> invalid_arg ("Typing.check: " ^ Diagnostic.to_string d)

@@ -19,13 +19,18 @@ type config = {
 
 val config : ?max_level:int -> ?max_log_q:float -> sf:float -> waterline:float -> unit -> config
 
-val infer : config -> Prog.kind -> Types.t array -> (Types.t, string) result
-(** Result type of one operation from its operand types. *)
+val infer : config -> Prog.kind -> Types.t array -> (Types.t, Diagnostic.t) result
+(** Result type of one operation from its operand types. Error diagnostics
+    carry a {!Diagnostic.code} and a suggested fix but no op id (the rule
+    does not know which op it is typing) — {!check} fills that in. *)
 
-val check : config -> Prog.t -> (Types.t array, string) result
+val check : config -> Prog.t -> (Types.t array, Diagnostic.t) result
 (** Type the whole program (storing types on the ops as a side effect) and
     verify every constraint, including that outputs are ciphertexts. Returns
-    the type of every value. *)
+    the type of every value. Error diagnostics name the offending op, its
+    operand types, and its surface provenance; [Diagnostic.to_string]
+    reproduces the pre-structured error strings exactly. *)
 
 val check_exn : config -> Prog.t -> Types.t array
-(** @raise Invalid_argument with the verifier message on failure. *)
+(** @raise Invalid_argument with the legacy verifier message
+    ([Diagnostic.to_string] of the diagnostic) on failure. *)

@@ -1,0 +1,42 @@
+Compilation failures are rendered as structured diagnostics on stderr —
+never a backtrace — and exit 1.
+
+An already-managed program is rejected with the offending op and a hint:
+
+  $ cat > managed.hec <<'EOF'
+  > func bad(%0: cipher "x") slots=8 {
+  >   %1 = mul %0, %0
+  >   %2 = rescale %1
+  >   return %2
+  > }
+  > EOF
+  $ ../../bin/hecatec.exe compile managed.hec -s eva
+  error[already-managed]: Driver.compile: input program already contains scale-management operations
+    --> op %2 (rescale)
+    hint: the driver inserts all scale management itself; strip the existing rescale/modswitch/encode operations first
+  [1]
+
+The same failure as one machine-readable JSON object, with the stable
+error class in `code`:
+
+  $ ../../bin/hecatec.exe compile managed.hec --error-format json
+  {"code":"already-managed","message":"Driver.compile: input program already contains scale-management operations","op":2,"op_kind":"rescale","operand_types":[],"provenance":null,"hint":"the driver inserts all scale management itself; strip the existing rescale/modswitch/encode operations first"}
+  [1]
+
+Parse errors carry the source line:
+
+  $ printf 'func f(%%0: cipher "x") slots=8 {\n  %%1 = mul %%0\n  return %%1\n}\n' > broken.hec
+  $ ../../bin/hecatec.exe compile broken.hec
+  error[parse-error]: line 3: expected ','
+    hint: see docs/ARCHITECTURE.md for the textual program grammar
+  [1]
+  $ ../../bin/hecatec.exe info broken.hec --error-format json
+  {"code":"parse-error","message":"line 3: expected ','","op":null,"op_kind":null,"operand_types":[],"provenance":null,"hint":"see docs/ARCHITECTURE.md for the textual program grammar"}
+  [1]
+
+A well-formed program still compiles cleanly after all that:
+
+  $ ../../bin/hecatec.exe compile fig2.hec -s eva | head -3
+  func fig2(%0: cipher "x", %1: cipher "y") slots=64 {
+    %2 = mul %0, %0 : cipher<40,0>
+    %3 = mul %1, %1 : cipher<40,0>

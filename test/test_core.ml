@@ -65,9 +65,20 @@ let test_pars_lower_peak_than_eva () =
 
 let test_codegen_rejects_managed_input () =
   let p = Codegen.pars cfg (fig2 ()) in
-  match Codegen.pars cfg p with
+  (match Codegen.pars cfg p with
   | _ -> Alcotest.fail "expected rejection of an already-managed program"
-  | exception Invalid_argument _ -> ()
+  | exception Hecate_ir.Diagnostic.Error d ->
+      check Alcotest.string "code" "already-managed" (Hecate_ir.Diagnostic.code_name d.Hecate_ir.Diagnostic.code));
+  (* the driver rejects managed inputs for every scheme, exploring ones
+     included, with the same structured code *)
+  List.iter
+    (fun scheme ->
+      match Driver.compile_result scheme ~sf_bits:28 ~waterline_bits:20. p with
+      | Ok _ -> Alcotest.fail "driver accepted a managed program"
+      | Error d ->
+          check Alcotest.string "driver code" "already-managed"
+            (Hecate_ir.Diagnostic.code_name d.Hecate_ir.Diagnostic.code))
+    Driver.all_schemes
 
 let test_codegen_free_operands () =
   (* const * cipher and const + cipher get encoded plaintexts *)

@@ -1,9 +1,16 @@
 (* Tests for the DSL and its packing helpers, validated against the exact
-   plaintext reference interpreter. *)
+   plaintext reference interpreter, and for scale/level inference over DSL
+   programs (no manual scale management anywhere in this file). *)
 
 module Dsl = Hecate_frontend.Dsl
+module Infer = Hecate_frontend.Infer
 module Ref = Hecate_backend.Reference
 module Prog = Hecate_ir.Prog
+module Printer = Hecate_ir.Printer
+module Typing = Hecate_ir.Typing
+module Pass_manager = Hecate_ir.Pass_manager
+module Diagnostic = Hecate_ir.Diagnostic
+module Driver = Hecate.Driver
 module Prng = Hecate_support.Prng
 module Stats = Hecate_support.Stats
 
@@ -169,18 +176,163 @@ let test_zero_weight_taps_skipped () =
   let p = Dsl.finish d in
   check Alcotest.bool "few ops" true (Prog.num_ops p <= 2)
 
+(* Combinator preconditions are structured diagnostics carrying the surface
+   chain; [expect_precondition] asserts on the code and provenance label. *)
+let expect_precondition ~label ?context f =
+  match f () with
+  | _ -> Alcotest.failf "expected precondition diagnostic from %s" label
+  | exception Diagnostic.Error d -> (
+      check
+        (Alcotest.testable (Fmt.of_to_string Diagnostic.code_name) ( = ))
+        "code" Diagnostic.Precondition d.Diagnostic.code;
+      check Alcotest.bool "has a hint" true (d.Diagnostic.hint <> None);
+      match d.Diagnostic.provenance with
+      | None -> Alcotest.failf "diagnostic from %s lacks provenance" label
+      | Some pr ->
+          check Alcotest.string "provenance label" label pr.Prog.label;
+          Option.iter
+            (fun ctx -> check Alcotest.(list string) "provenance context" ctx pr.Prog.context)
+            context)
+
 let test_bad_params_rejected () =
+  (* slot count is a configuration error, not a surface diagnostic *)
   (match Dsl.create ~slot_count:12 () with
   | _ -> Alcotest.fail "expected rejection"
   | exception Invalid_argument _ -> ());
   let d = Dsl.create ~slot_count:8 () in
   let x = Dsl.input d "x" in
-  (match Dsl.reduce_sum d x ~width:3 with
-  | _ -> Alcotest.fail "expected rejection"
-  | exception Invalid_argument _ -> ());
-  match Dsl.matvec d ~rows:10 ~cols:10 (fun _ _ -> 1.) x with
-  | _ -> Alcotest.fail "expected rejection (padded dim 16 > 8 slots)"
-  | exception Invalid_argument _ -> ()
+  expect_precondition ~label:"add_many" ~context:[] (fun () -> Dsl.add_many d []);
+  expect_precondition ~label:"reduce_sum w3" ~context:[] (fun () ->
+      Dsl.reduce_sum d x ~width:3);
+  expect_precondition ~label:"replicate w5" ~context:[] (fun () -> Dsl.replicate d x ~width:5);
+  (* padded dim 16 > 8 slots *)
+  expect_precondition ~label:"matvec 10x10" ~context:[] (fun () ->
+      Dsl.matvec d ~rows:10 ~cols:10 (fun _ _ -> 1.) x);
+  expect_precondition ~label:"matvec 0x4" (fun () ->
+      Dsl.matvec d ~rows:0 ~cols:4 (fun _ _ -> 1.) x);
+  expect_precondition ~label:"matvec 2x2" (fun () ->
+      Dsl.matvec d ~rows:2 ~cols:2 (fun _ _ -> 0.) x);
+  expect_precondition ~label:"conv2d" (fun () ->
+      Dsl.conv2d d ~image:x ~img_width:4 ~stride:1 ~taps:[]);
+  expect_precondition ~label:"conv2d" (fun () ->
+      Dsl.conv2d d ~image:x ~img_width:4 ~stride:1 ~taps:[ (0, 0, 0.) ]);
+  (* nested: a precondition tripped inside a user combinator names the
+     user's label in the context chain *)
+  expect_precondition ~label:"add_many" ~context:[ "my_combinator" ] (fun () ->
+      Dsl.with_label d "my_combinator" (fun () -> Dsl.add_many d []))
+
+(* ------------------------------------------------------------------ *)
+(* Scale/level inference over DSL programs (ISSUE 7 tentpole).          *)
+(* The DSL emits no scale management; [Infer] must place it, the result *)
+(* must typecheck, coincide with the driver's EVA code generation, and  *)
+(* — for the running example — reproduce the hand-pinned golden IR.     *)
+(* ------------------------------------------------------------------ *)
+
+let infer_cfg = Typing.config ~sf:28. ~waterline:20. ()
+
+let fig2_dsl () =
+  (* the paper's running example, (x^2 + y^2)^3, written in the DSL: same
+     surface ops, in the same order, as examples/fig2.hec *)
+  let d = Dsl.create ~name:"fig2" ~slot_count:64 () in
+  let x = Dsl.input d "x" in
+  let y = Dsl.input d "y" in
+  (* explicit lets: OCaml argument evaluation is right-to-left, and the
+     golden pin fixes the op order *)
+  let x2 = Dsl.square d x in
+  let y2 = Dsl.square d y in
+  let e = Dsl.add d x2 y2 in
+  let e2 = Dsl.mul d e e in
+  Dsl.output d (Dsl.mul d e2 e);
+  Dsl.finish d
+
+let matvec_dsl () =
+  let d = Dsl.create ~name:"matvec" ~slot_count:16 () in
+  let x = Dsl.input d "x" in
+  Dsl.output d (Dsl.matvec d ~rows:4 ~cols:4 (fun j i -> float_of_int ((j * 4) + i + 1)) x);
+  Dsl.finish d
+
+let conv_dsl () =
+  let d = Dsl.create ~name:"conv" ~slot_count:16 () in
+  let i = Dsl.input d "i" in
+  let taps =
+    [ (-1, -1, -1.); (-1, 1, 1.); (0, -1, -2.); (0, 1, 2.); (1, -1, -1.); (1, 1, 1.) ]
+  in
+  Dsl.output d (Dsl.avg_pool2x2 d (Dsl.conv2d d ~image:i ~img_width:4 ~stride:1 ~taps) ~img_width:4 ~stride:1);
+  Dsl.finish d
+
+let surface_apps () = [ ("fig2", fig2_dsl ()); ("matvec", matvec_dsl ()); ("conv", conv_dsl ()) ]
+
+(* The driver cleans the surface program before code generation; apply the
+   same cleanup before inference so the comparison is about scale-management
+   placement, not about CSE/folding. *)
+let infer_and_finalize surface =
+  let cleaned = Pass_manager.run Pass_manager.cleanup surface in
+  let inferred = Infer.infer_exn infer_cfg cleaned in
+  fst (Driver.finalize ~cfg:infer_cfg inferred)
+
+let test_infer_matches_driver_eva () =
+  List.iter
+    (fun (name, surface) ->
+      let finalized = infer_and_finalize surface in
+      let eva = Driver.compile Driver.Eva ~sf_bits:28 ~waterline_bits:20. surface in
+      if not (Prog.equal finalized eva.Driver.prog) then
+        Alcotest.failf "%s: inferred placement differs from the driver's EVA output" name)
+    (surface_apps ())
+
+let test_infer_typechecks_all_schemes () =
+  List.iter
+    (fun (name, surface) ->
+      (match Infer.infer infer_cfg surface with
+      | Error d -> Alcotest.failf "%s: inference failed: %s" name (Diagnostic.to_string d)
+      | Ok q -> (
+          match Typing.check infer_cfg q with
+          | Ok _ -> ()
+          | Error d ->
+              Alcotest.failf "%s: inferred program ill-typed: %s" name (Diagnostic.to_string d)));
+      List.iter
+        (fun scheme ->
+          match Driver.compile_result scheme ~sf_bits:28 ~waterline_bits:20. surface with
+          | Ok _ -> ()
+          | Error d ->
+              Alcotest.failf "%s under %s: %s" name (Driver.scheme_name scheme)
+                (Diagnostic.to_string d))
+        Driver.all_schemes)
+    (surface_apps ())
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_infer_fig2_matches_golden () =
+  (* end to end: the zero-annotation DSL program reproduces, byte for byte,
+     the golden IR pinned for the hand-written examples/fig2.hec under EVA
+     (default printing is provenance-free, so the pin is unaffected by the
+     provenance the DSL records) *)
+  check Alcotest.string "golden/fig2_eva.ir" (read_file "golden/fig2_eva.ir")
+    (Printer.to_string (infer_and_finalize (fig2_dsl ())))
+
+let test_infer_diagnostic_carries_surface_chain () =
+  (* under a modulus too small for x^4, inference fails with C1 — and the
+     diagnostic names the surface combinator chain, not just an op id *)
+  let d = Dsl.create ~slot_count:8 () in
+  let x = Dsl.input d "x" in
+  Dsl.output d (Dsl.square d (Dsl.square d x));
+  let surface = Dsl.finish d in
+  let tight = Typing.config ~sf:28. ~waterline:20. ~max_log_q:60. () in
+  match Infer.infer tight surface with
+  | Ok _ -> Alcotest.fail "expected a scale-overflow diagnostic"
+  | Error e ->
+      check
+        (Alcotest.testable (Fmt.of_to_string Diagnostic.code_name) ( = ))
+        "code" Diagnostic.Scale_overflow e.Diagnostic.code;
+      (match e.Diagnostic.provenance with
+      | None -> Alcotest.fail "diagnostic lacks surface provenance"
+      | Some pr ->
+          check Alcotest.string "label" "mul" pr.Prog.label;
+          check Alcotest.(list string) "context" [ "square" ] pr.Prog.context);
+      check Alcotest.bool "op recorded" true (e.Diagnostic.op <> None)
 
 let () =
   Alcotest.run "hecate_frontend"
@@ -209,5 +361,14 @@ let () =
           Alcotest.test_case "stride dilation" `Quick test_conv2d_stride_dilation;
           Alcotest.test_case "avg pool" `Quick test_avg_pool;
           Alcotest.test_case "zero taps skipped" `Quick test_zero_weight_taps_skipped;
+        ] );
+      ( "infer",
+        [
+          Alcotest.test_case "matches driver EVA placement" `Quick test_infer_matches_driver_eva;
+          Alcotest.test_case "typechecks under all schemes" `Quick
+            test_infer_typechecks_all_schemes;
+          Alcotest.test_case "fig2 matches golden IR" `Quick test_infer_fig2_matches_golden;
+          Alcotest.test_case "diagnostic carries surface chain" `Quick
+            test_infer_diagnostic_carries_surface_chain;
         ] );
     ]

@@ -1,8 +1,15 @@
 (* Fuzzer self-tests: generator determinism/validity, oracle smoke run,
-   fault injection caught and shrunk, checked-in corpus replay. *)
+   fault injection caught and shrunk (with the reproducer header recording
+   the structured failure class), checked-in corpus replay, and the
+   frontend-inference property (Infer output always typechecks and matches
+   EVA code generation). *)
 
 module Prog = Hecate_ir.Prog
+module Typing = Hecate_ir.Typing
+module Diagnostic = Hecate_ir.Diagnostic
 module Driver = Hecate.Driver
+module Codegen = Hecate.Codegen
+module Infer = Hecate_frontend.Infer
 module Gen = Hecate_fuzz.Gen
 module Oracle = Hecate_fuzz.Oracle
 module Shrink = Hecate_fuzz.Shrink
@@ -71,7 +78,8 @@ let drop_first_rescale p =
 let inject scheme p = if scheme = Driver.Eva then drop_first_rescale p else p
 
 let test_injected_bug_caught_and_shrunk () =
-  let report = Campaign.run ~transform:inject ~seed:42 ~count:10 () in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "hecate_fuzz_repro_test" in
+  let report = Campaign.run ~transform:inject ~seed:42 ~count:10 ~out_dir:dir () in
   (match report.Campaign.failures with
   | [] -> Alcotest.fail "injected rescale deletion was not caught by any oracle check"
   | _ -> ());
@@ -80,8 +88,54 @@ let test_injected_bug_caught_and_shrunk () =
       if Prog.num_ops f.Campaign.shrunk > 10 then
         Alcotest.failf "case %d shrunk only to %d ops (> 10): %s" f.Campaign.index
           (Prog.num_ops f.Campaign.shrunk)
-          (Oracle.describe f.Campaign.failure))
+          (Oracle.describe f.Campaign.failure);
+      (* the reproducer header records the structured failure class, and a
+         replay reproduces exactly that class, not just any failure *)
+      match f.Campaign.repro_path with
+      | None -> Alcotest.fail "reproducer was not written despite out_dir"
+      | Some path ->
+          let check, code = Campaign.recorded_class path in
+          Alcotest.(check bool) "header check matches" true
+            (check = f.Campaign.failure.Oracle.check);
+          Alcotest.(check bool) "header code matches" true
+            (code = f.Campaign.failure.Oracle.code);
+          (match Campaign.replay ~transform:inject path with
+          | Ok () -> Alcotest.failf "%s: reproducer no longer fails under replay" path
+          | Error replayed ->
+              Alcotest.(check bool) "replay failure class matches the header" true
+                (Oracle.same_class replayed f.Campaign.failure)))
     report.Campaign.failures
+
+(* ------------------------------------------------------------------ *)
+(* Frontend inference property (ISSUE 7): on any generated surface      *)
+(* program, Infer's elaboration typechecks and coincides with EVA       *)
+(* code generation; already-managed programs are accepted unchanged.    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_infer_always_typechecks =
+  QCheck.Test.make ~name:"Infer output always passes Typing.check" ~count:64
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let prog = (Gen.generate ~seed ()).Gen.prog in
+      let cfg = Typing.config ~sf:28. ~waterline:20. () in
+      match Infer.infer cfg prog with
+      | Error d ->
+          QCheck.Test.fail_reportf "seed %d: infer failed: %s" seed (Diagnostic.to_string d)
+      | Ok q -> (
+          match Typing.check cfg q with
+          | Error d ->
+              QCheck.Test.fail_reportf "seed %d: inferred program ill-typed: %s" seed
+                (Diagnostic.to_string d)
+          | Ok _ ->
+              (* the elaborated placement is exactly EVA's *)
+              Prog.equal q (Codegen.waterline cfg prog)
+              (* and a second pass is the identity: managed programs pass
+                 through untouched, and fully-normalized unmanaged ones
+                 (shallow programs needing no management) re-elaborate to
+                 themselves *)
+              && (match Infer.infer cfg q with
+                 | Ok q' -> Prog.equal q' q
+                 | Error _ -> false)))
 
 let corpus_dir = "corpus"
 
@@ -119,6 +173,7 @@ let () =
             test_injected_bug_caught_and_shrunk;
         ] );
       ("shrinker", [ Alcotest.test_case "reaches minimum" `Quick test_shrink_reaches_minimum ]);
+      ("infer", [ QCheck_alcotest.to_alcotest prop_infer_always_typechecks ]);
       ( "corpus",
         [
           Alcotest.test_case "non-empty" `Quick test_corpus_nonempty;

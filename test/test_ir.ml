@@ -18,15 +18,24 @@ let cfg = Typing.config ~sf:28. ~waterline:20. ()
 let cipher scale level = Types.Cipher { Types.scale; level }
 let plain scale level = Types.Plain { Types.scale; level }
 
+module Diagnostic = Hecate_ir.Diagnostic
+
 let infer_ok kind args =
   match Typing.infer cfg kind args with
   | Ok t -> t
-  | Error e -> Alcotest.failf "expected well-typed, got: %s" e
+  | Error e -> Alcotest.failf "expected well-typed, got: %s" (Diagnostic.to_string e)
 
+(* legacy-string view of the diagnostic: the message assertions below predate
+   structured diagnostics and must keep passing unchanged *)
 let infer_err kind args =
   match Typing.infer cfg kind args with
   | Ok t -> Alcotest.failf "expected type error, got %s" (Types.to_string t)
-  | Error e -> e
+  | Error e -> Diagnostic.to_string e
+
+let infer_err_code kind args =
+  match Typing.infer cfg kind args with
+  | Ok t -> Alcotest.failf "expected type error, got %s" (Types.to_string t)
+  | Error e -> e.Diagnostic.code
 
 let ty = Alcotest.testable Types.pp Types.equal
 
@@ -108,7 +117,9 @@ let test_rule_c1 () =
   (* scale 90 at level 1 exceeds 100 - 28 = 72 remaining bits *)
   match Typing.infer cfg Prog.Mul [| cipher 45. 1; cipher 45. 1 |] with
   | Ok _ -> Alcotest.fail "expected C1 violation"
-  | Error e -> check Alcotest.bool "C1 reported" true (Astring.String.is_infix ~affix:"C1" e)
+  | Error e ->
+      check Alcotest.bool "C1 reported" true
+        (Astring.String.is_infix ~affix:"C1" (Diagnostic.to_string e))
 
 let test_rule_level_bound () =
   let cfg = Typing.config ~sf:28. ~waterline:20. ~max_level:2 () in
@@ -170,7 +181,7 @@ let test_validate_rejects () =
     {
       Prog.name = "bad";
       slot_count = 4;
-      body = [| { Prog.id = 0; kind = Prog.Add; args = [| 0; 0 |]; ty = Types.Free } |];
+      body = [| { Prog.id = 0; kind = Prog.Add; args = [| 0; 0 |]; ty = Types.Free; prov = None } |];
       inputs = [];
       outputs = [ 0 ];
     }
@@ -689,6 +700,157 @@ let test_liveness_wide_program () =
   let l = Liveness.analyze p in
   check Alcotest.bool "peak reflects width" true (l.Liveness.peak_live >= 6)
 
+(* ------------------------------------------------------------------ *)
+(* Diagnostics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_diagnostic_codes () =
+  let code = Alcotest.testable (Fmt.of_to_string Diagnostic.code_name) ( = ) in
+  check code "C2 on rescale" Diagnostic.Below_waterline
+    (infer_err_code Prog.Rescale [| cipher 40. 0 |]);
+  check code "C3 levels" Diagnostic.Level_mismatch
+    (infer_err_code Prog.Add [| cipher 20. 0; cipher 20. 1 |]);
+  check code "C3 scales" Diagnostic.Scale_mismatch
+    (infer_err_code Prog.Add [| cipher 20. 0; cipher 48. 0 |]);
+  check code "mul levels" Diagnostic.Level_mismatch
+    (infer_err_code Prog.Mul [| cipher 20. 0; cipher 20. 1 |]);
+  check code "upscale shrinks" Diagnostic.Bad_upscale
+    (infer_err_code (Prog.Upscale { target_scale = 10. }) [| cipher 20. 0 |]);
+  check code "redundant downscale" Diagnostic.Redundant_op
+    (infer_err_code (Prog.Downscale { waterline = 20. }) [| cipher 20. 0 |]);
+  check code "operand kind" Diagnostic.Operand_kind
+    (infer_err_code Prog.Rescale [| plain 48. 0 |]);
+  check code "arity" Diagnostic.Arity (infer_err_code Prog.Add [| cipher 20. 0 |]);
+  let c1 = Typing.config ~sf:28. ~waterline:20. ~max_log_q:100. () in
+  (match Typing.infer c1 Prog.Mul [| cipher 45. 1; cipher 45. 1 |] with
+  | Ok _ -> Alcotest.fail "expected C1 violation"
+  | Error d -> check code "C1 overflow" Diagnostic.Scale_overflow d.Diagnostic.code);
+  (* kebab-case names are a stable contract (JSON output, repro headers) *)
+  List.iter
+    (fun c ->
+      match Diagnostic.code_of_name (Diagnostic.code_name c) with
+      | Some c' -> check code "code_name roundtrip" c c'
+      | None -> Alcotest.failf "code %s does not round-trip" (Diagnostic.code_name c))
+    [
+      Diagnostic.Parse_error;
+      Diagnostic.Invalid_program;
+      Diagnostic.Operand_kind;
+      Diagnostic.Scale_overflow;
+      Diagnostic.Below_waterline;
+      Diagnostic.Level_mismatch;
+      Diagnostic.Scale_mismatch;
+      Diagnostic.Level_exceeded;
+      Diagnostic.Bad_upscale;
+      Diagnostic.Bad_downscale;
+      Diagnostic.Redundant_op;
+      Diagnostic.Output_not_cipher;
+      Diagnostic.Arity;
+      Diagnostic.Precondition;
+      Diagnostic.Already_managed;
+      Diagnostic.Internal;
+    ];
+  check (Alcotest.option code) "unknown name" None (Diagnostic.code_of_name "no-such-code")
+
+let test_check_fills_context () =
+  (* an ill-typed op inside a provenance scope: the checker must name the op,
+     its kind, operand types, and the surface chain *)
+  let b = B.create ~name:"ill" ~slot_count:4 () in
+  let x = B.input b "x" in
+  let m = B.mul b x x in
+  let deep =
+    B.in_scope b "dot product" (fun () -> B.in_scope b "mul" (fun () -> B.mul b m m))
+  in
+  B.output b deep;
+  let p = B.finish b in
+  let cfg = Typing.config ~sf:28. ~waterline:20. ~max_log_q:60. () in
+  match Typing.check cfg p with
+  | Ok _ -> Alcotest.fail "expected C1 failure"
+  | Error d ->
+      check Alcotest.(option int) "op id" (Some 2) d.Diagnostic.op;
+      check Alcotest.(option string) "op kind" (Some "mul") d.Diagnostic.op_kind;
+      check Alcotest.int "operand types recorded" 2 (List.length d.Diagnostic.operand_types);
+      (match d.Diagnostic.provenance with
+      | Some prov ->
+          check Alcotest.string "label" "mul" prov.Prog.label;
+          check Alcotest.(list string) "context" [ "dot product" ] prov.Prog.context
+      | None -> Alcotest.fail "diagnostic lacks provenance");
+      check Alcotest.string "legacy prefix intact" "op 2: "
+        (String.sub (Diagnostic.to_string d) 0 6);
+      (* pretty and JSON renderings carry the code and the chain *)
+      let pretty = Format.asprintf "%a" Diagnostic.pp d in
+      check Alcotest.bool "pretty names code" true
+        (Astring.String.is_infix ~affix:"error[scale-overflow]" pretty);
+      check Alcotest.bool "pretty names chain" true
+        (Astring.String.is_infix ~affix:"dot product > mul" pretty);
+      let json = Diagnostic.to_json d in
+      check Alcotest.bool "json code" true
+        (Astring.String.is_infix ~affix:"\"code\":\"scale-overflow\"" json);
+      check Alcotest.bool "json provenance" true
+        (Astring.String.is_infix ~affix:"\"dot product\",\"mul\"" json)
+
+(* ------------------------------------------------------------------ *)
+(* Provenance                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prov_prog () =
+  let b = B.create ~name:"p" ~slot_count:8 () in
+  let x = B.input b "x" in
+  let m = B.in_scope b "square" (fun () -> B.mul b x x) in
+  let r = B.in_scope b "outer" (fun () -> B.in_scope b "inner step" (fun () -> B.rotate b m 1)) in
+  B.output b (B.add b m r);
+  B.finish b
+
+let test_provenance_recorded () =
+  let p = prov_prog () in
+  check Alcotest.(option string) "no scope, no prov" None
+    (Option.map (fun pr -> pr.Prog.label) (Prog.op p 0).Prog.prov);
+  (match (Prog.op p 1).Prog.prov with
+  | Some pr ->
+      check Alcotest.string "label" "square" pr.Prog.label;
+      check Alcotest.(list string) "flat context" [] pr.Prog.context
+  | None -> Alcotest.fail "scoped op lacks provenance");
+  match (Prog.op p 2).Prog.prov with
+  | Some pr ->
+      check Alcotest.string "nested label" "inner step" pr.Prog.label;
+      check Alcotest.(list string) "nested context" [ "outer" ] pr.Prog.context
+  | None -> Alcotest.fail "nested scoped op lacks provenance"
+
+let test_provenance_roundtrip () =
+  let p = prov_prog () in
+  (* default printing is provenance-free: golden pins and reproducers keep
+     their byte-exact format *)
+  check Alcotest.bool "default printing unchanged" false
+    (Astring.String.is_infix ~affix:"!from" (Printer.to_string p));
+  let text = Printer.to_string ~provenance:true p in
+  check Alcotest.bool "comments emitted" true
+    (Astring.String.is_infix ~affix:"# !from outer > inner step" text);
+  let p' = Parser.parse text in
+  check Alcotest.bool "structurally equal" true (Prog.equal p p');
+  for i = 0 to Prog.num_ops p - 1 do
+    match ((Prog.op p i).Prog.kind, (Prog.op p i).Prog.prov, (Prog.op p' i).Prog.prov) with
+    | Prog.Input _, _, _ -> () (* signature line carries no comment *)
+    | _, Some a, Some b ->
+        check Alcotest.string (Printf.sprintf "op %d label" i) a.Prog.label b.Prog.label;
+        check Alcotest.(list string) (Printf.sprintf "op %d context" i) a.Prog.context
+          b.Prog.context
+    | _, None, None -> ()
+    | _, Some _, None -> Alcotest.failf "op %d lost provenance in roundtrip" i
+    | _, None, Some _ -> Alcotest.failf "op %d gained provenance in roundtrip" i
+  done;
+  (* plain comments and headers never turn into provenance *)
+  let p'' = Parser.parse (Printer.to_string p) in
+  check Alcotest.bool "no spurious provenance" true
+    (Array.for_all (fun (o : Prog.op) -> o.Prog.prov = None) p''.Prog.body)
+
+let test_provenance_survives_passes () =
+  let p = prov_prog () in
+  let q = Passes.cse (Passes.dce p) in
+  let labels prog =
+    Array.to_list prog.Prog.body
+    |> List.filter_map (fun (o : Prog.op) -> Option.map (fun pr -> pr.Prog.label) o.Prog.prov)
+  in
+  check Alcotest.(list string) "labels preserved" (labels p) (labels q)
+
 let () =
   Alcotest.run "hecate_ir"
     [
@@ -761,6 +923,17 @@ let () =
           Alcotest.test_case "typecheck names ill-typed pass" `Quick
             test_pm_typecheck_names_illtyped_pass;
           Alcotest.test_case "dump selector" `Quick test_pm_dump_selector;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "codes per rule" `Quick test_diagnostic_codes;
+          Alcotest.test_case "check fills context" `Quick test_check_fills_context;
+        ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "builder scopes" `Quick test_provenance_recorded;
+          Alcotest.test_case "print/parse roundtrip" `Quick test_provenance_roundtrip;
+          Alcotest.test_case "survives passes" `Quick test_provenance_survives_passes;
         ] );
       ( "liveness",
         [
