@@ -21,6 +21,12 @@
                                             Flags: --quick, --reps N (default 5),
                                             --warmup N (default 1), --jobs J,
                                             --out FILE (see docs/PERFORMANCE.md)
+     dune exec bench/main.exe serve      -- plan-cache serving latencies: cold
+                                            fig2 compile vs warm memory/disk
+                                            hits and sustained hit throughput;
+                                            writes BENCH_serve.json.
+                                            Flags: --reps N, --cold-reps N,
+                                            --quick, --out FILE
      dune exec bench/main.exe fuzz       -- differential fuzzing of the four
                                             scale-management schemes: random
                                             valid-by-construction programs are
@@ -51,6 +57,7 @@ module Interp = Hecate_backend.Interp
 module Accuracy = Hecate_backend.Accuracy
 module Profile = Hecate_backend.Profile
 module Stats = Hecate_support.Stats
+module Json = Hecate_support.Json
 
 let sf_bits = 28
 let schemes = Driver.all_schemes
@@ -832,25 +839,25 @@ let check_regress flags =
   end;
   let speedups path =
     let j =
-      try Jsonlite.parse (Hecate_support.Fileio.read_file ~path) with
+      try Json.parse (Hecate_support.Fileio.read_file ~path) with
       | Sys_error msg ->
           Printf.eprintf "check-regress: cannot read %s: %s\n" path msg;
           exit 2
-      | Jsonlite.Parse_error msg ->
+      | Json.Parse_error msg ->
           Printf.eprintf "check-regress: %s is not valid JSON: %s\n" path msg;
           exit 2
     in
     List.filter_map
       (fun e ->
         match
-          ( Jsonlite.to_string (Jsonlite.member "kernel" e),
-            Jsonlite.to_int (Jsonlite.member "n" e),
-            Jsonlite.to_int (Jsonlite.member "levels" e),
-            Jsonlite.to_float (Jsonlite.member "speedup" e) )
+          ( Json.to_string (Json.member "kernel" e),
+            Json.to_int (Json.member "n" e),
+            Json.to_int (Json.member "levels" e),
+            Json.to_float (Json.member "speedup" e) )
         with
         | Some k, Some n, Some l, Some s -> Some ((k, n, l), s)
         | _ -> None)
-      (Jsonlite.to_list (Jsonlite.member "speedups" j))
+      (Json.to_list (Json.member "speedups" j))
   in
   heading "Kernel speedup regression gate";
   Printf.printf "baseline %s vs current %s, tolerance %.0f%%\n\n" !baseline !current
@@ -888,6 +895,158 @@ let check_regress flags =
     exit 1
   end;
   Printf.printf "\nall %d compared speedups within tolerance\n" !compared
+
+(* ------------------------------------------------------------------ *)
+(* Plan-cache serving latencies                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The latency trade the daemon lives on: a cold fig2 compile pays the
+   full SMSE exploration, a warm hit answers from the content-addressed
+   plan cache (memory or disk) with the byte-identical artifact. Writes
+   BENCH_serve.json with the same "speedups" schema as the kernel
+   artifact, so check-regress gates it unchanged; the speedup column is
+   cold-seconds / warm-seconds. Fails (exit 1) if a memory hit is not at
+   least 10x faster than a cold miss — the serving design point. *)
+let serve flags =
+  let module Plancache = Hecate.Plancache in
+  let out = ref "BENCH_serve.json" in
+  let reps = ref 200 in
+  let cold_reps = ref 7 in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | "--reps" :: v :: rest ->
+        reps := int_of_string v;
+        parse rest
+    | "--cold-reps" :: v :: rest ->
+        cold_reps := int_of_string v;
+        parse rest
+    | "--quick" :: rest ->
+        reps := 50;
+        cold_reps := 3;
+        parse rest
+    | other :: _ ->
+        Printf.eprintf
+          "serve: unknown flag %s (--out FILE | --reps N | --cold-reps N | --quick)\n" other;
+        exit 2
+  in
+  parse flags;
+  heading "Plan-cache serving latencies (fig2, HECATE scheme)";
+  let prog =
+    let b = Prog.Builder.create ~name:"fig2" ~slot_count:64 () in
+    let x = Prog.Builder.input b "x" in
+    let y = Prog.Builder.input b "y" in
+    let s = Prog.Builder.add b (Prog.Builder.mul b x x) (Prog.Builder.mul b y y) in
+    Prog.Builder.output b (Prog.Builder.mul b (Prog.Builder.mul b s s) s);
+    Prog.Builder.finish b
+  in
+  let compile cache =
+    Plancache.compile cache ~scheme:Driver.Hecate ~sf_bits ~waterline_bits:20. prog
+  in
+  let median_of f k =
+    Stats.median (Array.init k (fun _ -> f ()))
+  in
+  let now = Unix.gettimeofday in
+  (* cold: a fresh cache per measurement, so every compile explores *)
+  let cold =
+    median_of
+      (fun () ->
+        let cache = Plancache.create () in
+        let t0 = now () in
+        let _, origin = compile cache in
+        assert (origin = Plancache.Cold);
+        now () -. t0)
+      !cold_reps
+  in
+  (* warm memory hits against one long-lived cache *)
+  let cache = Plancache.create () in
+  let entry, _ = compile cache in
+  let warm_mem =
+    median_of
+      (fun () ->
+        let t0 = now () in
+        let e, origin = compile cache in
+        assert (origin = Plancache.Memory);
+        assert (String.equal e.Plancache.artifact entry.Plancache.artifact);
+        now () -. t0)
+      !reps
+  in
+  (* disk hits: a fresh in-memory state over a shared store, as after a
+     daemon restart *)
+  let dir = Filename.temp_file "hecate_bench_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  ignore (compile (Plancache.create ~dir ()));
+  let warm_disk =
+    median_of
+      (fun () ->
+        let fresh = Plancache.create ~dir () in
+        let t0 = now () in
+        let e, origin = compile fresh in
+        assert (origin = Plancache.Disk);
+        assert (String.equal e.Plancache.artifact entry.Plancache.artifact);
+        now () -. t0)
+      (min !reps 50)
+  in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  (* sustained hit throughput on the long-lived cache *)
+  let hits = ref 0 in
+  let t0 = now () in
+  while now () -. t0 < 0.1 do
+    ignore (compile cache);
+    incr hits
+  done;
+  let hits_per_s = float_of_int !hits /. (now () -. t0) in
+  let n = entry.Plancache.params.Paramselect.secure_n in
+  let levels = entry.Plancache.params.Paramselect.chain_levels in
+  let sp_mem = cold /. Float.max 1e-9 warm_mem in
+  let sp_disk = cold /. Float.max 1e-9 warm_disk in
+  Printf.printf "  cold compile (full exploration)  %10.3f ms\n" (cold *. 1e3);
+  Printf.printf "  warm hit, memory                 %10.3f ms  (%.0fx)\n" (warm_mem *. 1e3)
+    sp_mem;
+  Printf.printf "  warm hit, disk                   %10.3f ms  (%.0fx)\n" (warm_disk *. 1e3)
+    sp_disk;
+  Printf.printf "  sustained hit throughput         %10.0f hits/s\n" hits_per_s;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"config\": {\"reps\": %d, \"cold_reps\": %d, \"benchmark\": \"fig2\", \
+                     \"scheme\": \"HECATE\"},\n"
+       !reps !cold_reps);
+  Buffer.add_string buf "  \"entries\": [\n";
+  List.iteri
+    (fun i (kernel, variant, seconds) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"n\": %d, \"levels\": %d, \
+            \"ns_per_op\": %.1f}%s\n"
+           kernel variant n levels (seconds *. 1e9)
+           (if i = 3 then "" else ",")))
+    [
+      ("plan_cache_memory", "reference", cold);
+      ("plan_cache_memory", "fast", warm_mem);
+      ("plan_cache_disk", "reference", cold);
+      ("plan_cache_disk", "fast", warm_disk);
+    ];
+  Buffer.add_string buf "  ],\n  \"speedups\": [\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    {\"kernel\": \"plan_cache_memory\", \"n\": %d, \"levels\": %d, \"speedup\": %.2f},\n"
+       n levels sp_mem);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    {\"kernel\": \"plan_cache_disk\", \"n\": %d, \"levels\": %d, \"speedup\": %.2f}\n"
+       n levels sp_disk);
+  Buffer.add_string buf "  ]\n}\n";
+  Hecate_support.Fileio.write_atomic ~path:!out (Buffer.contents buf);
+  Printf.printf "\nwrote %s\n" !out;
+  if sp_mem < 10. then begin
+    Printf.eprintf
+      "serve: warm memory hit is only %.1fx faster than a cold compile (need >= 10x)\n" sp_mem;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Differential fuzzing of the four schemes                            *)
@@ -975,7 +1134,7 @@ let () =
     | other ->
         Printf.eprintf
           "unknown subcommand %s \
-           (fig7|fig7paper|table2|table3|fig8|explore|passes|ops|ablate|kernels|fuzz|all)\n"
+           (fig7|fig7paper|table2|table3|fig8|explore|passes|ops|ablate|kernels|fuzz|serve|all)\n"
           other;
         exit 2
   in
@@ -983,6 +1142,7 @@ let () =
   | "kernels" :: flags -> kernels flags
   | "fuzz" :: flags -> fuzz flags
   | "fig7" :: flags -> fig7_cmd flags
+  | "serve" :: flags -> serve flags
   | "check-regress" :: flags -> check_regress flags
   | _ -> List.iter run cmds);
   Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)

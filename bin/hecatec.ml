@@ -222,31 +222,77 @@ let report_compiled ?(dump = true) ?(verbose = false) (c : Driver.compiled) =
           e.Driver.trace
       end
 
+(* Thin client path: ship the program text to a running hecated and print
+   the artifact it returns. A warm server answers from its plan cache
+   without re-running exploration, so repeat compiles are near-instant. *)
+let compile_remote ~socket ~file ~scheme ~waterline ~sf ~verbose =
+  let program =
+    let ic = open_in_bin file in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let submit =
+    {
+      Hecate_serve.Protocol.program;
+      scheme;
+      sf_bits = sf;
+      waterline_bits = waterline;
+      max_epochs = 100;
+      budget_seconds = None;
+      stream = verbose;
+    }
+  in
+  let on_progress ~epoch ~best_cost =
+    if verbose then Printf.eprintf "; epoch %3d: best %.6f s\n%!" epoch best_cost
+  in
+  match Hecate_serve.Client.compile ~socket ~on_progress submit with
+  | Error msg ->
+      exit (render_diagnostic (Diagnostic.v ~code:Diagnostic.Precondition msg))
+  | Ok { Hecate_serve.Client.result; client_seconds; _ } ->
+      print_string result.Hecate_serve.Protocol.artifact;
+      Printf.printf "; estimated latency: %.3f s (ring degree %d)\n"
+        result.Hecate_serve.Protocol.estimated_seconds
+        result.Hecate_serve.Protocol.secure_n;
+      Printf.printf "; remote: origin=%s server=%.6fs round-trip=%.6fs fingerprint=%s\n"
+        result.Hecate_serve.Protocol.origin result.Hecate_serve.Protocol.wall_seconds
+        client_seconds result.Hecate_serve.Protocol.fingerprint
+
 let compile_cmd =
-  let run efmt file scheme waterline sf show_schedule jobs verbose passes timing ir_after =
+  let run efmt file scheme waterline sf show_schedule jobs verbose passes timing ir_after
+      remote =
     set_error_format efmt;
     handle_errors @@ fun () ->
-    let prog = Parser.parse_file file in
-    let c =
-      Driver.compile ?pool_size:jobs ?passes ~instr:(instr_of ir_after) scheme ~sf_bits:sf
-        ~waterline_bits:waterline prog
-    in
-    report_compiled ~verbose c;
-    report_timing timing c;
-    if show_schedule then begin
-      print_endline "; lowered schedule (SEAL dialect):";
-      Format.printf "%a@?" Hecate_backend.Schedule.pp
-        (Hecate_backend.Schedule.lower c.Driver.prog)
-    end
+    match remote with
+    | Some socket -> compile_remote ~socket ~file ~scheme ~waterline ~sf ~verbose
+    | None ->
+        let prog = Parser.parse_file file in
+        let c =
+          Driver.compile ?pool_size:jobs ?passes ~instr:(instr_of ir_after) scheme ~sf_bits:sf
+            ~waterline_bits:waterline prog
+        in
+        report_compiled ~verbose c;
+        report_timing timing c;
+        if show_schedule then begin
+          print_endline "; lowered schedule (SEAL dialect):";
+          Format.printf "%a@?" Hecate_backend.Schedule.pp
+            (Hecate_backend.Schedule.lower c.Driver.prog)
+        end
   in
   let schedule_arg =
     Arg.(value & flag & info [ "schedule" ]
            ~doc:"Also print the lowered buffer-addressed schedule.")
   in
+  let remote_arg =
+    Arg.(value & opt (some string) None & info [ "remote" ] ~docv:"SOCK"
+           ~doc:"Compile through a running $(b,hecated) at this Unix socket instead of \
+                 in-process. Repeat compiles of equivalent programs are answered from \
+                 the server's plan cache without re-running exploration.")
+  in
   Cmd.v
     (Cmd.info "compile" ~doc:"Scale-manage a .hec program and print the result.")
     Term.(const run $ error_format_arg $ file_arg $ scheme_arg $ waterline_arg $ sf_arg
-          $ schedule_arg $ jobs_arg $ verbose_arg $ passes_arg $ timing_arg $ ir_after_arg)
+          $ schedule_arg $ jobs_arg $ verbose_arg $ passes_arg $ timing_arg $ ir_after_arg
+          $ remote_arg)
 
 let run_cmd =
   let run efmt file scheme waterline sf seed jobs kernel_jobs verbose =

@@ -15,6 +15,7 @@ type exploration_stats = {
   cache_hits : int;
   trace : Explore.epoch_trace list;
   elapsed_seconds : float;
+  best_plan : Explore.plan;
 }
 
 type compiled = {
@@ -44,7 +45,7 @@ let finalize ?q0_bits ?(early_modswitch = true)
 let compile ?(model = Costmodel.analytic ()) ?(max_epochs = 100) ?(naive_exploration = false)
     ?q0_bits ?early_modswitch ?(downscale_analysis = true) ?smu_phases ?noise_budget_bits
     ?pool_size ?(passes = Pass_manager.cleanup) ?(instr = Pass_manager.instrumentation ())
-    scheme ~sf_bits ~waterline_bits prog =
+    ?should_stop ?on_epoch scheme ~sf_bits ~waterline_bits prog =
   let cfg = Typing.config ~sf:(float_of_int sf_bits) ~waterline:waterline_bits () in
   let stats = Pass_manager.create_stats () in
   (* Reject managed inputs up front, for every scheme: Codegen would raise
@@ -116,7 +117,8 @@ let compile ?(model = Costmodel.analytic ()) ?(max_epochs = 100) ?(naive_explora
       let edges = if naive_exploration then Smu.naive_edges prog else smu.Smu.edges in
       let t0 = Unix.gettimeofday () in
       let result =
-        Explore.hill_climb ~codegen:run_finalized ~evaluate ~edges ~max_epochs ?pool_size ()
+        Explore.hill_climb ~codegen:run_finalized ~evaluate ~edges ~max_epochs ?pool_size
+          ?should_stop ?on_epoch ()
       in
       let explore_seconds = Unix.gettimeofday () -. t0 in
       let best = result.Explore.best_prog in
@@ -139,17 +141,18 @@ let compile ?(model = Costmodel.analytic ()) ?(max_epochs = 100) ?(naive_explora
               cache_hits = result.Explore.cache_hits;
               trace = result.Explore.trace;
               elapsed_seconds = explore_seconds;
+              best_plan = result.Explore.best_plan;
             };
         pass_timings = Pass_manager.timings stats;
       }
 
 let compile_result ?model ?max_epochs ?naive_exploration ?q0_bits ?early_modswitch
-    ?downscale_analysis ?smu_phases ?noise_budget_bits ?pool_size ?passes ?instr scheme
-    ~sf_bits ~waterline_bits prog =
+    ?downscale_analysis ?smu_phases ?noise_budget_bits ?pool_size ?passes ?instr
+    ?should_stop ?on_epoch scheme ~sf_bits ~waterline_bits prog =
   match
     compile ?model ?max_epochs ?naive_exploration ?q0_bits ?early_modswitch
-      ?downscale_analysis ?smu_phases ?noise_budget_bits ?pool_size ?passes ?instr scheme
-      ~sf_bits ~waterline_bits prog
+      ?downscale_analysis ?smu_phases ?noise_budget_bits ?pool_size ?passes ?instr
+      ?should_stop ?on_epoch scheme ~sf_bits ~waterline_bits prog
   with
   | c -> Ok c
   | exception Diagnostic.Error d -> Error d

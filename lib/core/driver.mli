@@ -17,6 +17,9 @@ type exploration_stats = {
   cache_hits : int; (** candidates answered by the plan memo cache *)
   trace : Explore.epoch_trace list; (** per-epoch records, in epoch order *)
   elapsed_seconds : float; (** exploration wall-clock, including the base plan *)
+  best_plan : Explore.plan;
+      (** the winning per-edge degree assignment — persisted by the plan
+          cache so warm-started compilations can skip the climb *)
 }
 
 type compiled = {
@@ -44,6 +47,8 @@ val compile :
   ?pool_size:int ->
   ?passes:Hecate_ir.Pass_manager.pipeline ->
   ?instr:Hecate_ir.Pass_manager.instrumentation ->
+  ?should_stop:(unit -> bool) ->
+  ?on_epoch:(Explore.epoch_trace -> unit) ->
   scheme ->
   sf_bits:int ->
   waterline_bits:float ->
@@ -67,6 +72,11 @@ val compile :
     rejected during the climb (only meaningful for [Smse]/[Hecate]).
     [pool_size] sets the exploration worker-domain count (see
     {!Explore.hill_climb}); every pool size returns the same result.
+    [should_stop] and [on_epoch] forward to {!Explore.hill_climb} for the
+    exploring schemes (cancellation / wall-clock budgets and streamed
+    progress; no-ops for [Eva]/[Pars], whose compiles are single-shot).
+    @raise Explore.Cancelled if [should_stop] is already true when
+    exploration would start.
     @raise Hecate_ir.Diagnostic.Error with code [Already_managed] if the
     input already contains scale-management operations, or with the typing
     code (C1–C3) if the managed program fails the checker.
@@ -85,6 +95,8 @@ val compile_result :
   ?pool_size:int ->
   ?passes:Hecate_ir.Pass_manager.pipeline ->
   ?instr:Hecate_ir.Pass_manager.instrumentation ->
+  ?should_stop:(unit -> bool) ->
+  ?on_epoch:(Explore.epoch_trace -> unit) ->
   scheme ->
   sf_bits:int ->
   waterline_bits:float ->
@@ -94,7 +106,8 @@ val compile_result :
     diagnostics, pass-manager failures ([Internal]), infeasible
     configurations ([Precondition]) — comes back as [Error]. This is the
     API front ends and tools should consume; {!compile} remains for callers
-    that prefer exceptions. *)
+    that prefer exceptions. {!Explore.Cancelled} is not a compilation
+    failure and still raises: cancellation is the caller's own signal. *)
 
 val finalize :
   ?q0_bits:int ->

@@ -44,28 +44,38 @@ let moves_of (plan : plan) =
   done;
   !acc
 
+exception Cancelled
+
 let hill_climb ~codegen ~evaluate ~(edges : Smu.edge array) ?(max_epochs = 100)
-    ?pool_size () =
+    ?pool_size ?(should_stop = fun () -> false) ?on_epoch () =
+  if should_stop () then raise Cancelled;
   let num_edges = Array.length edges in
   (* Infeasible candidates — the type system rejects the forced plan during
      codegen, or parameter selection / noise estimation rejects the result
      during evaluation — get an infinite cost. Only the all-zero base plan
      is required to succeed. [run] must stay safe to call from worker
-     domains: no mutation outside its own frame. *)
+     domains: no mutation outside its own frame. A stop request makes the
+     remaining queued candidates return immediately ([infinity] cost), so
+     an in-flight epoch drains in O(running tasks) instead of finishing
+     its whole neighbourhood. *)
   let run plan =
-    match
-      let prog = codegen ~hook:(hook_of_plan edges plan) in
-      (prog, evaluate prog)
-    with
-    | prog, cost -> (Some prog, cost)
-    | exception Invalid_argument _ -> (None, infinity)
-    | exception Hecate_ir.Diagnostic.Error _ -> (None, infinity)
+    if should_stop () then (None, infinity)
+    else
+      match
+        let prog = codegen ~hook:(hook_of_plan edges plan) in
+        (prog, evaluate prog)
+      with
+      | prog, cost -> (Some prog, cost)
+      | exception Invalid_argument _ -> (None, infinity)
+      | exception Hecate_ir.Diagnostic.Error _ -> (None, infinity)
   in
   let base_plan = Array.make num_edges 0 in
   let base_prog, base_cost =
     match run base_plan with
     | Some prog, cost -> (prog, cost)
-    | None, _ -> invalid_arg "Explore.hill_climb: the unmodified plan failed to compile"
+    | None, _ ->
+        if should_stop () then raise Cancelled
+        else invalid_arg "Explore.hill_climb: the unmodified plan failed to compile"
   in
   (* Memoized candidate costs, keyed by plan contents. Only costs are kept:
      a cached plan can never win an epoch (every previously evaluated plan
@@ -80,7 +90,7 @@ let hill_climb ~codegen ~evaluate ~(edges : Smu.edge array) ?(max_epochs = 100)
   let epochs = ref 0 and trace = ref [] in
   Pool.with_pool ?size:pool_size (fun pool ->
       let improved = ref true in
-      while !improved && !epochs < max_epochs do
+      while !improved && !epochs < max_epochs && not (should_stop ()) do
         let t0 = Unix.gettimeofday () in
         let moves = moves_of !best_plan in
         let epoch_hits = ref 0 in
@@ -135,7 +145,7 @@ let hill_climb ~codegen ~evaluate ~(edges : Smu.edge array) ?(max_epochs = 100)
             best_cost := cost;
             incr epochs
         | None -> improved := false);
-        trace :=
+        let record =
           {
             epoch = List.length !trace + 1;
             candidates = List.length moves;
@@ -143,7 +153,9 @@ let hill_climb ~codegen ~evaluate ~(edges : Smu.edge array) ?(max_epochs = 100)
             best_cost = !best_cost;
             elapsed_seconds = Unix.gettimeofday () -. t0;
           }
-          :: !trace
+        in
+        trace := record :: !trace;
+        Option.iter (fun f -> f record) on_epoch
       done);
   {
     best_plan = !best_plan;

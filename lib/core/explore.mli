@@ -50,12 +50,20 @@ val hook_of_plan : Smu.edge array -> plan -> Codegen.hook
 (** Degree lookup for the code generators: the degree of the edge owning a
     given (op, operand) site, 0 elsewhere. *)
 
+exception Cancelled
+(** Raised by {!hill_climb} when [should_stop] was already true before any
+    work happened (no base plan compiled, nothing to return). A stop
+    request that arrives {e during} the climb instead ends it early and
+    returns the best plan found so far (anytime behaviour). *)
+
 val hill_climb :
   codegen:(hook:Codegen.hook -> Hecate_ir.Prog.t) ->
   evaluate:(Hecate_ir.Prog.t -> float) ->
   edges:Smu.edge array ->
   ?max_epochs:int ->
   ?pool_size:int ->
+  ?should_stop:(unit -> bool) ->
+  ?on_epoch:(epoch_trace -> unit) ->
   unit ->
   result
 (** [codegen] runs one scale-management code generation under a plan hook
@@ -66,5 +74,14 @@ val hill_climb :
     qualify). [pool_size] sets the number of worker domains (default
     {!Hecate_support.Pool.default_size}, clamped to ≥1); the result is
     identical for every pool size.
+
+    [should_stop] is polled between epochs and at the start of every
+    candidate task (so a stop request drains an in-flight epoch quickly —
+    queued candidates short-circuit to [infinity] cost). When it turns
+    true mid-climb the incumbent best is returned; when it is already
+    true on entry, {!Cancelled} is raised. [on_epoch] is invoked on the
+    coordinating domain after each epoch with that epoch's trace record —
+    the daemon streams these to clients as progress events.
+    @raise Cancelled if [should_stop] is true before the base plan runs.
     @raise Invalid_argument if the all-zero base plan fails to compile or
     evaluate. *)

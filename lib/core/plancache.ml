@@ -1,0 +1,435 @@
+module Prog = Hecate_ir.Prog
+module Printer = Hecate_ir.Printer
+module Json = Hecate_support.Json
+module Fileio = Hecate_support.Fileio
+
+(* ------------------------------------------------------------------ *)
+(* Entries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  key : string;
+  fingerprint : string;
+  scheme : Driver.scheme;
+  sf_bits : int;
+  waterline_bits : float;
+  max_epochs : int;
+  artifact : string;
+  params : Paramselect.t;
+  estimated_seconds : float;
+  plan : int array option;
+  explore_epochs : int;
+  explore_plans : int;
+  compile_seconds : float;
+}
+
+type origin = Cold | Memory | Disk | Joined
+
+let origin_name = function
+  | Cold -> "cold"
+  | Memory -> "memory"
+  | Disk -> "disk"
+  | Joined -> "joined"
+
+(* The cache key covers everything that can change the produced artifact:
+   the canonical program fingerprint plus the compilation configuration.
+   [max_epochs] is part of the key because a budget-truncated climb can
+   legitimately produce a different (worse) plan than an unbounded one —
+   serving it to a larger-budget client would silently degrade them. *)
+let key ~scheme ~sf_bits ~waterline_bits ~max_epochs prog =
+  let fp = Prog.fingerprint prog in
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "plan-v1|%s|%s|%d|%h|%d" fp (Driver.scheme_name scheme) sf_bits
+          waterline_bits max_epochs))
+
+(* ------------------------------------------------------------------ *)
+(* On-disk serialization                                               *)
+(* ------------------------------------------------------------------ *)
+
+let scheme_of_name = function
+  | "EVA" -> Some Driver.Eva
+  | "PARS" -> Some Driver.Pars
+  | "SMSE" -> Some Driver.Smse
+  | "HECATE" -> Some Driver.Hecate
+  | _ -> None
+
+let entry_to_json (e : entry) =
+  Json.Obj
+    [
+      ("version", Json.int 1);
+      ("key", Json.Str e.key);
+      ("fingerprint", Json.Str e.fingerprint);
+      ("scheme", Json.Str (Driver.scheme_name e.scheme));
+      ("sf_bits", Json.int e.sf_bits);
+      ("waterline_bits", Json.Num e.waterline_bits);
+      ("max_epochs", Json.int e.max_epochs);
+      ("artifact", Json.Str e.artifact);
+      ( "params",
+        Json.Obj
+          [
+            ("q0_bits", Json.int e.params.Paramselect.q0_bits);
+            ("sf_bits", Json.int e.params.Paramselect.sf_bits);
+            ("chain_levels", Json.int e.params.Paramselect.chain_levels);
+            ("log_q", Json.Num e.params.Paramselect.log_q);
+            ("secure_n", Json.int e.params.Paramselect.secure_n);
+            ("slot_count", Json.int e.params.Paramselect.slot_count);
+          ] );
+      ("estimated_seconds", Json.Num e.estimated_seconds);
+      ( "plan",
+        match e.plan with
+        | None -> Json.Null
+        | Some p -> Json.Arr (Array.to_list (Array.map Json.int p)) );
+      ("explore_epochs", Json.int e.explore_epochs);
+      ("explore_plans", Json.int e.explore_plans);
+      ("compile_seconds", Json.Num e.compile_seconds);
+    ]
+
+let entry_of_json j =
+  let open Json in
+  let ( let* ) = Option.bind in
+  let* version = to_int (member "version" j) in
+  if version <> 1 then None
+  else
+    let* key = to_string (member "key" j) in
+    let* fingerprint = to_string (member "fingerprint" j) in
+    let* scheme = Option.bind (to_string (member "scheme" j)) scheme_of_name in
+    let* sf_bits = to_int (member "sf_bits" j) in
+    let* waterline_bits = to_float (member "waterline_bits" j) in
+    let* max_epochs = to_int (member "max_epochs" j) in
+    let* artifact = to_string (member "artifact" j) in
+    let pj = member "params" j in
+    let* q0_bits = to_int (member "q0_bits" pj) in
+    let* psf_bits = to_int (member "sf_bits" pj) in
+    let* chain_levels = to_int (member "chain_levels" pj) in
+    let* log_q = to_float (member "log_q" pj) in
+    let* secure_n = to_int (member "secure_n" pj) in
+    let* slot_count = to_int (member "slot_count" pj) in
+    let* estimated_seconds = to_float (member "estimated_seconds" j) in
+    let plan =
+      match member "plan" j with
+      | Null -> None
+      | Arr items ->
+          Some (Array.of_list (List.filter_map to_int items))
+      | _ -> None
+    in
+    let* explore_epochs = to_int (member "explore_epochs" j) in
+    let* explore_plans = to_int (member "explore_plans" j) in
+    let* compile_seconds = to_float (member "compile_seconds" j) in
+    Some
+      {
+        key;
+        fingerprint;
+        scheme;
+        sf_bits;
+        waterline_bits;
+        max_epochs;
+        artifact;
+        params =
+          {
+            Paramselect.q0_bits;
+            sf_bits = psf_bits;
+            chain_levels;
+            log_q;
+            secure_n;
+            slot_count;
+          };
+        estimated_seconds;
+        plan;
+        explore_epochs;
+        explore_plans;
+        compile_seconds;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* The cache                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  mutable hits_memory : int;
+  mutable hits_disk : int;
+  mutable misses : int;
+  mutable joins : int;
+  mutable evictions : int;
+}
+
+type stats_snapshot = {
+  s_hits_memory : int;
+  s_hits_disk : int;
+  s_misses : int;
+  s_joins : int;
+  s_evictions : int;
+  s_entries : int;
+}
+
+type node = { entry : entry; mutable last_use : int }
+
+(* A single in-flight computation: the first requester computes, every
+   concurrent requester for the same key parks on [cond] and shares the
+   one result (or the one failure). *)
+type flight = {
+  fmutex : Mutex.t;
+  fcond : Condition.t;
+  mutable outcome : (entry, exn * Printexc.raw_backtrace) result option;
+}
+
+type t = {
+  dir : string option;
+  capacity : int;
+  table : (string, node) Hashtbl.t;
+  mutable tick : int;
+  lock : Mutex.t;
+  inflight : (string, flight) Hashtbl.t;
+  stats : stats;
+}
+
+let default_dir () =
+  match Sys.getenv_opt "HECATE_CACHE_DIR" with
+  | Some d when d <> "" -> Some d
+  | Some _ | None -> (
+      let join a b = Filename.concat a b in
+      match Sys.getenv_opt "XDG_CACHE_HOME" with
+      | Some d when d <> "" -> Some (join d "hecate")
+      | _ -> (
+          match Sys.getenv_opt "HOME" with
+          | Some h when h <> "" -> Some (join (join h ".cache") "hecate")
+          | _ -> None))
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?dir ?(capacity = 128) () =
+  if capacity < 1 then invalid_arg "Plancache.create: capacity must be >= 1";
+  Option.iter mkdir_p dir;
+  {
+    dir;
+    capacity;
+    table = Hashtbl.create 64;
+    tick = 0;
+    lock = Mutex.create ();
+    inflight = Hashtbl.create 8;
+    stats = { hits_memory = 0; hits_disk = 0; misses = 0; joins = 0; evictions = 0 };
+  }
+
+let entry_path t key =
+  Option.map (fun dir -> Filename.concat dir (key ^ ".json")) t.dir
+
+let memory_size t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.lock;
+  n
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let s = t.stats in
+  let snap =
+    {
+      s_hits_memory = s.hits_memory;
+      s_hits_disk = s.hits_disk;
+      s_misses = s.misses;
+      s_joins = s.joins;
+      s_evictions = s.evictions;
+      s_entries = Hashtbl.length t.table;
+    }
+  in
+  Mutex.unlock t.lock;
+  snap
+
+(* locked: insert into memory, evicting the least-recently-used entries
+   beyond capacity. O(capacity) eviction scan — the cache holds at most a
+   few hundred entries, and insertions are rare (one per cold compile). *)
+let insert_locked t entry =
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.table entry.key { entry; last_use = t.tick };
+  while Hashtbl.length t.table > t.capacity do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k node ->
+        match !victim with
+        | Some (_, lu) when lu <= node.last_use -> ()
+        | _ -> victim := Some (k, node.last_use))
+      t.table;
+    match !victim with
+    | Some (k, _) ->
+        Hashtbl.remove t.table k;
+        t.stats.evictions <- t.stats.evictions + 1
+    | None -> ()
+  done
+
+let persist t entry =
+  match entry_path t entry.key with
+  | None -> ()
+  | Some path ->
+      (* a failed persist must not fail the compilation that produced the
+         entry: the disk store is an optimization, stderr-note and move on *)
+      (try Fileio.write_atomic ~path (Json.render (entry_to_json entry) ^ "\n")
+       with Sys_error msg | Unix.Unix_error (_, msg, _) ->
+         Printf.eprintf "hecate: warning: plan cache persist failed: %s\n%!" msg)
+
+let load_disk t key =
+  match entry_path t key with
+  | None -> None
+  | Some path when not (Sys.file_exists path) -> None
+  | Some path -> (
+      match
+        let e = entry_of_json (Json.parse (Fileio.read_file ~path)) in
+        match e with
+        | Some e when e.key = key -> Some e
+        | _ -> None
+      with
+      | v -> v
+      | exception (Sys_error _ | Json.Parse_error _) -> None)
+
+let add t entry =
+  Mutex.lock t.lock;
+  insert_locked t entry;
+  Mutex.unlock t.lock;
+  persist t entry
+
+let find t key =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      t.tick <- t.tick + 1;
+      node.last_use <- t.tick;
+      t.stats.hits_memory <- t.stats.hits_memory + 1;
+      Mutex.unlock t.lock;
+      Some (node.entry, Memory)
+  | None -> (
+      Mutex.unlock t.lock;
+      (* disk probe outside the lock: file I/O must not serialize other
+         requests *)
+      match load_disk t key with
+      | Some entry ->
+          Mutex.lock t.lock;
+          insert_locked t entry;
+          t.stats.hits_disk <- t.stats.hits_disk + 1;
+          Mutex.unlock t.lock;
+          Some (entry, Disk)
+      | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Single-flight lookup-or-compute                                     *)
+(* ------------------------------------------------------------------ *)
+
+let find_or_compute t key ~compute =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      t.tick <- t.tick + 1;
+      node.last_use <- t.tick;
+      t.stats.hits_memory <- t.stats.hits_memory + 1;
+      Mutex.unlock t.lock;
+      (node.entry, Memory)
+  | None -> (
+      match Hashtbl.find_opt t.inflight key with
+      | Some flight ->
+          (* someone is already exploring this exact program+config: park
+             until their result lands, never start a second exploration *)
+          t.stats.joins <- t.stats.joins + 1;
+          Mutex.unlock t.lock;
+          Mutex.lock flight.fmutex;
+          while flight.outcome = None do
+            Condition.wait flight.fcond flight.fmutex
+          done;
+          let outcome = Option.get flight.outcome in
+          Mutex.unlock flight.fmutex;
+          (match outcome with
+          | Ok entry -> (entry, Joined)
+          | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+      | None ->
+          let flight =
+            { fmutex = Mutex.create (); fcond = Condition.create (); outcome = None }
+          in
+          Hashtbl.replace t.inflight key flight;
+          Mutex.unlock t.lock;
+          let settle ~store outcome =
+            Mutex.lock t.lock;
+            Hashtbl.remove t.inflight key;
+            (match outcome with
+            | Ok entry when store -> insert_locked t entry
+            | Ok _ | Error _ -> ());
+            Mutex.unlock t.lock;
+            Mutex.lock flight.fmutex;
+            flight.outcome <- Some outcome;
+            Condition.broadcast flight.fcond;
+            Mutex.unlock flight.fmutex
+          in
+          let bump f =
+            Mutex.lock t.lock;
+            f t.stats;
+            Mutex.unlock t.lock
+          in
+          (* the disk probe rides the flight too: concurrent requesters for
+             a disk-resident key do one read, not N *)
+          (match load_disk t key with
+          | Some entry ->
+              bump (fun s -> s.hits_disk <- s.hits_disk + 1);
+              settle ~store:true (Ok entry);
+              (entry, Disk)
+          | None -> (
+              bump (fun s -> s.misses <- s.misses + 1);
+              match compute () with
+              | entry, store ->
+                  settle ~store (Ok entry);
+                  if store then persist t entry;
+                  (entry, Cold)
+              | exception e ->
+                  let bt = Printexc.get_raw_backtrace () in
+                  settle ~store:false (Error (e, bt));
+                  Printexc.raise_with_backtrace e bt)))
+
+(* ------------------------------------------------------------------ *)
+(* Compilation through the cache                                       *)
+(* ------------------------------------------------------------------ *)
+
+let compile t ?pool_size ?should_stop ?on_epoch ?budget_seconds ~scheme ~sf_bits
+    ~waterline_bits ?(max_epochs = 100) prog =
+  let k = key ~scheme ~sf_bits ~waterline_bits ~max_epochs prog in
+  find_or_compute t k ~compute:(fun () ->
+      let t0 = Unix.gettimeofday () in
+      (* If the stop signal (cancellation or budget expiry) fires, the
+         climb returns its best-so-far — a valid artifact for this
+         requester, but a truncated one that must not be cached as the
+         canonical answer for the key. *)
+      let stopped = ref false in
+      let stop () =
+        let s =
+          (match budget_seconds with
+          | Some b -> Unix.gettimeofday () -. t0 > b
+          | None -> false)
+          || (match should_stop with Some f -> f () | None -> false)
+        in
+        if s then stopped := true;
+        s
+      in
+      let c =
+        Driver.compile ?pool_size ~should_stop:stop ?on_epoch ~max_epochs scheme ~sf_bits
+          ~waterline_bits prog
+      in
+      let compile_seconds = Unix.gettimeofday () -. t0 in
+      let plan, explore_epochs, explore_plans =
+        match c.Driver.exploration with
+        | None -> (None, 0, 0)
+        | Some e -> (Some e.Driver.best_plan, e.Driver.epochs, e.Driver.plans_explored)
+      in
+      ( {
+          key = k;
+          fingerprint = Prog.fingerprint prog;
+          scheme;
+          sf_bits;
+          waterline_bits;
+          max_epochs;
+          artifact = Printer.to_string c.Driver.prog;
+          params = c.Driver.params;
+          estimated_seconds = c.Driver.estimated_seconds;
+          plan;
+          explore_epochs;
+          explore_plans;
+          compile_seconds;
+        },
+        not !stopped ))

@@ -1,0 +1,126 @@
+(** Content-addressed cache of winning compilation plans and artifacts.
+
+    The SMSE explorer pays its search cost once per (program, config); this
+    cache makes that literal across processes and across time. Entries are
+    keyed by {!key}: the {!Hecate_ir.Prog.fingerprint} of the canonicalized
+    input program combined with every configuration knob that can change
+    the produced artifact (scheme, [sf_bits], [waterline_bits],
+    [max_epochs]). Alpha-equivalent programs — same DAG up to op order,
+    naming, dead derived code and metadata — therefore share one entry,
+    and a warm hit returns the {e byte-identical} printed artifact of the
+    cold compile without re-running exploration.
+
+    Three layers:
+    - an in-memory LRU of at most [capacity] entries (near-zero-cost hits);
+    - an optional on-disk store (one JSON file per key, written with
+      {!Hecate_support.Fileio.write_atomic} so a crash can never leave a
+      torn entry) that survives process restarts and feeds the in-memory
+      layer on miss;
+    - single-flight deduplication: N concurrent requests for the same key
+      trigger {e one} exploration, the rest park until the result lands
+      and share it (origin [Joined]).
+
+    All operations are thread-safe (one internal lock; compilation and
+    file I/O run outside it). *)
+
+type entry = {
+  key : string;
+  fingerprint : string;  (** canonical program fingerprint *)
+  scheme : Driver.scheme;
+  sf_bits : int;
+  waterline_bits : float;
+  max_epochs : int;
+  artifact : string;  (** printed managed IR — byte-identical on every hit *)
+  params : Paramselect.t;
+  estimated_seconds : float;
+  plan : int array option;  (** winning explore plan; [None] for EVA/PARS *)
+  explore_epochs : int;
+  explore_plans : int;
+  compile_seconds : float;  (** wall-clock of the cold compile *)
+}
+
+type origin =
+  | Cold  (** computed by this request *)
+  | Memory  (** in-memory hit *)
+  | Disk  (** loaded from the on-disk store *)
+  | Joined  (** shared a concurrent in-flight computation *)
+
+val origin_name : origin -> string
+
+type stats_snapshot = {
+  s_hits_memory : int;
+  s_hits_disk : int;
+  s_misses : int;
+  s_joins : int;
+  s_evictions : int;
+  s_entries : int;  (** current in-memory entry count *)
+}
+
+type t
+
+val default_dir : unit -> string option
+(** [$HECATE_CACHE_DIR], else [$XDG_CACHE_HOME/hecate], else
+    [$HOME/.cache/hecate]; [None] when no environment variable resolves. *)
+
+val create : ?dir:string -> ?capacity:int -> unit -> t
+(** [create ~dir ~capacity ()] — [dir] is the on-disk store root (created
+    recursively; omit it for a memory-only cache), [capacity] (default
+    128) bounds the in-memory layer.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val key :
+  scheme:Driver.scheme ->
+  sf_bits:int ->
+  waterline_bits:float ->
+  max_epochs:int ->
+  Hecate_ir.Prog.t ->
+  string
+(** The content address: canonical program fingerprint x configuration. *)
+
+val find : t -> string -> (entry * origin) option
+(** Memory first, then disk (a disk hit is promoted into memory). *)
+
+val add : t -> entry -> unit
+(** Insert into memory (evicting LRU entries beyond capacity) and persist
+    to the on-disk store. Persist failures are warnings, not errors. *)
+
+val find_or_compute : t -> string -> compute:(unit -> entry * bool) -> entry * origin
+(** Single-flight lookup: a hit (memory or disk) returns immediately; a
+    miss runs [compute] — but at most one [compute] per key is in flight
+    at any moment, concurrent requesters for the same key block and share
+    the result (origin [Joined]). [compute]'s boolean says whether the
+    entry is canonical and should be stored ([true]) or transient
+    ([false] — e.g. a budget-truncated exploration whose best-so-far is
+    valid for this requester but must not be cached as the answer for the
+    key). Waiters receive the entry either way. If [compute] raises,
+    every waiter re-raises the same exception and nothing is cached. *)
+
+val compile :
+  t ->
+  ?pool_size:int ->
+  ?should_stop:(unit -> bool) ->
+  ?on_epoch:(Explore.epoch_trace -> unit) ->
+  ?budget_seconds:float ->
+  scheme:Driver.scheme ->
+  sf_bits:int ->
+  waterline_bits:float ->
+  ?max_epochs:int ->
+  Hecate_ir.Prog.t ->
+  entry * origin
+(** {!Driver.compile} through the cache: compute the key, then
+    {!find_or_compute}. [should_stop]/[on_epoch]/[budget_seconds] only
+    apply to the requester that actually runs the cold compile.
+    [budget_seconds] bounds the exploration wall clock: past it the climb
+    stops and returns its best-so-far (anytime semantics). A compile
+    truncated by the budget or by [should_stop] is returned to the caller
+    but {e not} cached — the key means "the full-budget answer", and a
+    truncated plan must not poison it. Exceptions from {!Driver.compile}
+    (diagnostics, {!Explore.Cancelled}) propagate to every requester of
+    the flight and are not cached. *)
+
+val memory_size : t -> int
+val snapshot : t -> stats_snapshot
+
+val entry_to_json : entry -> Hecate_support.Json.t
+val entry_of_json : Hecate_support.Json.t -> entry option
+(** The on-disk representation, exposed for the serve protocol and tests. *)

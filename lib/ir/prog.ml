@@ -136,6 +136,108 @@ let users p =
   iter (fun o -> Array.iter (fun a -> u.(a) <- o.id :: u.(a)) o.args) p;
   Array.map List.rev u
 
+(* ------------------------------------------------------------------ *)
+(* Canonicalization and fingerprinting                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The canonical form of a program is what the content-addressed plan
+   cache keys on: two programs that differ only in details that cannot
+   change what the compiler produces must canonicalize identically.
+   Normalized away:
+     - op ordering: ops are renumbered in a deterministic DFS post-order
+       from the outputs (operands visited left-to-right), so any
+       topological permutation of the same DAG collides;
+     - dead code: ops unreachable from the outputs are dropped (declared
+       inputs are kept — they shape the calling convention — but dead
+       derived computation cannot affect the artifact);
+     - names: the function name and input names are replaced by
+       positional placeholders ($0, $1, ... in canonical input order);
+     - metadata: provenance and type annotations are stripped (types are
+       recomputed by the checker from the structure alone). *)
+let canonicalize p =
+  let n = Array.length p.body in
+  let order = Array.make n (-1) in
+  let seq = ref [] in
+  let next = ref 0 in
+  let rec visit v =
+    if order.(v) < 0 then begin
+      Array.iter visit p.body.(v).args;
+      order.(v) <- !next;
+      incr next;
+      seq := v :: !seq
+    end
+  in
+  List.iter visit p.outputs;
+  (* dead declared inputs still exist in the signature: keep them, after
+     everything reachable, in declaration order *)
+  List.iter visit p.inputs;
+  let canonical_order = List.rev !seq in
+  let new_inputs =
+    List.filter_map
+      (fun v -> match p.body.(v).kind with Input _ -> Some order.(v) | _ -> None)
+      canonical_order
+  in
+  let input_position = Hashtbl.create 8 in
+  List.iteri (fun i v -> Hashtbl.replace input_position v i) new_inputs;
+  let body =
+    Array.of_list
+      (List.map
+         (fun v ->
+           let o = p.body.(v) in
+           let id = order.(v) in
+           let kind =
+             match o.kind with
+             | Input _ -> Input { name = "$" ^ string_of_int (Hashtbl.find input_position id) }
+             | k -> k
+           in
+           { id; kind; args = Array.map (fun a -> order.(a)) o.args; ty = Types.Free; prov = None })
+         canonical_order)
+  in
+  {
+    name = "$canon";
+    slot_count = p.slot_count;
+    body;
+    inputs = new_inputs;
+    outputs = List.map (fun v -> order.(v)) p.outputs;
+  }
+
+(* Byte-serialize a canonical program for hashing. Floats are rendered
+   with %h (exact binary representation), so the fingerprint never
+   depends on decimal rounding. *)
+let serialize_canonical buf p =
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "hecate-ir-v1;slots=%d;ops=%d;" p.slot_count (Array.length p.body);
+  Array.iter
+    (fun o ->
+      (match o.kind with
+      | Input { name } -> addf "in(%s)" name
+      | Const { value = Scalar x } -> addf "cs(%h)" x
+      | Const { value = Vector v } ->
+          Buffer.add_string buf "cv(";
+          Array.iter (fun x -> addf "%h," x) v;
+          Buffer.add_char buf ')'
+      | Encode { scale; level } -> addf "enc(%h,%d)" scale level
+      | Add -> Buffer.add_string buf "add"
+      | Sub -> Buffer.add_string buf "sub"
+      | Mul -> Buffer.add_string buf "mul"
+      | Negate -> Buffer.add_string buf "neg"
+      | Rotate { amount } -> addf "rot(%d)" amount
+      | Rescale -> Buffer.add_string buf "rs"
+      | Modswitch -> Buffer.add_string buf "ms"
+      | Upscale { target_scale } -> addf "up(%h)" target_scale
+      | Downscale { waterline } -> addf "down(%h)" waterline);
+      Buffer.add_char buf '[';
+      Array.iter (fun a -> addf "%d," a) o.args;
+      Buffer.add_string buf "];")
+    p.body;
+  addf "out=";
+  List.iter (fun v -> addf "%d," v) p.outputs
+
+let fingerprint p =
+  let buf = Buffer.create 1024 in
+  serialize_canonical buf (canonicalize p);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 module Builder = struct
   type prog = t
 

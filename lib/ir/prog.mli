@@ -83,6 +83,23 @@ val is_homomorphic : kind -> bool
 
 val kind_name : kind -> string
 
+val canonicalize : t -> t
+(** Alpha-normal form: ops renumbered in a deterministic DFS post-order
+    from the outputs (operands left-to-right), derived ops unreachable
+    from the outputs dropped, the function name and input names replaced
+    by positional placeholders ([$0], [$1], ...), provenance and type
+    annotations stripped. Declared-but-unused inputs are kept (they shape
+    the calling convention). Two programs that differ only in op order,
+    dead derived code, naming or metadata canonicalize to {!equal}
+    programs. The result is a valid program ({!validate} holds). *)
+
+val fingerprint : t -> string
+(** Content hash (hex digest) of {!canonicalize}d structure — the key the
+    plan cache addresses compiled artifacts by. Stable across
+    print/parse round-trips (with or without provenance or type
+    annotations) and across alpha-renaming; floats are hashed by their
+    exact binary representation. *)
+
 (** Mutable builder for constructing programs. *)
 module Builder : sig
   type prog = t

@@ -1,0 +1,75 @@
+(* Thin blocking client for the hecated protocol, used by
+   `hecatec compile --remote` and the serve bench. *)
+
+type outcome = {
+  result : Protocol.job_result;
+  client_seconds : float;  (* round-trip wall clock, including socket I/O *)
+  progress_events : int;
+}
+
+let with_connection socket_path f =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s (is hecated running?)" socket_path
+           (Unix.error_message err))
+  | () ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let r = try f ic oc with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      r
+
+let send_line oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let compile ~socket:socket_path ?on_progress (submit : Protocol.submit) =
+  with_connection socket_path @@ fun ic oc ->
+  let t0 = Unix.gettimeofday () in
+  send_line oc (Protocol.render_request (Protocol.Submit submit));
+  let progress_events = ref 0 in
+  let rec wait () =
+    match input_line ic with
+    | exception End_of_file -> Error "connection closed before the job finished"
+    | line -> (
+        match Protocol.parse_event line with
+        | Error msg -> Error msg
+        | Ok (Protocol.Accepted _) -> wait ()
+        | Ok (Protocol.Progress { epoch; best_cost; _ }) ->
+            incr progress_events;
+            Option.iter (fun f -> f ~epoch ~best_cost) on_progress;
+            wait ()
+        | Ok (Protocol.Done result) ->
+            Ok
+              {
+                result;
+                client_seconds = Unix.gettimeofday () -. t0;
+                progress_events = !progress_events;
+              }
+        | Ok (Protocol.Cancelled id) -> Error (Printf.sprintf "job %d was cancelled" id)
+        | Ok (Protocol.Error { message; _ }) -> Error message
+        | Ok (Protocol.Status _ | Protocol.Stats _ | Protocol.Bye) -> wait ())
+  in
+  wait ()
+
+let stats ~socket:socket_path =
+  with_connection socket_path @@ fun ic oc ->
+  send_line oc (Protocol.render_request Protocol.Stats);
+  match input_line ic with
+  | exception End_of_file -> Error "connection closed"
+  | line -> (
+      match Protocol.parse_event line with
+      | Ok (Protocol.Stats json) -> Ok json
+      | Ok _ -> Error "unexpected reply to stats"
+      | Error msg -> Error msg)
+
+let shutdown ~socket:socket_path =
+  with_connection socket_path @@ fun ic oc ->
+  send_line oc (Protocol.render_request Protocol.Shutdown);
+  (* wait for the bye (or EOF) so the caller knows the request landed *)
+  (match input_line ic with _ -> () | exception End_of_file -> ());
+  Ok ()

@@ -1,0 +1,21 @@
+(** Blocking client for the [hecated] Unix-socket protocol. *)
+
+type outcome = {
+  result : Protocol.job_result;
+  client_seconds : float;
+      (** end-to-end wall clock seen by the client, including socket I/O;
+          compare with [result.wall_seconds], the server-side figure *)
+  progress_events : int;
+}
+
+val compile :
+  socket:string ->
+  ?on_progress:(epoch:int -> best_cost:float -> unit) ->
+  Protocol.submit ->
+  (outcome, string) result
+(** Submit one program and block until it finishes. Every failure mode —
+    connection refused, server-side diagnostic, cancellation — comes
+    back as [Error message]. *)
+
+val stats : socket:string -> (Hecate_support.Json.t, string) result
+val shutdown : socket:string -> (unit, string) result

@@ -1,0 +1,388 @@
+(* The hecated job server: accepts newline-delimited JSON requests over a
+   Unix-domain socket (or stdin/stdout), schedules compilations fairly
+   across clients, and answers through the content-addressed plan cache.
+
+   Concurrency structure:
+   - one systhread per connection, reading request lines;
+   - [workers] systhreads draining the job queues. Each compile may
+     additionally fan out across worker *domains* via the exploration
+     pool ([pool_size]) — threads give cheap blocking I/O concurrency,
+     domains give the compute parallelism.
+   - fair admission: every client (connection) has its own FIFO; a
+     round-robin ready list picks the next client, so one client
+     submitting 100 jobs cannot starve another submitting 1.
+
+   Cancellation is cooperative and "anytime": cancelling a queued job
+   drops it; cancelling a running job stops the exploration at the next
+   epoch boundary and returns the best plan found so far (which the
+   cache then treats as transient — see Plancache.compile). Shutdown
+   (SIGTERM or the [shutdown] op) stops admission, lets the queues
+   drain, and joins the workers. *)
+
+module Prog = Hecate_ir.Prog
+module Parser = Hecate_ir.Parser
+module Diagnostic = Hecate_ir.Diagnostic
+module Plancache = Hecate.Plancache
+module Explore = Hecate.Explore
+
+type job_state = Queued | Running | Done | Failed | Cancelled
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed -> "failed"
+  | Cancelled -> "cancelled"
+
+type job = {
+  id : int;
+  client : int;
+  submit : Protocol.submit;
+  prog : Prog.t;
+  cancel : bool Atomic.t;
+  mutable state : job_state;  (* guarded by the server mutex *)
+  send : string -> unit;  (* best-effort line to the owning connection *)
+}
+
+type t = {
+  cache : Plancache.t;
+  pool_size : int option;
+  verbose : bool;
+  mutex : Mutex.t;
+  work : Condition.t;
+  queues : (int, job Queue.t) Hashtbl.t;  (* client id -> its FIFO *)
+  ready : int Queue.t;  (* round-robin over clients with work *)
+  jobs : (int, job) Hashtbl.t;
+  stopping : bool Atomic.t;
+  mutable next_job : int;
+  mutable next_client : int;
+  mutable workers : Thread.t list;
+  mutable listen_fd : Unix.file_descr option;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable cancelled : int;
+}
+
+let log t fmt =
+  if t.verbose then Printf.eprintf ("hecated: " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+(* ------------------------------------------------------------------ *)
+(* Job execution                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_job t job =
+  let finish state =
+    Mutex.lock t.mutex;
+    job.state <- state;
+    (match state with
+    | Done -> t.completed <- t.completed + 1
+    | Failed -> t.failed <- t.failed + 1
+    | Cancelled -> t.cancelled <- t.cancelled + 1
+    | Queued | Running -> ());
+    Mutex.unlock t.mutex
+  in
+  if Atomic.get job.cancel then begin
+    finish Cancelled;
+    job.send (Protocol.cancelled ~job:job.id)
+  end
+  else begin
+    Mutex.lock t.mutex;
+    job.state <- Running;
+    Mutex.unlock t.mutex;
+    let s = job.submit in
+    let t0 = Unix.gettimeofday () in
+    let on_epoch =
+      if s.Protocol.stream then
+        Some (fun tr -> job.send (Protocol.progress ~job:job.id tr))
+      else None
+    in
+    match
+      Plancache.compile t.cache ?pool_size:t.pool_size
+        ~should_stop:(fun () -> Atomic.get job.cancel || Atomic.get t.stopping)
+        ?on_epoch
+        ?budget_seconds:s.Protocol.budget_seconds ~scheme:s.Protocol.scheme
+        ~sf_bits:s.Protocol.sf_bits ~waterline_bits:s.Protocol.waterline_bits
+        ~max_epochs:s.Protocol.max_epochs job.prog
+    with
+    | entry, origin ->
+        let wall = Unix.gettimeofday () -. t0 in
+        finish Done;
+        log t "job %d done (%s, %.4f s)" job.id (Plancache.origin_name origin) wall;
+        job.send (Protocol.done_ ~job:job.id ~origin ~wall_seconds:wall entry)
+    | exception Explore.Cancelled ->
+        finish Cancelled;
+        job.send (Protocol.cancelled ~job:job.id)
+    | exception Diagnostic.Error d ->
+        finish Failed;
+        job.send (Protocol.error ~job:job.id (Format.asprintf "%a" Diagnostic.pp d))
+    | exception Invalid_argument msg ->
+        finish Failed;
+        job.send (Protocol.error ~job:job.id msg)
+  end
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      if Queue.is_empty t.ready then
+        if Atomic.get t.stopping then begin
+          Mutex.unlock t.mutex;
+          None
+        end
+        else begin
+          Condition.wait t.work t.mutex;
+          wait ()
+        end
+      else begin
+        let client = Queue.pop t.ready in
+        (* invariant: a client is in [ready] iff its queue is non-empty *)
+        let q = Hashtbl.find t.queues client in
+        let job = Queue.pop q in
+        if not (Queue.is_empty q) then Queue.push client t.ready;
+        Mutex.unlock t.mutex;
+        Some job
+      end
+    in
+    match wait () with
+    | None -> ()
+    | Some job ->
+        run_job t job;
+        next ()
+  in
+  next ()
+
+(* ------------------------------------------------------------------ *)
+(* Construction / shutdown                                              *)
+(* ------------------------------------------------------------------ *)
+
+let create ?pool_size ?(workers = 2) ?(verbose = false) cache =
+  if workers < 1 then invalid_arg "Server.create: workers must be >= 1";
+  let t =
+    {
+      cache;
+      pool_size;
+      verbose;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queues = Hashtbl.create 7;
+      ready = Queue.create ();
+      jobs = Hashtbl.create 64;
+      stopping = Atomic.make false;
+      next_job = 1;
+      next_client = 1;
+      workers = [];
+      listen_fd = None;
+      submitted = 0;
+      completed = 0;
+      failed = 0;
+      cancelled = 0;
+    }
+  in
+  t.workers <- List.init workers (fun _ -> Thread.create worker_loop t);
+  t
+
+let request_shutdown t =
+  if not (Atomic.exchange t.stopping true) then begin
+    Mutex.lock t.mutex;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    (* unblock the accept loop, if one is running *)
+    match t.listen_fd with
+    | Some fd -> ( try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    | None -> ()
+  end
+
+let drain t =
+  request_shutdown t;
+  List.iter Thread.join t.workers;
+  t.workers <- []
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let submit t ~client ~send (s : Protocol.submit) =
+  match Parser.parse s.Protocol.program with
+  | exception Parser.Parse_error { line; message } ->
+      send (Protocol.error (Printf.sprintf "parse error at line %d: %s" line message))
+  | prog ->
+      Mutex.lock t.mutex;
+      if Atomic.get t.stopping then begin
+        Mutex.unlock t.mutex;
+        send (Protocol.error "server is shutting down; submission rejected")
+      end
+      else begin
+        let id = t.next_job in
+        t.next_job <- id + 1;
+        t.submitted <- t.submitted + 1;
+        let job =
+          { id; client; submit = s; prog; cancel = Atomic.make false; state = Queued; send }
+        in
+        Hashtbl.replace t.jobs id job;
+        let q =
+          match Hashtbl.find_opt t.queues client with
+          | Some q -> q
+          | None ->
+              let q = Queue.create () in
+              Hashtbl.replace t.queues client q;
+              q
+        in
+        let was_empty = Queue.is_empty q in
+        Queue.push job q;
+        if was_empty then Queue.push client t.ready;
+        Condition.signal t.work;
+        Mutex.unlock t.mutex;
+        log t "job %d accepted from client %d (%s, %d ops)" id client
+          (Hecate.Driver.scheme_name s.Protocol.scheme)
+          (Prog.num_ops prog);
+        send (Protocol.accepted ~job:id)
+      end
+
+let job_counts t =
+  (* under t.mutex *)
+  let queued = ref 0 and running = ref 0 in
+  Hashtbl.iter
+    (fun _ j ->
+      match j.state with
+      | Queued -> incr queued
+      | Running -> incr running
+      | Done | Failed | Cancelled -> ())
+    t.jobs;
+  [
+    ("submitted", t.submitted);
+    ("queued", !queued);
+    ("running", !running);
+    ("completed", t.completed);
+    ("failed", t.failed);
+    ("cancelled", t.cancelled);
+  ]
+
+(* Returns [false] when the connection should close (shutdown). *)
+let handle_line t ~client ~send line =
+  match Protocol.parse_request line with
+  | Error msg ->
+      send (Protocol.error msg);
+      true
+  | Ok (Protocol.Submit s) ->
+      submit t ~client ~send s;
+      true
+  | Ok (Protocol.Status id) ->
+      Mutex.lock t.mutex;
+      let state = Option.map (fun j -> j.state) (Hashtbl.find_opt t.jobs id) in
+      Mutex.unlock t.mutex;
+      (match state with
+      | None -> send (Protocol.error ~job:id (Printf.sprintf "unknown job %d" id))
+      | Some st -> send (Protocol.status ~job:id ~state:(state_name st)));
+      true
+  | Ok (Protocol.Cancel id) ->
+      Mutex.lock t.mutex;
+      let job = Hashtbl.find_opt t.jobs id in
+      Mutex.unlock t.mutex;
+      (match job with
+      | None -> send (Protocol.error ~job:id (Printf.sprintf "unknown job %d" id))
+      | Some j ->
+          Atomic.set j.cancel true;
+          send (Protocol.status ~job:id ~state:"cancelling"));
+      true
+  | Ok Protocol.Stats ->
+      Mutex.lock t.mutex;
+      let jobs = job_counts t in
+      Mutex.unlock t.mutex;
+      send (Protocol.stats ~jobs ~cache:(Plancache.snapshot t.cache));
+      true
+  | Ok Protocol.Shutdown ->
+      send Protocol.bye;
+      request_shutdown t;
+      false
+
+(* On disconnect, flag the client's still-queued jobs as cancelled so the
+   workers skip them instead of compiling for nobody. *)
+let forget_client t client =
+  Mutex.lock t.mutex;
+  (match Hashtbl.find_opt t.queues client with
+  | None -> ()
+  | Some q -> Queue.iter (fun j -> Atomic.set j.cancel true) q);
+  Mutex.unlock t.mutex
+
+let fresh_client t =
+  Mutex.lock t.mutex;
+  let id = t.next_client in
+  t.next_client <- id + 1;
+  Mutex.unlock t.mutex;
+  id
+
+(* ------------------------------------------------------------------ *)
+(* Transports                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let line_sender oc =
+  let m = Mutex.create () in
+  fun line ->
+    Mutex.lock m;
+    (try
+       output_string oc line;
+       output_char oc '\n';
+       flush oc
+     with Sys_error _ | Sys_blocked_io -> ());
+    Mutex.unlock m
+
+let session t ~ic ~send =
+  let client = fresh_client t in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | line ->
+        let keep = try handle_line t ~client ~send line with _ -> true in
+        if keep && not (Atomic.get t.stopping) then loop ()
+  in
+  loop ();
+  forget_client t client
+
+let serve_stdio t =
+  session t ~ic:stdin ~send:(line_sender stdout);
+  drain t
+
+let handle_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let send = line_sender (Unix.out_channel_of_descr fd) in
+  session t ~ic ~send;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve t ~socket_path =
+  (match Unix.lstat socket_path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink socket_path
+  | _ -> invalid_arg (Printf.sprintf "Server.serve: %s exists and is not a socket" socket_path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen fd 64;
+  t.listen_fd <- Some fd;
+  (* A client that disconnects mid-reply must not kill the daemon. *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
+  (try ignore (Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> request_shutdown t)))
+   with Invalid_argument _ -> ());
+  log t "listening on %s" socket_path;
+  let rec accept_loop () =
+    match Unix.accept fd with
+    | conn, _ ->
+        ignore (Thread.create (fun () -> handle_connection t conn) ());
+        if not (Atomic.get t.stopping) then accept_loop ()
+    | exception Unix.Unix_error ((Unix.EINVAL | Unix.EBADF | Unix.ECONNABORTED), _, _) ->
+        if not (Atomic.get t.stopping) then accept_loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        if not (Atomic.get t.stopping) then accept_loop ()
+  in
+  accept_loop ();
+  log t "draining";
+  drain t;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ())
+
+let stats_line t =
+  Mutex.lock t.mutex;
+  let jobs = job_counts t in
+  Mutex.unlock t.mutex;
+  Protocol.stats ~jobs ~cache:(Plancache.snapshot t.cache)

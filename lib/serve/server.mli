@@ -1,0 +1,51 @@
+(** The [hecated] job server.
+
+    Schedules compilation jobs from many clients onto a bounded set of
+    worker threads, answering through a shared
+    {!Hecate.Plancache.t} — so concurrent submissions of
+    alpha-equivalent programs collapse into one exploration
+    (single-flight) and repeat submissions are warm cache hits.
+
+    Fairness: each connection has its own FIFO; workers take jobs
+    round-robin across connections, so a client that submits a large
+    batch cannot starve an interactive one.
+
+    Cancellation is cooperative and "anytime": a queued job is dropped;
+    a running job stops at the next exploration epoch and returns its
+    best-so-far plan, which the cache treats as transient (never
+    stored). Shutdown — SIGTERM, the [shutdown] op, or client EOF in
+    [--stdio] mode — stops admission, drains the queues and joins the
+    workers before returning. *)
+
+type t
+
+val create : ?pool_size:int -> ?workers:int -> ?verbose:bool -> Hecate.Plancache.t -> t
+(** [create cache] starts [workers] (default 2) job threads immediately.
+    [pool_size] is forwarded to each compile's exploration pool (worker
+    {e domains} per job — threads give I/O concurrency, domains give
+    compute parallelism).
+    @raise Invalid_argument if [workers < 1]. *)
+
+val serve : t -> socket_path:string -> unit
+(** Bind a Unix-domain stream socket at [socket_path] (replacing a stale
+    socket file; refusing to clobber a non-socket), accept connections
+    until shutdown is requested, then drain and remove the socket file.
+    Installs handlers: SIGTERM requests shutdown, SIGPIPE is ignored.
+    @raise Invalid_argument if [socket_path] exists and is not a socket.
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val serve_stdio : t -> unit
+(** Run one protocol session over stdin/stdout (for tests and piping),
+    then drain. Returns on client EOF or the [shutdown] op. *)
+
+val request_shutdown : t -> unit
+(** Asynchronously request shutdown: stop admitting jobs, wake idle
+    workers, unblock the accept loop. Idempotent; safe from a signal
+    handler. Running jobs finish as truncated "anytime" results. *)
+
+val drain : t -> unit
+(** {!request_shutdown} and join the worker threads (waits for queued
+    and running jobs to settle). Idempotent. *)
+
+val stats_line : t -> string
+(** The [stats] event line for the current job and cache counters. *)

@@ -4,17 +4,41 @@
    the BENCH_*.json files are committed, a torn write could silently become
    the repository baseline. Writing to a temporary sibling and renaming is
    atomic on POSIX filesystems: readers (and git) see either the old
-   contents or the complete new contents, never a prefix. *)
+   contents or the complete new contents, never a prefix.
+
+   Rename alone is not crash-safe, though: if the data blocks of the
+   temporary file have not reached the disk when the rename is journalled,
+   a power cut can leave a zero-length "committed" file at [path]. Since
+   the plan cache now persists compiled artifacts through this function,
+   we fsync the temporary file before the rename, and the containing
+   directory after it (so the rename itself is durable). Directory fsync
+   is best-effort — some filesystems refuse it — but the file fsync is
+   mandatory: a failure there aborts the write. *)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
 
 let write_atomic ~path contents =
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path ^ ".") ".tmp" in
   match
-    let oc = open_out_bin tmp in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
     Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc contents);
-    Sys.rename tmp path
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let bytes = Bytes.unsafe_of_string contents in
+        let len = Bytes.length bytes in
+        let written = ref 0 in
+        while !written < len do
+          written := !written + Unix.write fd bytes !written (len - !written)
+        done;
+        Unix.fsync fd);
+    Sys.rename tmp path;
+    fsync_dir dir
   with
   | () -> ()
   | exception e ->

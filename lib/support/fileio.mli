@@ -1,10 +1,14 @@
-(** Whole-file I/O helpers for the bench harness's committed artifacts. *)
+(** Whole-file I/O helpers: the bench harness's committed artifacts and the
+    plan cache's on-disk entries. *)
 
 val write_atomic : path:string -> string -> unit
 (** [write_atomic ~path contents] writes [contents] to [path] via a
-    temporary file in the same directory and an atomic rename, so an
-    interrupted run can never leave a truncated file at [path]. The
-    temporary file is removed on failure. *)
+    temporary file in the same directory and an atomic rename. The
+    temporary file is fsynced before the rename and the containing
+    directory after it (best-effort), so neither an interrupted run nor a
+    crash right after the call can leave a truncated or empty file at
+    [path]: readers observe either the old contents or the complete new
+    contents. The temporary file is removed on failure. *)
 
 val read_file : path:string -> string
 (** Read a whole file into a string. *)

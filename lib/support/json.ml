@@ -1,6 +1,8 @@
-(* Just enough JSON to read the BENCH_*.json artifacts back for the
-   regression gate. Recursive descent over a string; numbers are floats,
-   escapes cover what our own writer emits (plus \uXXXX for robustness). *)
+(* Just enough JSON for the in-tree consumers: the bench regression gate
+   reading BENCH_*.json artifacts back, the plan cache's on-disk entries,
+   and the hecated newline-delimited job protocol. Recursive descent over a
+   string; numbers are floats, escapes cover what our own writer emits
+   (plus \uXXXX for robustness). *)
 
 type t =
   | Null
@@ -161,3 +163,67 @@ let to_list = function Arr l -> l | _ -> []
 let to_float = function Num f -> Some f | _ -> None
 let to_int = function Num f -> Some (int_of_float f) | _ -> None
 let to_string = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Numbers render as the shortest float representation that round-trips;
+   integral values drop the trailing ".". The output is a single line, so
+   rendered values can travel over the newline-delimited protocol as-is. *)
+let render_number buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let rec render_to buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f ->
+      if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+        Buffer.add_string buf "null"
+      else render_number buf f
+  | Str s -> escape_to buf s
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          render_to buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          render_to buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let render v =
+  let buf = Buffer.create 256 in
+  render_to buf v;
+  Buffer.contents buf
+
+let int i = Num (float_of_int i)

@@ -1,0 +1,36 @@
+(** Minimal JSON reading and writing for the in-tree consumers: the bench
+    regression gate (BENCH_*.json artifacts), the plan cache's on-disk
+    entries, and the [hecated] newline-delimited job protocol.
+
+    Numbers are floats; [render] emits a single line (no embedded
+    newlines), so rendered values can be framed by newline-delimited
+    transports as-is. Non-finite numbers render as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error on malformed input (with the offending offset). *)
+
+val member : string -> t -> t
+(** Field of an object; [Null] when absent or not an object. *)
+
+val to_list : t -> t list
+val to_float : t -> float option
+val to_int : t -> int option
+val to_string : t -> string option
+val to_bool : t -> bool option
+
+val render : t -> string
+(** Compact single-line rendering; [parse (render v)] is [v] up to float
+    formatting. *)
+
+val int : int -> t
+(** [Num] of an integer. *)

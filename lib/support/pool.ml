@@ -1,20 +1,31 @@
+(* Shutdown is a three-state machine so that it is safe to call from
+   several threads/domains at once: the first caller moves the pool to
+   [Closing], drains the queue (workers finish every task submitted
+   before the shutdown) and joins the worker domains; concurrent callers
+   block on [settled] until the first one reaches [Closed]. The daemon
+   relies on this to drain cleanly on SIGTERM while request threads may
+   still be racing their own cleanup. *)
+type state = Running | Closing | Closed
+
 type t = {
   mutable domains : unit Domain.t array;
+  size : int;
   queue : (unit -> unit) Queue.t;
   mutex : Mutex.t;
   wakeup : Condition.t; (* signalled on push and on shutdown *)
-  mutable closed : bool;
+  settled : Condition.t; (* broadcast when state reaches Closed *)
+  mutable state : state;
 }
 
 let default_size () = max 1 (Domain.recommended_domain_count () - 1)
-let size t = Array.length t.domains
+let size t = t.size
 
 let rec worker t =
   Mutex.lock t.mutex;
-  while Queue.is_empty t.queue && not t.closed do
+  while Queue.is_empty t.queue && t.state = Running do
     Condition.wait t.wakeup t.mutex
   done;
-  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* closed and drained *)
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* closing and drained *)
   else begin
     let task = Queue.pop t.queue in
     Mutex.unlock t.mutex;
@@ -29,10 +40,12 @@ let create ?size () =
   let t =
     {
       domains = [||];
+      size = n;
       queue = Queue.create ();
       mutex = Mutex.create ();
       wakeup = Condition.create ();
-      closed = false;
+      settled = Condition.create ();
+      state = Running;
     }
   in
   t.domains <- Array.init n (fun _ -> Domain.spawn (fun () -> worker t));
@@ -40,7 +53,7 @@ let create ?size () =
 
 let submit t task =
   Mutex.lock t.mutex;
-  if t.closed then begin
+  if t.state <> Running then begin
     Mutex.unlock t.mutex;
     invalid_arg "Pool.submit: pool is shut down"
   end;
@@ -82,14 +95,27 @@ let map_array t ~f arr =
 
 let shutdown t =
   Mutex.lock t.mutex;
-  if t.closed then Mutex.unlock t.mutex
-  else begin
-    t.closed <- true;
-    Condition.broadcast t.wakeup;
-    Mutex.unlock t.mutex;
-    Array.iter Domain.join t.domains;
-    t.domains <- [||]
-  end
+  match t.state with
+  | Closed -> Mutex.unlock t.mutex
+  | Closing ->
+      (* Another caller is already draining and joining; wait until it is
+         actually done so that "shutdown returned" always means "workers
+         joined", whoever called it. *)
+      while t.state <> Closed do
+        Condition.wait t.settled t.mutex
+      done;
+      Mutex.unlock t.mutex
+  | Running ->
+      t.state <- Closing;
+      Condition.broadcast t.wakeup;
+      let domains = t.domains in
+      t.domains <- [||];
+      Mutex.unlock t.mutex;
+      Array.iter Domain.join domains;
+      Mutex.lock t.mutex;
+      t.state <- Closed;
+      Condition.broadcast t.settled;
+      Mutex.unlock t.mutex
 
 let with_pool ?size f =
   let t = create ?size () in

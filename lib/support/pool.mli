@@ -34,8 +34,11 @@ val map_array : t -> f:('a -> 'b) -> 'a array -> 'b array
     the pool itself stays usable. *)
 
 val shutdown : t -> unit
-(** Finish the queued tasks, then join every worker domain. Idempotent;
-    submitting to a shut-down pool raises [Invalid_argument]. *)
+(** Finish the queued tasks, then join every worker domain. Idempotent
+    and safe to call concurrently from several threads or domains: every
+    caller blocks until the workers are actually joined, whichever call
+    does the joining. Work submitted before the shutdown is guaranteed to
+    run; submitting to a shut-down pool raises [Invalid_argument]. *)
 
 val with_pool : ?size:int -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] over a fresh pool and shuts it down afterwards,

@@ -1,0 +1,410 @@
+(* Tests for the serving stack: canonical fingerprints, the
+   content-addressed plan cache (LRU / disk / single-flight), the job
+   protocol, and an end-to-end daemon session over a Unix socket. *)
+
+module Prog = Hecate_ir.Prog
+module Parser = Hecate_ir.Parser
+module Printer = Hecate_ir.Printer
+module Driver = Hecate.Driver
+module Plancache = Hecate.Plancache
+module Explore = Hecate.Explore
+module Protocol = Hecate_serve.Protocol
+module Server = Hecate_serve.Server
+module Client = Hecate_serve.Client
+module Json = Hecate_support.Json
+module Gen = Hecate_fuzz.Gen
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let fig2 () = Parser.parse_file "../examples/fig2.hec"
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "hecate_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical fingerprints                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Two constructions of the same DAG: different value names, a permuted
+   construction order, an extra dead op and provenance scopes on one
+   side. Alpha-equivalent -> same fingerprint. *)
+let test_fingerprint_alpha_equivalence () =
+  let a =
+    let b = Prog.Builder.create ~slot_count:16 () in
+    let x = Prog.Builder.input b "x" in
+    let y = Prog.Builder.input b "y" in
+    let t1 = Prog.Builder.mul b x x in
+    let t2 = Prog.Builder.mul b y y in
+    Prog.Builder.output b (Prog.Builder.add b t1 t2);
+    Prog.Builder.finish b
+  in
+  let b =
+    let b = Prog.Builder.create ~name:"other" ~slot_count:16 () in
+    Prog.Builder.in_scope b "noise" @@ fun () ->
+    let u = Prog.Builder.input b "u" in
+    let v = Prog.Builder.input b "v" in
+    let t2 = Prog.Builder.mul b v v in
+    ignore (Prog.Builder.mul b u v) (* dead: dropped by canonicalization *);
+    let t1 = Prog.Builder.mul b u u in
+    Prog.Builder.output b (Prog.Builder.add b t1 t2);
+    Prog.Builder.finish b
+  in
+  let c =
+    let b = Prog.Builder.create ~slot_count:16 () in
+    let x = Prog.Builder.input b "x" in
+    let y = Prog.Builder.input b "y" in
+    let t1 = Prog.Builder.mul b x x in
+    let t2 = Prog.Builder.mul b y y in
+    Prog.Builder.output b (Prog.Builder.sub b t1 t2);
+    Prog.Builder.finish b
+  in
+  check Alcotest.string "alpha-equivalent programs collide" (Prog.fingerprint a)
+    (Prog.fingerprint b);
+  check Alcotest.bool "distinct programs differ" false
+    (String.equal (Prog.fingerprint a) (Prog.fingerprint c))
+
+let test_fingerprint_slot_count_matters () =
+  let build slots =
+    let b = Prog.Builder.create ~slot_count:slots () in
+    let x = Prog.Builder.input b "x" in
+    Prog.Builder.output b (Prog.Builder.mul b x x);
+    Prog.Builder.finish b
+  in
+  check Alcotest.bool "slot count is part of the address" false
+    (String.equal (Prog.fingerprint (build 16)) (Prog.fingerprint (build 32)))
+
+let prop_fingerprint_survives_roundtrip =
+  QCheck.Test.make ~name:"fingerprint survives print/parse" ~count:60
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let case = Gen.generate ~seed () in
+      let p = case.Gen.prog in
+      let fp = Prog.fingerprint p in
+      let reparsed = Parser.parse (Printer.to_string p) in
+      String.equal fp (Prog.fingerprint reparsed))
+
+let prop_canonicalize_idempotent =
+  QCheck.Test.make ~name:"canonicalize is idempotent and valid" ~count:60
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let p = (Gen.generate ~seed ()).Gen.prog in
+      let c = Prog.canonicalize p in
+      (match Prog.validate c with Ok () -> true | Error _ -> false)
+      && String.equal (Prog.fingerprint p) (Prog.fingerprint c))
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let compile_cached cache scheme prog =
+  Plancache.compile cache ~scheme ~sf_bits:28 ~waterline_bits:20. prog
+
+(* A warm hit must return the byte-identical artifact of a direct
+   compile, for every scheme, without re-running exploration. *)
+let test_cache_hit_bit_identical () =
+  let prog = fig2 () in
+  List.iter
+    (fun scheme ->
+      let cache = Plancache.create () in
+      let direct = Driver.compile scheme ~sf_bits:28 ~waterline_bits:20. prog in
+      let cold, o1 = compile_cached cache scheme prog in
+      let warm, o2 = compile_cached cache scheme prog in
+      let name = Driver.scheme_name scheme in
+      check Alcotest.string (name ^ " cold origin") "cold" (Plancache.origin_name o1);
+      check Alcotest.string (name ^ " warm origin") "memory" (Plancache.origin_name o2);
+      check Alcotest.string (name ^ " cold = direct")
+        (Printer.to_string direct.Driver.prog)
+        cold.Plancache.artifact;
+      check Alcotest.string (name ^ " warm = cold") cold.Plancache.artifact
+        warm.Plancache.artifact)
+    Driver.all_schemes
+
+(* Alpha-equivalent submissions share one entry. *)
+let test_cache_alpha_equivalent_hit () =
+  let prog = fig2 () in
+  let renamed = Parser.parse (Printer.to_string prog) in
+  let cache = Plancache.create () in
+  let _, o1 = compile_cached cache Driver.Hecate prog in
+  let _, o2 = compile_cached cache Driver.Hecate renamed in
+  check Alcotest.string "reparsed program hits" "memory" (Plancache.origin_name o2);
+  check Alcotest.string "first was cold" "cold" (Plancache.origin_name o1)
+
+let test_cache_disk_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let prog = fig2 () in
+  let cache1 = Plancache.create ~dir () in
+  let cold, _ = compile_cached cache1 Driver.Hecate prog in
+  (* a different process: fresh in-memory state, same directory *)
+  let cache2 = Plancache.create ~dir () in
+  let warm, origin = compile_cached cache2 Driver.Hecate prog in
+  check Alcotest.string "origin is disk" "disk" (Plancache.origin_name origin);
+  check Alcotest.string "artifact identical" cold.Plancache.artifact warm.Plancache.artifact;
+  check Alcotest.string "plan identical"
+    (String.concat ","
+       (List.map string_of_int (Array.to_list (Option.value ~default:[||] cold.Plancache.plan))))
+    (String.concat ","
+       (List.map string_of_int (Array.to_list (Option.value ~default:[||] warm.Plancache.plan))))
+
+let test_cache_key_sensitivity () =
+  let prog = fig2 () in
+  let k scheme sf wl me = Plancache.key ~scheme ~sf_bits:sf ~waterline_bits:wl ~max_epochs:me prog in
+  let base = k Driver.Hecate 28 20. 100 in
+  check Alcotest.bool "scheme changes key" false (String.equal base (k Driver.Eva 28 20. 100));
+  check Alcotest.bool "sf changes key" false (String.equal base (k Driver.Hecate 30 20. 100));
+  check Alcotest.bool "waterline changes key" false
+    (String.equal base (k Driver.Hecate 28 24. 100));
+  check Alcotest.bool "budget changes key" false
+    (String.equal base (k Driver.Hecate 28 20. 50));
+  check Alcotest.string "stable otherwise" base (k Driver.Hecate 28 20. 100)
+
+let test_cache_lru_eviction () =
+  let cache = Plancache.create ~capacity:2 () in
+  let seed_cache = Plancache.create () in
+  let base, _ = compile_cached seed_cache Driver.Eva (fig2 ()) in
+  let entry key = { base with Plancache.key } in
+  Plancache.add cache (entry "k1");
+  Plancache.add cache (entry "k2");
+  check Alcotest.int "at capacity" 2 (Plancache.memory_size cache);
+  (* touch k1 so k2 is the least recently used *)
+  ignore (Plancache.find cache "k1");
+  Plancache.add cache (entry "k3");
+  check Alcotest.int "bounded" 2 (Plancache.memory_size cache);
+  check Alcotest.bool "recently used survives" true (Plancache.find cache "k1" <> None);
+  check Alcotest.bool "LRU evicted" true (Plancache.find cache "k2" = None);
+  let s = Plancache.snapshot cache in
+  check Alcotest.int "eviction counted" 1 s.Plancache.s_evictions
+
+let test_cache_single_flight () =
+  let cache = Plancache.create () in
+  let seed_cache = Plancache.create () in
+  let base, _ = compile_cached seed_cache Driver.Eva (fig2 ()) in
+  let entry = { base with Plancache.key = "single-flight" } in
+  let computes = Atomic.make 0 in
+  let compute () =
+    Atomic.incr computes;
+    Unix.sleepf 0.08;
+    (entry, true)
+  in
+  let run () = Plancache.find_or_compute cache "single-flight" ~compute in
+  let domains = List.init 4 (fun _ -> Domain.spawn run) in
+  let results = List.map Domain.join domains in
+  check Alcotest.int "one exploration for n requests" 1 (Atomic.get computes);
+  let count o =
+    List.length
+      (List.filter (fun (_, o') -> Plancache.origin_name o' = o) results)
+  in
+  check Alcotest.int "one cold" 1 (count "cold");
+  check Alcotest.int "rest joined" 3 (count "joined");
+  List.iter
+    (fun (e, _) -> check Alcotest.string "same artifact" entry.Plancache.artifact e.Plancache.artifact)
+    results
+
+(* A compute that declares its result transient (budget-truncated) must
+   not poison the cache. *)
+let test_cache_transient_not_stored () =
+  let cache = Plancache.create () in
+  let seed_cache = Plancache.create () in
+  let base, _ = compile_cached seed_cache Driver.Eva (fig2 ()) in
+  let entry = { base with Plancache.key = "truncated" } in
+  let e, origin = Plancache.find_or_compute cache "truncated" ~compute:(fun () -> (entry, false)) in
+  check Alcotest.string "returned to the requester" entry.Plancache.artifact e.Plancache.artifact;
+  check Alcotest.string "computed cold" "cold" (Plancache.origin_name origin);
+  check Alcotest.bool "not cached" true (Plancache.find cache "truncated" = None)
+
+let test_cache_entry_json_roundtrip () =
+  let seed_cache = Plancache.create () in
+  let entry, _ = compile_cached seed_cache Driver.Hecate (fig2 ()) in
+  match Plancache.entry_of_json (Json.parse (Json.render (Plancache.entry_to_json entry))) with
+  | None -> Alcotest.fail "entry JSON did not round-trip"
+  | Some e ->
+      check Alcotest.string "key" entry.Plancache.key e.Plancache.key;
+      check Alcotest.string "artifact" entry.Plancache.artifact e.Plancache.artifact;
+      check Alcotest.bool "plan" true (entry.Plancache.plan = e.Plancache.plan);
+      check Alcotest.bool "params" true (entry.Plancache.params = e.Plancache.params)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_request_roundtrip () =
+  let reqs =
+    [
+      Protocol.Submit
+        {
+          Protocol.program = "func f(%0 \"x\")\n";
+          scheme = Driver.Smse;
+          sf_bits = 30;
+          waterline_bits = 22.;
+          max_epochs = 40;
+          budget_seconds = Some 1.5;
+          stream = true;
+        };
+      Protocol.Status 7;
+      Protocol.Cancel 9;
+      Protocol.Stats;
+      Protocol.Shutdown;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.parse_request (Protocol.render_request r) with
+      | Ok r' -> check Alcotest.bool "roundtrips" true (r = r')
+      | Error msg -> Alcotest.fail msg)
+    reqs
+
+let test_protocol_request_errors () =
+  let err line =
+    match Protocol.parse_request line with Error _ -> true | Ok _ -> false
+  in
+  check Alcotest.bool "garbage" true (err "not json");
+  check Alcotest.bool "missing op" true (err {|{"program":"x"}|});
+  check Alcotest.bool "unknown op" true (err {|{"op":"frobnicate"}|});
+  check Alcotest.bool "bad scheme" true (err {|{"op":"submit","program":"x","scheme":"rsa"}|});
+  check Alcotest.bool "missing job id" true (err {|{"op":"cancel"}|})
+
+let test_protocol_done_event () =
+  let seed_cache = Plancache.create () in
+  let entry, _ = compile_cached seed_cache Driver.Hecate (fig2 ()) in
+  let line = Protocol.done_ ~job:3 ~origin:Plancache.Memory ~wall_seconds:0.25 entry in
+  match Protocol.parse_event line with
+  | Ok (Protocol.Done r) ->
+      check Alcotest.int "job" 3 r.Protocol.job;
+      check Alcotest.string "origin" "memory" r.Protocol.origin;
+      check Alcotest.string "artifact" entry.Plancache.artifact r.Protocol.artifact;
+      check Alcotest.string "fingerprint" entry.Plancache.fingerprint r.Protocol.fingerprint;
+      check (Alcotest.float 1e-9) "wall" 0.25 r.Protocol.wall_seconds;
+      check Alcotest.int "ring degree" entry.Plancache.params.Hecate.Paramselect.secure_n
+        r.Protocol.secure_n
+  | Ok _ -> Alcotest.fail "decoded as a different event"
+  | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end daemon session                                           *)
+(* ------------------------------------------------------------------ *)
+
+let submit_fig2 ?budget_seconds ?(scheme = Driver.Hecate) () =
+  let program =
+    let ic = open_in_bin "../examples/fig2.hec" in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  {
+    Protocol.program;
+    scheme;
+    sf_bits = 28;
+    waterline_bits = 20.;
+    max_epochs = 100;
+    budget_seconds;
+    stream = false;
+  }
+
+let with_server f =
+  with_temp_dir @@ fun dir ->
+  let sock = Filename.concat dir "hecated.sock" in
+  let cache = Plancache.create () in
+  let server = Server.create ~workers:2 cache in
+  let th = Thread.create (fun () -> Server.serve server ~socket_path:sock) () in
+  let rec await n =
+    if Sys.file_exists sock then ()
+    else if n = 0 then Alcotest.fail "server socket never appeared"
+    else begin
+      Thread.delay 0.01;
+      await (n - 1)
+    end
+  in
+  await 500;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Client.shutdown ~socket:sock);
+      Thread.join th)
+    (fun () -> f sock)
+
+let test_server_end_to_end () =
+  with_server @@ fun sock ->
+  let get label = function
+    | Ok o -> o
+    | Error msg -> Alcotest.fail (label ^ ": " ^ msg)
+  in
+  let cold = get "cold" (Client.compile ~socket:sock (submit_fig2 ())) in
+  let warm = get "warm" (Client.compile ~socket:sock (submit_fig2 ())) in
+  check Alcotest.string "cold origin" "cold" cold.Client.result.Protocol.origin;
+  check Alcotest.string "warm origin" "memory" warm.Client.result.Protocol.origin;
+  check Alcotest.string "artifacts identical"
+    cold.Client.result.Protocol.artifact warm.Client.result.Protocol.artifact;
+  check Alcotest.bool "artifact non-empty" true
+    (String.length cold.Client.result.Protocol.artifact > 0);
+  (* a parse error must come back as a protocol error, not kill the session *)
+  (match
+     Client.compile ~socket:sock
+       { (submit_fig2 ()) with Protocol.program = "this is not a program" }
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed program should fail");
+  match Client.stats ~socket:sock with
+  | Error msg -> Alcotest.fail msg
+  | Ok json ->
+      let cache_hits =
+        Option.value ~default:(-1)
+          (Json.to_int (Json.member "hits_memory" (Json.member "cache" json)))
+      in
+      check Alcotest.bool "stats report the hit" true (cache_hits >= 1)
+
+let test_server_budget_is_transient () =
+  with_server @@ fun sock ->
+  (* a hopeless budget: the exploring scheme is cancelled before any work *)
+  (match Client.compile ~socket:sock (submit_fig2 ~budget_seconds:(-1.0) ()) with
+  | Error _ -> ()
+  | Ok o ->
+      (* anytime semantics may still return a best-so-far result; it must
+         not have been cached as the full-budget answer *)
+      check Alcotest.string "truncated result is not a hit" "cold"
+        o.Client.result.Protocol.origin);
+  match Client.compile ~socket:sock (submit_fig2 ()) with
+  | Error msg -> Alcotest.fail msg
+  | Ok o ->
+      check Alcotest.string "full compile is still cold" "cold"
+        o.Client.result.Protocol.origin
+
+let () =
+  Alcotest.run "hecate_serve"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "alpha equivalence" `Quick test_fingerprint_alpha_equivalence;
+          Alcotest.test_case "slot count matters" `Quick test_fingerprint_slot_count_matters;
+          qtest prop_fingerprint_survives_roundtrip;
+          qtest prop_canonicalize_idempotent;
+        ] );
+      ( "plancache",
+        [
+          Alcotest.test_case "hit is bit-identical (all schemes)" `Quick
+            test_cache_hit_bit_identical;
+          Alcotest.test_case "alpha-equivalent submissions hit" `Quick
+            test_cache_alpha_equivalent_hit;
+          Alcotest.test_case "disk roundtrip" `Quick test_cache_disk_roundtrip;
+          Alcotest.test_case "key sensitivity" `Quick test_cache_key_sensitivity;
+          Alcotest.test_case "LRU eviction bounds" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "single flight" `Quick test_cache_single_flight;
+          Alcotest.test_case "transient results not stored" `Quick
+            test_cache_transient_not_stored;
+          Alcotest.test_case "entry JSON roundtrip" `Quick test_cache_entry_json_roundtrip;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_protocol_request_roundtrip;
+          Alcotest.test_case "request errors" `Quick test_protocol_request_errors;
+          Alcotest.test_case "done event" `Quick test_protocol_done_event;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "end to end over a socket" `Quick test_server_end_to_end;
+          Alcotest.test_case "budget-truncated is transient" `Quick
+            test_server_budget_is_transient;
+        ] );
+    ]

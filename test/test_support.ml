@@ -537,6 +537,146 @@ let test_time_median () =
   Alcotest.check_raises "reps >= 1" (Invalid_argument "Stats.time_median: reps must be >= 1")
     (fun () -> ignore (S.time_median ~reps:0 (fun () -> ())))
 
+(* ------------------------------------------------------------------ *)
+(* Fileio.write_atomic                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Fio = Hecate_support.Fileio
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "hecate_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let test_write_atomic_basic () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "out.txt" in
+  Fio.write_atomic ~path "hello";
+  check Alcotest.string "contents" "hello" (read_file path);
+  Fio.write_atomic ~path "replaced";
+  check Alcotest.string "overwrite" "replaced" (read_file path);
+  (* no stray temp files survive a successful write *)
+  check Alcotest.(list string) "no leftovers" [ "out.txt" ]
+    (Array.to_list (Sys.readdir dir))
+
+(* The atomicity property: a reader racing a stream of writers never
+   observes a torn file — every read returns one of the complete
+   payloads, never a prefix or a mix. *)
+let test_write_atomic_never_partial () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "contended.bin" in
+  let payload c = String.make 32768 c in
+  let a = payload 'a' and b = payload 'b' in
+  let rounds = 50 in
+  let writer =
+    Domain.spawn (fun () ->
+        for i = 1 to rounds do
+          Fio.write_atomic ~path (if i land 1 = 0 then a else b)
+        done)
+  in
+  let torn = ref 0 and reads = ref 0 in
+  while !reads < 500 do
+    (match read_file path with
+    | s -> if not (String.equal s a || String.equal s b) then incr torn
+    | exception Sys_error _ -> () (* not yet created *));
+    incr reads
+  done;
+  Domain.join writer;
+  check Alcotest.int "no torn reads" 0 !torn;
+  check Alcotest.string "final contents" a (read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Pool shutdown                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Hecate_support.Pool
+
+let test_pool_double_shutdown () =
+  let p = Pool.create ~size:2 () in
+  let r = Pool.map_array p ~f:(fun x -> x * x) [| 1; 2; 3 |] in
+  check Alcotest.(array int) "map" [| 1; 4; 9 |] r;
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* idempotent *)
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.map_array p ~f:Fun.id [| 1 |]))
+
+let test_pool_concurrent_shutdown () =
+  let p = Pool.create ~size:2 () in
+  ignore (Pool.map_array p ~f:Fun.id [| 1; 2; 3; 4 |]);
+  let callers =
+    List.init 4 (fun _ -> Domain.spawn (fun () -> Pool.shutdown p))
+  in
+  Pool.shutdown p;
+  List.iter Domain.join callers;
+  Alcotest.check_raises "closed afterwards"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.map_array p ~f:Fun.id [| 1 |]))
+
+(* Work already submitted must complete even when shutdown lands while
+   the queue is still full — the daemon relies on this to drain cleanly
+   on SIGTERM. *)
+let test_pool_shutdown_drains_pending () =
+  let p = Pool.create ~size:2 () in
+  let done_count = Atomic.make 0 in
+  let submitter =
+    Domain.spawn (fun () ->
+        Pool.map_array p
+          ~f:(fun i ->
+            Unix.sleepf 0.002;
+            Atomic.incr done_count;
+            i)
+          (Array.init 16 Fun.id))
+  in
+  (* let some tasks queue up, then shut down underneath the submitter *)
+  Unix.sleepf 0.005;
+  Pool.shutdown p;
+  let results = Domain.join submitter in
+  check Alcotest.int "all tasks ran" 16 (Atomic.get done_count);
+  check Alcotest.(array int) "results intact" (Array.init 16 Fun.id) results
+
+(* ------------------------------------------------------------------ *)
+(* Json rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module J = Hecate_support.Json
+
+let test_json_render_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("s", J.Str "a\"b\\c\nd\te\x01f");
+        ("n", J.Num 3.5);
+        ("i", J.int 42);
+        ("big", J.Num 1e100);
+        ("t", J.Bool true);
+        ("z", J.Null);
+        ("a", J.Arr [ J.int 1; J.Str "x"; J.Arr []; J.Obj [] ]);
+      ]
+  in
+  let line = J.render v in
+  check Alcotest.bool "single line" false (String.contains line '\n');
+  check Alcotest.bool "roundtrips" true (J.parse line = v)
+
+let test_json_render_nonfinite () =
+  check Alcotest.string "nan is null" "null" (J.render (J.Num Float.nan));
+  check Alcotest.string "inf is null" "null" (J.render (J.Num Float.infinity));
+  check Alcotest.string "int form" "7" (J.render (J.int 7));
+  check Alcotest.string "float form" "0.5" (J.render (J.Num 0.5))
+
 let () =
   Alcotest.run "hecate_support"
     [
@@ -600,5 +740,23 @@ let () =
           Alcotest.test_case "median" `Quick test_stats_median;
           Alcotest.test_case "monotonic clock" `Quick test_monotonic_now;
           Alcotest.test_case "time_median" `Quick test_time_median;
+        ] );
+      ( "fileio",
+        [
+          Alcotest.test_case "write_atomic basic" `Quick test_write_atomic_basic;
+          Alcotest.test_case "write_atomic never partial" `Quick
+            test_write_atomic_never_partial;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "double shutdown" `Quick test_pool_double_shutdown;
+          Alcotest.test_case "concurrent shutdown" `Quick test_pool_concurrent_shutdown;
+          Alcotest.test_case "shutdown drains pending" `Quick
+            test_pool_shutdown_drains_pending;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "render roundtrip" `Quick test_json_render_roundtrip;
+          Alcotest.test_case "non-finite numbers" `Quick test_json_render_nonfinite;
         ] );
     ]
