@@ -27,6 +27,13 @@
                                             writes BENCH_serve.json.
                                             Flags: --reps N, --cold-reps N,
                                             --quick, --out FILE
+     dune exec bench/main.exe batch      -- SIMD batching frontend: rotation
+                                            counts and end-to-end latency of
+                                            the layout-assigned lowering vs
+                                            the one-slot naive baseline;
+                                            writes BENCH_batch.json.
+                                            Flags: --quick, --reps N,
+                                            --out FILE (see docs/BATCHING.md)
      dune exec bench/main.exe fuzz       -- differential fuzzing of the four
                                             scale-management schemes: random
                                             valid-by-construction programs are
@@ -1049,6 +1056,138 @@ let serve flags =
   end
 
 (* ------------------------------------------------------------------ *)
+(* SIMD batching: packed lowering vs the one-slot naive baseline       *)
+(* ------------------------------------------------------------------ *)
+
+(* For each packed workload, lower once with the layout-assignment pass
+   (auto) and once with the naive one-slot lowering, scale-manage both
+   under HECATE, and compare (a) rotations in the managed program — the
+   rotation-key budget — and (b) measured end-to-end latency on the CKKS
+   backend. Writes BENCH_batch.json in the kernels schema so check-regress
+   gates it unchanged; "<app>/rotations" speedups are exact op-count
+   ratios (deterministic), "<app>/latency" speedups are wall-clock. *)
+let batch flags =
+  let module Lower = Hecate_batch.Lower in
+  let module Batch_apps = Hecate_apps.Batch_apps in
+  let quick = ref false in
+  let reps = ref 7 in
+  let out = ref "BENCH_batch.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        reps := 3;
+        parse rest
+    | "--reps" :: v :: rest ->
+        reps := int_of_string v;
+        parse rest
+    | "--out" :: v :: rest ->
+        out := v;
+        parse rest
+    | other :: _ ->
+        Printf.eprintf "batch: unknown flag %s (--quick | --reps N | --out FILE)\n" other;
+        exit 2
+  in
+  parse flags;
+  heading "SIMD batching -- layout-assigned lowering vs one-slot naive baseline";
+  Printf.printf
+    "HECATE scheme, waterline 20; latency is the median of %d backend runs%s.\n\n" !reps
+    (if !quick then " [quick]" else "");
+  let entries = ref [] in
+  let speedups = ref [] in
+  List.iter
+    (fun (app : Batch_apps.t) ->
+      let lower spec =
+        match Lower.lower ~spec app.Batch_apps.surface with
+        | Ok l -> l
+        | Error d ->
+            Printf.eprintf "batch: lowering %s failed: %s\n" app.Batch_apps.name
+              (Hecate_ir.Diagnostic.to_string d);
+            exit 1
+      in
+      let measure (l : Lower.lowered) =
+        let c =
+          Driver.compile ~passes:(Pass_manager.parse_exn Lower.pipeline) Driver.Hecate
+            ~sf_bits ~waterline_bits:20. l.Lower.prog
+        in
+        let inputs =
+          List.map (fun (n, d) -> (n, Lower.pack_input l n d)) app.Batch_apps.inputs
+        in
+        let eval =
+          Interp.context ~params:c.Driver.params
+            ~rotations:(Interp.required_rotations c.Driver.prog) ()
+        in
+        let seconds =
+          Stats.time_median ~warmup:1 ~min_sample_s:1e-4 ~reps:!reps (fun () ->
+              ignore (Interp.execute eval ~waterline_bits:20. c.Driver.prog ~inputs))
+        in
+        let exec_n = (Hecate_ckks.Eval.params eval).Hecate_ckks.Params.n in
+        (Lower.count_rotations c.Driver.prog, seconds, exec_n,
+         c.Driver.params.Paramselect.chain_levels)
+      in
+      let nv_rot, nv_s, exec_n, levels = measure (lower Lower.Naive) in
+      let au_rot, au_s, _, _ = measure (lower Lower.Auto) in
+      let name = app.Batch_apps.name in
+      let record kernel variant value =
+        entries := (kernel, variant, exec_n, levels, value) :: !entries
+      in
+      record (name ^ "/rotations") "reference" (float_of_int nv_rot);
+      record (name ^ "/rotations") "fast" (float_of_int au_rot);
+      record (name ^ "/latency") "reference" (nv_s *. 1e9);
+      record (name ^ "/latency") "fast" (au_s *. 1e9);
+      let rot_sp = float_of_int nv_rot /. float_of_int (max 1 au_rot) in
+      let lat_sp = nv_s /. Float.max 1e-9 au_s in
+      speedups :=
+        ((name ^ "/latency", exec_n, levels), lat_sp)
+        :: ((name ^ "/rotations", exec_n, levels), rot_sp)
+        :: !speedups;
+      Printf.printf
+        "  %-15s rotations %3d -> %3d (%4.1fx)   latency %8.3f ms -> %8.3f ms (%4.1fx)\n%!"
+        name nv_rot au_rot rot_sp (nv_s *. 1e3) (au_s *. 1e3) lat_sp)
+    (Batch_apps.suite ());
+  (* the acceptance bar the batching subsystem ships under: the layout
+     pass must at least halve matvec's rotation count vs naive *)
+  (match
+     List.find_map
+       (fun ((k, _, _), s) -> if k = "batch-matvec/rotations" then Some s else None)
+       !speedups
+   with
+  | Some s when s < 2. ->
+      Printf.eprintf "batch: matvec rotation reduction %.2fx < 2x -- layout pass regressed\n" s;
+      exit 1
+  | _ -> ());
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"config\": {\"reps\": %d, \"quick\": %b, \"scheme\": \"HECATE\", \
+        \"waterline_bits\": 20, \"note\": \"rotations entries are op counts, not times\"},\n"
+       !reps !quick);
+  Buffer.add_string buf "  \"entries\": [\n";
+  let ordered = List.rev !entries in
+  List.iteri
+    (fun i (kernel, variant, n, levels, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"n\": %d, \"levels\": %d, \
+            \"ns_per_op\": %.1f}%s\n"
+           kernel variant n levels v
+           (if i = List.length ordered - 1 then "" else ",")))
+    ordered;
+  Buffer.add_string buf "  ],\n  \"speedups\": [\n";
+  let sps = List.rev !speedups in
+  List.iteri
+    (fun i ((k, n, l), s) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"kernel\": \"%s\", \"n\": %d, \"levels\": %d, \"speedup\": %.2f}%s\n" k n l s
+           (if i = List.length sps - 1 then "" else ",")))
+    sps;
+  Buffer.add_string buf "  ]\n}\n";
+  Hecate_support.Fileio.write_atomic ~path:!out (Buffer.contents buf);
+  Printf.printf "\nwrote %s\n" !out
+
+(* ------------------------------------------------------------------ *)
 (* Differential fuzzing of the four schemes                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1108,41 +1247,64 @@ let fuzz flags =
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The single subcommand table: the dispatcher and its usage string are
+   both generated from this list, so a subcommand cannot be registered
+   without appearing in the usage line (the old hand-maintained usage
+   string had drifted out of sync with the dispatcher). [takes_flags]
+   subcommands receive the remaining argv as flags; the rest can be
+   chained, e.g. `bench/main.exe table2 fig8`. *)
+type subcommand = { sc_name : string; sc_takes_flags : bool; sc_run : string list -> unit }
+
+let plain name f = { sc_name = name; sc_takes_flags = false; sc_run = (fun _ -> f ()) }
+let flagged name f = { sc_name = name; sc_takes_flags = true; sc_run = f }
+
+let all () =
+  fig7 ();
+  table2 ();
+  table3 ();
+  fig8 ();
+  fig7_paper ();
+  explore ();
+  passes ();
+  ablate ();
+  ops ()
+
+let subcommands =
+  [
+    flagged "fig7" fig7_cmd;
+    plain "fig7paper" fig7_paper;
+    plain "table2" table2;
+    plain "table3" table3;
+    plain "fig8" fig8;
+    plain "explore" explore;
+    plain "passes" passes;
+    plain "ops" ops;
+    plain "ablate" ablate;
+    flagged "kernels" kernels;
+    flagged "serve" serve;
+    flagged "batch" batch;
+    flagged "fuzz" fuzz;
+    flagged "check-regress" check_regress;
+    plain "all" all;
+  ]
+
+let usage () = String.concat "|" (List.map (fun s -> s.sc_name) subcommands)
+
+let find_subcommand name =
+  match List.find_opt (fun s -> s.sc_name = name) subcommands with
+  | Some s -> s
+  | None ->
+      Printf.eprintf "unknown subcommand %s (%s)\n" name (usage ());
+      exit 2
+
 let () =
   let t0 = Unix.gettimeofday () in
   let cmds = match Array.to_list Sys.argv with _ :: (_ :: _ as rest) -> rest | _ -> [ "all" ] in
-  let run = function
-    | "fig7" -> fig7 ()
-    | "fig7paper" -> fig7_paper ()
-    | "table2" -> table2 ()
-    | "table3" -> table3 ()
-    | "fig8" -> fig8 ()
-    | "ops" -> ops ()
-    | "ablate" -> ablate ()
-    | "explore" -> explore ()
-    | "passes" -> passes ()
-    | "all" ->
-        fig7 ();
-        table2 ();
-        table3 ();
-        fig8 ();
-        fig7_paper ();
-        explore ();
-        passes ();
-        ablate ();
-        ops ()
-    | other ->
-        Printf.eprintf
-          "unknown subcommand %s \
-           (fig7|fig7paper|table2|table3|fig8|explore|passes|ops|ablate|kernels|fuzz|serve|all)\n"
-          other;
-        exit 2
-  in
   (match cmds with
-  | "kernels" :: flags -> kernels flags
-  | "fuzz" :: flags -> fuzz flags
-  | "fig7" :: flags -> fig7_cmd flags
-  | "serve" :: flags -> serve flags
-  | "check-regress" :: flags -> check_regress flags
-  | _ -> List.iter run cmds);
+  | name :: flags when (find_subcommand name).sc_takes_flags -> (find_subcommand name).sc_run flags
+  | _ -> List.iter (fun name -> (find_subcommand name).sc_run []) cmds);
   Printf.printf "\ntotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -22,6 +22,8 @@ module Paramselect = Hecate.Paramselect
 module Interp = Hecate_backend.Interp
 module Accuracy = Hecate_backend.Accuracy
 module Apps = Hecate_apps.Apps
+module Surface = Hecate_batch.Surface
+module Lower = Hecate_batch.Lower
 
 (* ------------------------------------------------------------------ *)
 (* Diagnostic rendering                                                 *)
@@ -423,6 +425,147 @@ let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Structural statistics of a .hec program.")
     Term.(const run $ error_format_arg $ file_arg)
 
+let batch_cmd =
+  let run efmt file layout scheme waterline sf seed jobs kernel_jobs execute dump_unmanaged
+      verbose timing =
+    set_error_format efmt;
+    handle_errors @@ fun () ->
+    set_kernel_jobs kernel_jobs;
+    let surface =
+      try Surface.parse_file file
+      with Parser.Parse_error { line; message } ->
+        Diagnostic.error
+          (Diagnostic.v ~code:Diagnostic.Parse_error
+             ~hint:"see docs/BATCHING.md for the scalar surface grammar"
+             (Printf.sprintf "line %d: %s" line message))
+    in
+    let lowered =
+      match Lower.lower ~spec:layout surface with
+      | Ok l -> l
+      | Error d -> Diagnostic.error d
+    in
+    Printf.printf "; batch %s: %d slots, layout %s [%s]\n" surface.Surface.name
+      lowered.Lower.slot_count
+      (Lower.spec_to_string layout)
+      (Hecate_batch.Layout.assignment_to_string lowered.Lower.assignment);
+    Printf.printf "; lowered: %d ops, %d rotations (scalar sites batched into vector steps)\n"
+      lowered.Lower.ops lowered.Lower.rotations;
+    if dump_unmanaged then print_string (Printer.to_string lowered.Lower.prog);
+    let c =
+      Driver.compile ?pool_size:jobs
+        ~passes:(Pass_manager.parse_exn Lower.pipeline)
+        scheme ~sf_bits:sf ~waterline_bits:waterline lowered.Lower.prog
+    in
+    Printf.printf "; cleaned: %d rotations after %s\n"
+      (Lower.count_rotations c.Driver.prog)
+      Lower.pipeline;
+    Printf.printf "; fingerprint: %s\n" (Prog.fingerprint lowered.Lower.prog);
+    report_compiled ~dump:(not dump_unmanaged) ~verbose c;
+    report_timing timing c;
+    if execute then begin
+      (* random logical inputs, packed per the chosen layouts *)
+      let g = Hecate_support.Prng.create ~seed in
+      let logical =
+        List.filter_map
+          (fun (d : Surface.array_decl) ->
+            match d.Surface.kind with
+            | Surface.Input ->
+                Some
+                  ( d.Surface.name,
+                    Array.init (Surface.array_size d) (fun _ ->
+                        Hecate_support.Prng.float01 g) )
+            | _ -> None)
+          surface.Surface.arrays
+      in
+      let inputs = List.map (fun (n, d) -> (n, Lower.pack_input lowered n d)) logical in
+      let eval =
+        Interp.context ~params:c.Driver.params
+          ~rotations:(Interp.required_rotations c.Driver.prog) ()
+      in
+      let rep = Interp.execute eval ~waterline_bits:waterline c.Driver.prog ~inputs in
+      let refs = Surface.execute surface ~inputs:logical in
+      let err2 = ref 0. and maxerr = ref 0. and count = ref 0 in
+      List.iter2
+        (fun (name, expect) packed_out ->
+          let got = Lower.decode_output lowered name packed_out in
+          Array.iteri
+            (fun i x ->
+              let e = abs_float (got.(i) -. x) in
+              err2 := !err2 +. (e *. e);
+              maxerr := Float.max !maxerr e;
+              incr count)
+            expect)
+        refs rep.Interp.outputs;
+      Printf.printf "; executed in %.3f s (ring degree %d, reduced-degree simulation)\n"
+        rep.Interp.elapsed_seconds
+        (Hecate_ckks.Eval.params eval).Hecate_ckks.Params.n;
+      Printf.printf "; rmse vs scalar reference: %.3e (max %.3e)\n"
+        (sqrt (!err2 /. float_of_int (max 1 !count)))
+        !maxerr;
+      List.iter
+        (fun (name, expect) ->
+          let k = min 8 (Array.length expect) in
+          Printf.printf "; output %s (first %d elements, scalar reference):" name k;
+          Array.iter (fun x -> Printf.printf " %.5f" x) (Array.sub expect 0 k);
+          print_newline ())
+        refs
+    end
+  in
+  let layout_conv =
+    let parse s =
+      match Lower.spec_of_string (String.lowercase_ascii s) with
+      | Some spec -> Ok spec
+      | None -> Error (`Msg "layout must be one of: auto, row, col, diag, naive")
+    in
+    Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Lower.spec_to_string s))
+  in
+  let layout_arg =
+    Arg.(value & opt layout_conv Lower.Auto & info [ "l"; "layout" ] ~docv:"LAYOUT"
+           ~doc:"Slot layout for array packing: $(b,auto) (rotation-count cost model picks \
+                 per-array), $(b,row), $(b,col), $(b,diag), or $(b,naive) (one-slot \
+                 lowering baseline, no batching across loop iterations).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Input generator seed.")
+  in
+  let exec_arg =
+    Arg.(value & flag & info [ "run" ]
+           ~doc:"Also execute on the in-repo CKKS backend and report the error against \
+                 exact scalar reference execution.")
+  in
+  let dump_unmanaged_arg =
+    Arg.(value & flag & info [ "dump-vector-ir" ]
+           ~doc:"Print the unmanaged vector IR produced by the lowering instead of the \
+                 managed program.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Compile a scalar loop program (.bhec) into packed vector IR: choose slot \
+             layouts, batch loop iterations into rotations, then scale-manage.")
+    Term.(const run $ error_format_arg $ file_arg $ layout_arg $ scheme_arg $ waterline_arg
+          $ sf_arg $ seed_arg $ jobs_arg $ kernel_jobs_arg $ exec_arg $ dump_unmanaged_arg
+          $ verbose_arg $ timing_arg)
+
+let list_passes_arg =
+  Arg.(value & flag & info [ "list-passes" ]
+         ~doc:"Print the registered IR passes (name and description) and exit.")
+
+let default_term =
+  let run list_passes =
+    if list_passes then begin
+      List.iter
+        (fun (p : Pass_manager.pass) ->
+          Printf.printf "%-18s %s\n" p.Pass_manager.name p.Pass_manager.description)
+        (Pass_manager.registered ());
+      `Ok ()
+    end
+    else `Help (`Pager, None)
+  in
+  Term.(ret (const run $ list_passes_arg))
+
 let () =
   let doc = "HECATE: performance-aware scale optimization for RNS-CKKS programs" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "hecatec" ~doc) [ compile_cmd; run_cmd; bench_cmd; dump_cmd; info_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group ~default:default_term (Cmd.info "hecatec" ~doc)
+          [ compile_cmd; run_cmd; bench_cmd; dump_cmd; info_cmd; batch_cmd ]))

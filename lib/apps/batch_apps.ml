@@ -1,0 +1,78 @@
+module Prng = Hecate_support.Prng
+module Surface = Hecate_batch.Surface
+open Hecate_batch.Batch_dsl
+
+type t = {
+  name : string;
+  surface : Surface.t;
+  inputs : (string * float array) list;
+}
+
+let random_vector g k ~lo ~hi = Array.init k (fun _ -> lo +. ((hi -. lo) *. Prng.float01 g))
+
+let matvec ?(rows = 8) ?(cols = 8) () =
+  let b = create ~name:(Printf.sprintf "batch_matvec_%dx%d" rows cols) () in
+  let w = input b "w" [ rows; cols ] in
+  let x = input b "x" [ cols ] in
+  let y = output_array b "y" [ rows ] in
+  with_label b (Printf.sprintf "matvec %dx%d" rows cols) (fun () ->
+      for_ b "j" ~lo:0 ~hi:(rows - 1) (fun j ->
+          for_ b "i" ~lo:0 ~hi:(cols - 1) (fun i ->
+              accum b y [ j ] (mul (load w [ j; i ]) (load x [ i ])))));
+  let g = Prng.create ~seed:0xBA7C1 in
+  {
+    name = "batch-matvec";
+    surface = finish b;
+    inputs =
+      [
+        ("w", random_vector g (rows * cols) ~lo:(-1.) ~hi:1.);
+        ("x", random_vector g cols ~lo:(-1.) ~hi:1.);
+      ];
+  }
+
+let conv2d ?(size = 8) () =
+  let b = create ~name:(Printf.sprintf "batch_conv2d_%dx%d" size size) () in
+  let img = input b "img" [ size; size ] in
+  (* sharpen-like 3x3 kernel *)
+  let k =
+    plain b "k" [ 3; 3 ] [| 0.0625; 0.125; 0.0625; 0.125; 0.25; 0.125; 0.0625; 0.125; 0.0625 |]
+  in
+  let out = output_array b "out" [ size; size ] in
+  with_label b (Printf.sprintf "conv2d %dx%d" size size) (fun () ->
+      for_ b "i" ~lo:1 ~hi:(size - 2) (fun i ->
+          for_ b "j" ~lo:1 ~hi:(size - 2) (fun j ->
+              for_ b "di" ~lo:0 ~hi:2 (fun di ->
+                  for_ b "dj" ~lo:0 ~hi:2 (fun dj ->
+                      accum b out [ i; j ]
+                        (mul (load k [ di; dj ]) (load img [ i +$ di -$ c 1; j +$ dj -$ c 1 ])))))));
+  let g = Prng.create ~seed:0xC0217 in
+  {
+    name = "batch-conv2d";
+    surface = finish b;
+    inputs = [ ("img", random_vector g (size * size) ~lo:0. ~hi:1.) ];
+  }
+
+let group_by ?(rows = 16) ?(groups = 4) () =
+  let b = create ~name:(Printf.sprintf "batch_group_by_%dx%d" rows groups) () in
+  let v = input b "v" [ rows ] in
+  (* deterministic group membership: row i belongs to group (i * 7 + 3) mod groups *)
+  let sel_data = Array.make (groups * rows) 0. in
+  for i = 0 to rows - 1 do
+    sel_data.((((i * 7) + 3) mod groups * rows) + i) <- 1.
+  done;
+  let sel = plain b "sel" [ groups; rows ] sel_data in
+  let agg = output_array b "agg" [ groups ] in
+  with_label b (Printf.sprintf "group_by %d->%d" rows groups) (fun () ->
+      for_ b "k" ~lo:0 ~hi:(groups - 1) (fun k ->
+          for_ b "i" ~lo:0 ~hi:(rows - 1) (fun i ->
+              accum b agg [ k ] (mul (load sel [ k; i ]) (load v [ i ])))));
+  let g = Prng.create ~seed:0x96B1 in
+  {
+    name = "batch-group-by";
+    surface = finish b;
+    inputs = [ ("v", random_vector g rows ~lo:(-1.) ~hi:1.) ];
+  }
+
+let suite () = [ matvec (); conv2d (); group_by () ]
+
+let reference app = Surface.execute app.surface ~inputs:app.inputs

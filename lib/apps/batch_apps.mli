@@ -1,0 +1,32 @@
+(** Scalar-program workloads for the SIMD batching frontend (ROADMAP item
+    1): the loop programs HECO and Porcupine open, with deterministic
+    synthetic data, lowered to vector IR by {!Hecate_batch.Lower} and
+    cross-checked against {!Hecate_batch.Surface.execute}. *)
+
+type t = {
+  name : string;
+  surface : Hecate_batch.Surface.t;
+  inputs : (string * float array) list;
+      (** logical row-major input arrays — pack with
+          {!Hecate_batch.Lower.pack_input} before encryption *)
+}
+
+val matvec : ?rows:int -> ?cols:int -> unit -> t
+(** Encrypted matrix times encrypted vector, [y_j = sum_i w j i * x_i]
+    (default 8x8) — the workload where the diagonal layout's one rotation
+    per generalized diagonal beats row-major's one per element. *)
+
+val conv2d : ?size:int -> unit -> t
+(** 3x3 plaintext stencil over an encrypted [size x size] image (default
+    8), interior only: row-major layout needs one rotation per tap. *)
+
+val group_by : ?rows:int -> ?groups:int -> unit -> t
+(** Database-style aggregation (default 16 rows, 4 groups): a plaintext
+    0/1 selector matrix folds into masked coefficient vectors,
+    [agg_k = sum_i sel k i * v_i]. *)
+
+val suite : unit -> t list
+(** The three workloads at default sizes. *)
+
+val reference : t -> (string * float array) list
+(** Exact scalar reference outputs for the app's own inputs. *)

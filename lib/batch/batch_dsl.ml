@@ -1,0 +1,95 @@
+module Diagnostic = Hecate_ir.Diagnostic
+module Prog = Hecate_ir.Prog
+
+type expr = Surface.expr
+type idx = Surface.affine
+
+type t = {
+  name : string;
+  mutable arrays : Surface.array_decl list; (* reversed *)
+  mutable outputs : string list; (* reversed *)
+  mutable blocks : Surface.stmt list list; (* innermost first, each reversed *)
+  mutable scopes : string list; (* innermost first *)
+}
+
+let create ?(name = "batch") () =
+  { name; arrays = []; outputs = []; blocks = [ [] ]; scopes = [] }
+
+let declare b name dims kind =
+  b.arrays <- { Surface.name; dims; kind } :: b.arrays;
+  name
+
+let input b name dims = declare b name dims Surface.Input
+let plain b name dims data = declare b name dims (Surface.Plain data)
+let local b name dims = declare b name dims Surface.Local
+
+let output_array b name dims =
+  b.outputs <- name :: b.outputs;
+  declare b name dims Surface.Local
+
+let i v = Surface.affine_var v
+let c k = Surface.affine_const k
+let ( *$ ) k a =
+  Surface.{ terms = List.map (fun (v, co) -> (v, k * co)) a.terms; const = k * a.const }
+
+let ( +$ ) = Surface.affine_add
+
+let ( -$ ) a b =
+  Surface.affine_add a
+    Surface.{ terms = List.map (fun (v, co) -> (v, -co)) b.terms; const = -b.const }
+
+let load arr idx = Surface.Load { arr; idx }
+let lit x = Surface.Lit x
+let add a b = Surface.Bin (Surface.Add, a, b)
+let sub a b = Surface.Bin (Surface.Sub, a, b)
+let mul a b = Surface.Bin (Surface.Mul, a, b)
+let neg e = Surface.Neg e
+
+let push_stmt b s =
+  match b.blocks with
+  | top :: rest -> b.blocks <- (s :: top) :: rest
+  | [] -> assert false
+
+let for_ b var ~lo ~hi body =
+  b.blocks <- [] :: b.blocks;
+  body (i var);
+  match b.blocks with
+  | top :: rest ->
+      b.blocks <- rest;
+      push_stmt b (Surface.For { var; lo; hi; body = List.rev top })
+  | [] -> assert false
+
+let let_ b name expr =
+  push_stmt b (Surface.Let { name; expr });
+  Surface.Ref name
+
+let prov_of b default =
+  match b.scopes with
+  | [] -> Some { Prog.label = default; context = [] }
+  | label :: outer -> Some { Prog.label; context = List.rev outer }
+
+let store b arr idx expr =
+  push_stmt b (Surface.Store { arr; idx; expr; prov = prov_of b ("store " ^ arr) })
+
+let accum b arr idx expr =
+  push_stmt b (Surface.Accum { arr; idx; expr; prov = prov_of b ("accum " ^ arr) })
+
+let with_label b label f =
+  b.scopes <- label :: b.scopes;
+  Fun.protect ~finally:(fun () -> b.scopes <- List.tl b.scopes) f
+
+let finish b =
+  let body =
+    match b.blocks with
+    | [ top ] -> List.rev top
+    | _ -> invalid_arg "Batch_dsl.finish: unbalanced blocks"
+  in
+  let p =
+    {
+      Surface.name = b.name;
+      arrays = List.rev b.arrays;
+      outputs = List.rev b.outputs;
+      body;
+    }
+  in
+  match Surface.validate p with Ok () -> p | Error d -> Diagnostic.error d

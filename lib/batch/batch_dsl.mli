@@ -1,0 +1,73 @@
+(** Embedded builder for scalar surface programs ({!Surface.t}).
+
+    The scalar counterpart of {!Hecate_frontend.Dsl}: apps construct loop
+    programs programmatically instead of parsing text, with provenance
+    labels stamped onto every store/accumulate site so diagnostics from
+    lowering and scale management point back at the surface construct.
+
+    Statements are emitted into the innermost open block; {!for_} opens a
+    block for the loop body and hands the callback the loop variable as an
+    affine index. {!finish} validates and returns the program. *)
+
+type t
+type expr = Surface.expr
+type idx = Surface.affine
+
+val create : ?name:string -> unit -> t
+
+(** {2 Array declarations} — names are returned for convenience. *)
+
+val input : t -> string -> int list -> string
+(** Encrypted input array. *)
+
+val plain : t -> string -> int list -> float array -> string
+(** Compile-time constant array, row-major data. *)
+
+val local : t -> string -> int list -> string
+(** Zero-initialized scratch array. *)
+
+val output_array : t -> string -> int list -> string
+(** Zero-initialized array whose final value is a program output. *)
+
+(** {2 Index arithmetic} *)
+
+val i : string -> idx
+(** The loop variable as an index. *)
+
+val c : int -> idx
+val ( *$ ) : int -> idx -> idx
+(** [k *$ i] scales an index. *)
+
+val ( +$ ) : idx -> idx -> idx
+val ( -$ ) : idx -> idx -> idx
+
+(** {2 Expressions} *)
+
+val load : string -> idx list -> expr
+val lit : float -> expr
+val add : expr -> expr -> expr
+val sub : expr -> expr -> expr
+val mul : expr -> expr -> expr
+val neg : expr -> expr
+
+(** {2 Statements} *)
+
+val for_ : t -> string -> lo:int -> hi:int -> (idx -> unit) -> unit
+(** Counted loop, inclusive bounds; the body callback emits statements. *)
+
+val let_ : t -> string -> expr -> expr
+(** Scalar binding; returns the reference expression. *)
+
+val store : t -> string -> idx list -> expr -> unit
+(** [a\[idx\] = e]. *)
+
+val accum : t -> string -> idx list -> expr -> unit
+(** [a\[idx\] += e]. *)
+
+val with_label : t -> string -> (unit -> 'a) -> 'a
+(** Provenance scope: sites emitted inside carry the label chain, exactly
+    like {!Hecate_ir.Prog.Builder.in_scope}. *)
+
+val finish : t -> Surface.t
+(** @raise Hecate_ir.Diagnostic.Error ([Precondition]) if the assembled
+    program fails {!Surface.validate}. *)

@@ -1,0 +1,35 @@
+type kind = Row | Col | Diag
+
+let kind_to_string = function Row -> "row" | Col -> "col" | Diag -> "diag"
+
+let kind_of_string = function
+  | "row" -> Some Row
+  | "col" -> Some Col
+  | "diag" -> Some Diag
+  | _ -> None
+
+let candidates (a : Surface.array_decl) =
+  match a.dims with [ _; _ ] -> [ Row; Col; Diag ] | _ -> [ Row ]
+
+let row_major ~dims idx = List.fold_left2 (fun acc i d -> (acc * d) + i) 0 idx dims
+
+let slot kind ~dims idx =
+  if List.length idx <> List.length dims then
+    invalid_arg "Layout.slot: rank mismatch";
+  match (kind, dims, idx) with
+  | Col, [ r; _c ], [ i; j ] -> (j * r) + i
+  | Diag, [ r; c ], [ i; j ] -> ((((j - i) mod c) + c) mod c * r) + i
+  | _ -> row_major ~dims idx
+
+let slot_of_flat kind ~dims flat =
+  let rec unflatten rev_dims flat acc =
+    match rev_dims with
+    | [] -> acc
+    | d :: rest -> unflatten rest (flat / d) ((flat mod d) :: acc)
+  in
+  slot kind ~dims (unflatten (List.rev dims) flat [])
+
+type assignment = (string * kind) list
+
+let assignment_to_string a =
+  String.concat ", " (List.map (fun (n, k) -> n ^ ":" ^ kind_to_string k) a)

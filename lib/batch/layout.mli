@@ -1,0 +1,43 @@
+(** Slot layouts: mapping array elements to ciphertext slots.
+
+    Every array of a surface program is packed into one ciphertext (or one
+    plaintext coefficient vector); a layout is the injective map from the
+    array's logical multi-index to a slot in [0, size). The choice decides
+    which rotation amounts the lowering needs:
+
+    - {!Row}: row-major flattening — the natural layout for 1-D arrays and
+      stencil access ([a\[i+di, j+dj\]] is one rotation per tap).
+    - {!Col}: column-major flattening of 2-D arrays — pairs column accesses
+      with row-major partners.
+    - {!Diag}: the Halevi–Shoup diagonal order for 2-D arrays: element
+      [(i, j)] of an [r x c] matrix goes to slot [((j - i) mod c) * r + i],
+      so the whole generalized diagonal [j - i = d] is contiguous and a
+      matrix–vector product needs one rotation per nonzero diagonal instead
+      of one per element.
+
+    For non-2-D arrays {!Col} and {!Diag} degenerate to {!Row}. *)
+
+type kind = Row | Col | Diag
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+val candidates : Surface.array_decl -> kind list
+(** Layout kinds worth trying for this array: [[Row]] unless the array is
+    2-D, then [[Row; Col; Diag]]. *)
+
+val slot : kind -> dims:int list -> int list -> int
+(** Slot of a logical multi-index (a bijection on [0, size)).
+    @raise Invalid_argument on a rank mismatch. *)
+
+val slot_of_flat : kind -> dims:int list -> int -> int
+(** Slot of a row-major flat element index — {!slot} after un-flattening. *)
+
+type assignment = (string * kind) list
+(** Chosen layout per ciphertext-carrying array ([Input] and [Local]), in
+    declaration order. [Plain] arrays take no layout — their values fold
+    into plaintext coefficient vectors at the consuming sites' slots. *)
+
+val assignment_to_string : assignment -> string
+(** [name:kind] pairs joined with [", "] — for [hecatec batch] reports and
+    bench metadata. *)

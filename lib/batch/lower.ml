@@ -1,0 +1,671 @@
+module Prog = Hecate_ir.Prog
+module Diagnostic = Hecate_ir.Diagnostic
+module IntSet = Set.Make (Int)
+
+type spec = Auto | Fixed of Layout.kind | Naive
+
+let spec_to_string = function
+  | Auto -> "auto"
+  | Naive -> "naive"
+  | Fixed k -> Layout.kind_to_string k
+
+let spec_of_string = function
+  | "auto" -> Some Auto
+  | "naive" -> Some Naive
+  | s -> Option.map (fun k -> Fixed k) (Layout.kind_of_string s)
+
+type lowered = {
+  prog : Prog.t;
+  source : Surface.t;
+  assignment : Layout.assignment;
+  rotations : int;
+  ops : int;
+  slot_count : int;
+}
+
+let pipeline = "cse,constant-fold,fixpoint(fold-plain-muls,fold-rotations,dce)"
+
+let count_rotations (p : Prog.t) =
+  let n = ref 0 in
+  Prog.iter (fun o -> match o.Prog.kind with Prog.Rotate _ -> incr n | _ -> ()) p;
+  !n
+
+let max_instances = 65536
+
+let err ?prov fmt =
+  Printf.ksprintf
+    (fun message ->
+      Error
+        (Diagnostic.v ?provenance:prov ~code:Diagnostic.Precondition
+           ~hint:
+             "batching executes each store/accumulate statement as one vector step; \
+              restructure the loops so no element is read by a statement that runs \
+              before its writer (docs/BATCHING.md)"
+           message))
+    fmt
+
+(* pretty element reference for diagnostics: row-major flat -> a[i, j] *)
+let elem_str (d : Surface.array_decl) flat =
+  let rec unflatten rev_dims flat acc =
+    match rev_dims with
+    | [] -> acc
+    | dim :: rest -> unflatten rest (flat / dim) ((flat mod dim) :: acc)
+  in
+  let idx = unflatten (List.rev d.Surface.dims) flat [] in
+  Printf.sprintf "%s[%s]" d.Surface.name (String.concat ", " (List.map string_of_int idx))
+
+let next_pow2 k =
+  let rec go p = if p >= k then p else go (p * 2) in
+  go 1
+
+(* ------------------------------------------------------------------ *)
+(* Analysis: unroll, inline lets, record the exact scalar event order  *)
+(* ------------------------------------------------------------------ *)
+
+type eexpr =
+  | ELoad of { arr : string; elem : int; at : int }
+      (** [at]: scalar event sequence at which this load was evaluated —
+          for [let]-inlined loads that is the binding's position, earlier
+          than the consuming site's. *)
+  | ECoef of float
+  | ENeg of eexpr
+  | EBin of Surface.binop * eexpr * eexpr
+
+type inst = { elem : int; iexpr : eexpr; iseq : int }
+
+type site_info = {
+  s_accum : bool;
+  s_arr : string;
+  s_prov : Prog.provenance option;
+  mutable s_insts : inst list;
+}
+
+type analysis = { a_surface : Surface.t; a_slots : int; a_sites : site_info array }
+
+type astmt =
+  | AFor of string * int * int * astmt list
+  | ALet of string * Surface.expr
+  | ASite of int * Surface.site
+
+type read_ev = { r_arr : string; r_elem : int; r_seq : int; r_early : int; r_site : int }
+type write_ev = { w_arr : string; w_elem : int; w_seq : int; w_site : int }
+
+exception Stop of Diagnostic.t
+
+let annotate (p : Surface.t) =
+  let sites = ref [] in
+  let count = ref 0 in
+  let rec stmt = function
+    | Surface.For { var; lo; hi; body } -> AFor (var, lo, hi, List.map stmt body)
+    | Surface.Let { name; expr } -> ALet (name, expr)
+    | (Surface.Store s | Surface.Accum s) as st ->
+        let accum = match st with Surface.Accum _ -> true | _ -> false in
+        let id = !count in
+        incr count;
+        sites :=
+          { s_accum = accum; s_arr = s.Surface.arr; s_prov = s.Surface.prov; s_insts = [] }
+          :: !sites;
+        ASite (id, s)
+  in
+  let body = List.map stmt p.Surface.body in
+  (body, Array.of_list (List.rev !sites))
+
+let legality (p : Surface.t) (sites : site_info array) reads writes =
+  let decl arr = Option.get (Surface.array_decl p arr) in
+  let prov site = sites.(site).s_prov in
+  (* write-write: chronological site order must be non-decreasing per element *)
+  let last_site = Hashtbl.create 64 in
+  let ww =
+    List.fold_left
+      (fun acc w ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+            let key = (w.w_arr, w.w_elem) in
+            let prev = Option.value ~default:(-1) (Hashtbl.find_opt last_site key) in
+            if w.w_site < prev then
+              err ?prov:(prov w.w_site)
+                "loop-carried dependence: %s is written by interleaved statements; \
+                 batching would reorder the writes"
+                (elem_str (decl w.w_arr) w.w_elem)
+            else begin
+              Hashtbl.replace last_site key (max prev w.w_site);
+              Ok ()
+            end)
+      (Ok ()) writes
+  in
+  match ww with
+  | Error _ as e -> e
+  | Ok () ->
+      let wtbl = Hashtbl.create 64 in
+      List.iter (fun w -> Hashtbl.add wtbl (w.w_arr, w.w_elem) w) writes;
+      List.fold_left
+        (fun acc r ->
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+              List.fold_left
+                (fun acc w ->
+                  match acc with
+                  | Error _ -> acc
+                  | Ok () ->
+                      if w.w_seq < r.r_seq <> (w.w_site < r.r_site) then
+                        err ?prov:(prov r.r_site)
+                          "loop-carried dependence on %s: the scalar iteration order \
+                           interleaves this read with writes from another statement"
+                          (elem_str (decl r.r_arr) r.r_elem)
+                      else if r.r_early < w.w_seq && w.w_seq < r.r_seq then
+                        err ?prov:(prov r.r_site)
+                          "stale binding: a let captures %s before a later write; \
+                           batching would observe the updated value"
+                          (elem_str (decl r.r_arr) r.r_elem)
+                      else Ok ())
+                (Ok ())
+                (Hashtbl.find_all wtbl (r.r_arr, r.r_elem)))
+        (Ok ()) reads
+
+let analyze ?slot_count (p : Surface.t) =
+  match Surface.validate p with
+  | Error d -> Error d
+  | Ok () -> (
+      let cipher_sizes =
+        List.filter_map
+          (fun (d : Surface.array_decl) ->
+            match d.Surface.kind with
+            | Surface.Plain _ -> None
+            | _ -> Some (Surface.array_size d))
+          p.Surface.arrays
+      in
+      let need = next_pow2 (List.fold_left max 1 cipher_sizes) in
+      match
+        match slot_count with
+        | None -> Ok need
+        | Some n ->
+            if n < need then
+              err "slot count %d cannot hold the largest array (%d slots needed)" n need
+            else if n land (n - 1) <> 0 || n <= 0 then
+              err "slot count %d is not a power of two" n
+            else Ok n
+      with
+      | Error d -> Error d
+      | Ok slots -> (
+          let body, sites = annotate p in
+          let decl arr = Option.get (Surface.array_decl p arr) in
+          let seq = ref 0 in
+          let next () =
+            incr seq;
+            !seq
+          in
+          let reads = ref [] in
+          let writes = ref [] in
+          let total = ref 0 in
+          let flat_of env (d : Surface.array_decl) idx =
+            let eval (a : Surface.affine) =
+              List.fold_left
+                (fun acc (v, c) -> acc + (c * List.assoc v env))
+                a.Surface.const a.Surface.terms
+            in
+            List.fold_left2 (fun acc a dim -> (acc * dim) + eval a) 0 idx d.Surface.dims
+          in
+          let rec resolve env lets (e : Surface.expr) =
+            match e with
+            | Surface.Lit x -> ECoef x
+            | Surface.Ref r -> List.assoc r lets
+            | Surface.Neg e -> ENeg (resolve env lets e)
+            | Surface.Bin (op, a, b) ->
+                let ra = resolve env lets a in
+                let rb = resolve env lets b in
+                EBin (op, ra, rb)
+            | Surface.Load { arr; idx } ->
+                let elem = flat_of env (decl arr) idx in
+                ELoad { arr; elem; at = next () }
+          in
+          let rec collect_reads site rseq = function
+            | ELoad { arr; elem; at } -> (
+                match (decl arr).Surface.kind with
+                | Surface.Local ->
+                    reads :=
+                      { r_arr = arr; r_elem = elem; r_seq = rseq; r_early = at; r_site = site }
+                      :: !reads
+                | _ -> ())
+            | ECoef _ -> ()
+            | ENeg e -> collect_reads site rseq e
+            | EBin (_, a, b) ->
+                collect_reads site rseq a;
+                collect_reads site rseq b
+          in
+          let rec run env lets = function
+            | [] -> ()
+            | AFor (var, lo, hi, body) :: rest ->
+                for iv = lo to hi do
+                  run ((var, iv) :: env) lets body
+                done;
+                run env lets rest
+            | ALet (name, expr) :: rest ->
+                let r = resolve env lets expr in
+                run env ((name, r) :: lets) rest
+            | ASite (id, s) :: rest ->
+                incr total;
+                if !total > max_instances then
+                  raise
+                    (Stop
+                       (Diagnostic.v ~code:Diagnostic.Precondition
+                          ~hint:"shrink the loop bounds or split the program"
+                          (Printf.sprintf
+                             "loop nest unrolls past the %d-instance batching limit"
+                             max_instances)));
+                let elem = flat_of env (decl s.Surface.arr) s.Surface.idx in
+                let iexpr = resolve env lets s.Surface.expr in
+                let iseq = next () in
+                collect_reads id iseq iexpr;
+                writes :=
+                  { w_arr = s.Surface.arr; w_elem = elem; w_seq = iseq; w_site = id } :: !writes;
+                sites.(id).s_insts <- { elem; iexpr; iseq } :: sites.(id).s_insts;
+                run env lets rest
+          in
+          match run [] [] body with
+          | () ->
+              Array.iter (fun s -> s.s_insts <- List.rev s.s_insts) sites;
+              let reads = List.rev !reads in
+              let writes = List.rev !writes in
+              Result.map
+                (fun () -> { a_surface = p; a_slots = slots; a_sites = sites })
+                (legality p sites reads writes)
+          | exception Stop d -> Error d))
+
+(* ------------------------------------------------------------------ *)
+(* Vectorization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-instance template over rotated array state and static coefficients.
+   Every instance of a site yields the same shape — staticness is
+   structural (literals, Plain loads, never-written locals) — so templates
+   align leaf-for-leaf across a partition. *)
+type vexpr =
+  | VCipher of string * int  (* array state rotated left by the amount *)
+  | VCoef of float
+  | VNeg of vexpr
+  | VBin of Surface.binop * vexpr * vexpr
+
+type contrib = { cv : Prog.value; csup : IntSet.t }
+(* an emitted value together with its exact support (slots possibly
+   nonzero); the absence of a contribution stands for the zero vector *)
+
+let with_prov bld prov f =
+  match prov with
+  | None -> f ()
+  | Some { Prog.label; context } ->
+      let rec go = function
+        | [] -> Prog.Builder.in_scope bld label f
+        | c :: rest -> Prog.Builder.in_scope bld c (fun () -> go rest)
+      in
+      go context
+
+let emit (a : analysis) (assignment : Layout.assignment) ~naive =
+  let p = a.a_surface in
+  let n = a.a_slots in
+  let bld = Prog.Builder.create ~name:p.Surface.name ~slot_count:n () in
+  let decl arr = Option.get (Surface.array_decl p arr) in
+  let layout_of arr = Option.value ~default:Layout.Row (List.assoc_opt arr assignment) in
+  let states : (string, Prog.value option * IntSet.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (d : Surface.array_decl) ->
+      match d.Surface.kind with
+      | Surface.Input ->
+          let v = Prog.Builder.input bld d.Surface.name in
+          let sup = ref IntSet.empty in
+          for f = 0 to Surface.array_size d - 1 do
+            sup := IntSet.add (Layout.slot_of_flat (layout_of d.Surface.name) ~dims:d.Surface.dims f) !sup
+          done;
+          Hashtbl.replace states d.Surface.name (Some v, !sup)
+      | Surface.Local -> Hashtbl.replace states d.Surface.name (None, IntSet.empty)
+      | Surface.Plain _ -> ())
+    p.Surface.arrays;
+  let rotations = ref 0 in
+  let rot_memo : (Prog.value * int, Prog.value) Hashtbl.t = Hashtbl.create 32 in
+  let rotate v r =
+    if r = 0 then v
+    else
+      match Hashtbl.find_opt rot_memo (v, r) with
+      | Some v' -> v'
+      | None ->
+          let v' = Prog.Builder.rotate bld v r in
+          incr rotations;
+          Hashtbl.replace rot_memo (v, r) v';
+          v'
+  in
+  let shift_support sup r =
+    if r = 0 then sup else IntSet.map (fun s -> (((s - r) mod n) + n) mod n) sup
+  in
+  let apply op x y =
+    match op with
+    | Surface.Add -> x +. y
+    | Surface.Sub -> x -. y
+    | Surface.Mul -> x *. y
+  in
+  let rec to_vexpr sigma = function
+    | ELoad { arr; elem; _ } -> (
+        let d = decl arr in
+        match d.Surface.kind with
+        | Surface.Plain data -> VCoef data.(elem)
+        | _ -> (
+            match Hashtbl.find states arr with
+            | None, _ -> VCoef 0.
+            | Some _, _ ->
+                let s = Layout.slot_of_flat (layout_of arr) ~dims:d.Surface.dims elem in
+                VCipher (arr, (((s - sigma) mod n) + n) mod n)))
+    | ECoef x -> VCoef x
+    | ENeg e -> ( match to_vexpr sigma e with VCoef x -> VCoef (-.x) | t -> VNeg t)
+    | EBin (op, x, y) -> (
+        match (to_vexpr sigma x, to_vexpr sigma y) with
+        | VCoef vx, VCoef vy -> VCoef (apply op vx vy)
+        | tx, ty -> VBin (op, tx, ty))
+  in
+  let rec rot_key acc = function
+    | VCipher (_, r) -> r :: acc
+    | VCoef _ -> acc
+    | VNeg t -> rot_key acc t
+    | VBin (_, x, y) -> rot_key (rot_key acc x) y
+  in
+  (* emit one sub-partition: [trees] leaf-aligned, [sigmas] distinct *)
+  let rec emit_tree trees sigmas =
+    match trees with
+    | [] -> assert false
+    | VCipher (arr, r) :: _ -> (
+        match Hashtbl.find states arr with
+        | Some v, sup -> Some { cv = rotate v r; csup = shift_support sup r }
+        | None, _ -> assert false)
+    | VCoef _ :: _ ->
+        let vec = Array.make n 0. in
+        let sup = ref IntSet.empty in
+        List.iter2
+          (fun t s ->
+            match t with
+            | VCoef x ->
+                if x <> 0. then begin
+                  vec.(s) <- x;
+                  sup := IntSet.add s !sup
+                end
+            | _ -> assert false)
+          trees sigmas;
+        if IntSet.is_empty !sup then None
+        else Some { cv = Prog.Builder.const_vector bld vec; csup = !sup }
+    | VNeg _ :: _ -> (
+        let subs = List.map (function VNeg t -> t | _ -> assert false) trees in
+        match emit_tree subs sigmas with
+        | None -> None
+        | Some c -> Some { cv = Prog.Builder.negate bld c.cv; csup = c.csup })
+    | VBin (op, _, _) :: _ -> (
+        let ls = List.map (function VBin (_, x, _) -> x | _ -> assert false) trees in
+        let rs = List.map (function VBin (_, _, y) -> y | _ -> assert false) trees in
+        let cl = emit_tree ls sigmas in
+        match (op, cl) with
+        | Surface.Mul, None -> None (* short-circuit: skip the other factor's ops *)
+        | _ -> (
+        let cr = emit_tree rs sigmas in
+        match (op, cl, cr) with
+        | _, None, None -> None
+        | Surface.Mul, None, _ | Surface.Mul, _, None -> None
+        | (Surface.Add | Surface.Sub), Some c, None -> Some c
+        | Surface.Add, None, Some c -> Some c
+        | Surface.Sub, None, Some c -> Some { cv = Prog.Builder.negate bld c.cv; csup = c.csup }
+        | Surface.Add, Some x, Some y ->
+            Some { cv = Prog.Builder.add bld x.cv y.cv; csup = IntSet.union x.csup y.csup }
+        | Surface.Sub, Some x, Some y ->
+            Some { cv = Prog.Builder.sub bld x.cv y.cv; csup = IntSet.union x.csup y.csup }
+        | Surface.Mul, Some x, Some y ->
+            let sup = IntSet.inter x.csup y.csup in
+            if IntSet.is_empty sup then None
+            else Some { cv = Prog.Builder.mul bld x.cv y.cv; csup = sup }))
+  in
+  let rec add_all = function
+    | [] -> None
+    | [ c ] -> Some c
+    | cs ->
+        let rec pair = function
+          | x :: y :: rest ->
+              { cv = Prog.Builder.add bld x.cv y.cv; csup = IntSet.union x.csup y.csup }
+              :: pair rest
+          | tail -> tail
+        in
+        add_all (pair cs)
+  in
+  let uniq = ref 0 in
+  let process_site (s : site_info) =
+    let d = decl s.s_arr in
+    let kind = layout_of s.s_arr in
+    let insts =
+      if s.s_accum then s.s_insts
+      else begin
+        (* scalar store semantics: the last write to an element wins *)
+        let last = Hashtbl.create 16 in
+        List.iter (fun i -> Hashtbl.replace last i.elem i.iseq) s.s_insts;
+        List.filter (fun i -> Hashtbl.find last i.elem = i.iseq) s.s_insts
+      end
+    in
+    if insts <> [] then begin
+      let items =
+        List.map
+          (fun i ->
+            let sigma = Layout.slot_of_flat kind ~dims:d.Surface.dims i.elem in
+            (sigma, to_vexpr sigma i.iexpr))
+          insts
+      in
+      (* group instances by rotation tuple, insertion-ordered *)
+      let groups = ref [] in
+      let gtbl = Hashtbl.create 16 in
+      List.iter
+        (fun (sigma, t) ->
+          let key =
+            if naive then begin
+              incr uniq;
+              [ - !uniq ]
+            end
+            else rot_key [] t
+          in
+          match Hashtbl.find_opt gtbl key with
+          | Some cell -> cell := (sigma, t) :: !cell
+          | None ->
+              let cell = ref [ (sigma, t) ] in
+              Hashtbl.replace gtbl key cell;
+              groups := cell :: !groups)
+        items;
+      let groups = List.rev_map (fun c -> List.rev !c) !groups in
+      (* refine so target slots are distinct within a partition (first fit) *)
+      let subparts =
+        List.concat_map
+          (fun grp ->
+            let parts = ref [] in
+            List.iter
+              (fun (sigma, t) ->
+                let rec place = function
+                  | [] -> parts := !parts @ [ (ref (IntSet.singleton sigma), ref [ (sigma, t) ]) ]
+                  | (sigs, its) :: rest ->
+                      if IntSet.mem sigma !sigs then place rest
+                      else begin
+                        sigs := IntSet.add sigma !sigs;
+                        its := (sigma, t) :: !its
+                      end
+                in
+                place !parts)
+              grp;
+            List.map (fun (_, its) -> List.rev !its) !parts)
+          groups
+      in
+      let contribs =
+        List.filter_map
+          (fun part ->
+            let sigmas = List.map fst part in
+            let trees = List.map snd part in
+            let targets = IntSet.of_list sigmas in
+            match emit_tree trees sigmas with
+            | None -> None
+            | Some c ->
+                if IntSet.subset c.csup targets then Some c
+                else begin
+                  let m = Array.make n 0. in
+                  IntSet.iter (fun s -> m.(s) <- 1.) targets;
+                  Some
+                    {
+                      cv = Prog.Builder.mul bld c.cv (Prog.Builder.const_vector bld m);
+                      csup = IntSet.inter c.csup targets;
+                    }
+                end)
+          subparts
+      in
+      let sum = add_all contribs in
+      let old_v, old_sup = Hashtbl.find states s.s_arr in
+      let new_state =
+        if s.s_accum then
+          match (old_v, sum) with
+          | old, None -> (old, old_sup)
+          | None, Some c -> (Some c.cv, c.csup)
+          | Some v, Some c -> (Some (Prog.Builder.add bld v c.cv), IntSet.union old_sup c.csup)
+        else begin
+          let all_targets = IntSet.of_list (List.map fst items) in
+          let old' =
+            match old_v with
+            | None -> None
+            | Some v ->
+                if IntSet.subset old_sup all_targets then None (* fully overwritten *)
+                else if IntSet.is_empty (IntSet.inter old_sup all_targets) then
+                  Some { cv = v; csup = old_sup }
+                else begin
+                  let m = Array.make n 1. in
+                  IntSet.iter (fun s -> m.(s) <- 0.) all_targets;
+                  Some
+                    {
+                      cv = Prog.Builder.mul bld v (Prog.Builder.const_vector bld m);
+                      csup = IntSet.diff old_sup all_targets;
+                    }
+                end
+          in
+          match (old', sum) with
+          | None, None -> (None, IntSet.empty)
+          | Some c, None | None, Some c -> (Some c.cv, c.csup)
+          | Some o, Some c ->
+              (Some (Prog.Builder.add bld o.cv c.cv), IntSet.union o.csup c.csup)
+        end
+      in
+      Hashtbl.replace states s.s_arr new_state
+    end
+  in
+  Array.iter (fun s -> with_prov bld s.s_prov (fun () -> process_site s)) a.a_sites;
+  match
+    List.find_opt (fun o -> fst (Hashtbl.find states o) = None) p.Surface.outputs
+  with
+  | Some o -> err "output array %S is never written" o
+  | None ->
+      List.iter
+        (fun o -> Prog.Builder.output bld (Option.get (fst (Hashtbl.find states o))))
+        p.Surface.outputs;
+      let prog = Prog.Builder.finish bld in
+      Ok
+        {
+          prog;
+          source = p;
+          assignment;
+          rotations = !rotations;
+          ops = Prog.num_ops prog;
+          slot_count = n;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Layout choice                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let cipher_arrays (p : Surface.t) =
+  List.filter
+    (fun (d : Surface.array_decl) ->
+      match d.Surface.kind with Surface.Plain _ -> false | _ -> true)
+    p.Surface.arrays
+
+let fixed_assignment (p : Surface.t) k =
+  List.map
+    (fun (d : Surface.array_decl) ->
+      (d.Surface.name, if List.mem k (Layout.candidates d) then k else Layout.Row))
+    (cipher_arrays p)
+
+let score a asg =
+  match emit a asg ~naive:false with
+  | Ok r -> (r.rotations, r.ops)
+  | Error _ -> (max_int, max_int)
+
+let choose_auto (a : analysis) =
+  let cands =
+    List.map
+      (fun (d : Surface.array_decl) -> (d.Surface.name, Layout.candidates d))
+      (cipher_arrays a.a_surface)
+  in
+  let combos = List.fold_left (fun acc (_, ks) -> acc * List.length ks) 1 cands in
+  if combos <= 81 then begin
+    (* exhaustive, first strictly-better combination wins ties *)
+    let best = ref None in
+    let rec go acc = function
+      | [] ->
+          let asg = List.rev acc in
+          let sc = score a asg in
+          (match !best with
+          | Some (bsc, _) when bsc <= sc -> ()
+          | _ -> best := Some (sc, asg))
+      | (name, ks) :: rest -> List.iter (fun k -> go ((name, k) :: acc) rest) ks
+    in
+    go [] cands;
+    match !best with Some (_, asg) -> asg | None -> []
+  end
+  else begin
+    (* coordinate descent from all-row, two sweeps *)
+    let best = ref (List.map (fun (name, ks) -> (name, List.hd ks)) cands) in
+    let bscore = ref (score a !best) in
+    for _sweep = 1 to 2 do
+      List.iter
+        (fun (name, ks) ->
+          List.iter
+            (fun k ->
+              let asg =
+                List.map (fun (n', k') -> if n' = name then (n', k) else (n', k')) !best
+              in
+              let sc = score a asg in
+              if sc < !bscore then begin
+                best := asg;
+                bscore := sc
+              end)
+            ks)
+        cands
+    done;
+    !best
+  end
+
+let lower ?slot_count ~spec p =
+  match analyze ?slot_count p with
+  | Error d -> Error d
+  | Ok a -> (
+      match spec with
+      | Naive -> emit a (fixed_assignment p Layout.Row) ~naive:true
+      | Fixed k -> emit a (fixed_assignment p k) ~naive:false
+      | Auto -> emit a (choose_auto a) ~naive:false)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime packing helpers                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pack_input (l : lowered) name data =
+  match Surface.array_decl l.source name with
+  | Some ({ Surface.kind = Surface.Input; dims; _ } as d) ->
+      let kind = Option.value ~default:Layout.Row (List.assoc_opt name l.assignment) in
+      let out = Array.make l.slot_count 0. in
+      for f = 0 to Surface.array_size d - 1 do
+        out.(Layout.slot_of_flat kind ~dims f) <-
+          (if f < Array.length data then data.(f) else 0.)
+      done;
+      out
+  | _ -> invalid_arg (Printf.sprintf "Lower.pack_input: %S is not an input array" name)
+
+let decode_output (l : lowered) name packed =
+  if not (List.mem name l.source.Surface.outputs) then
+    invalid_arg (Printf.sprintf "Lower.decode_output: %S is not an output array" name);
+  match Surface.array_decl l.source name with
+  | Some ({ Surface.dims; _ } as d) ->
+      let kind = Option.value ~default:Layout.Row (List.assoc_opt name l.assignment) in
+      Array.init (Surface.array_size d) (fun f -> packed.(Layout.slot_of_flat kind ~dims f))
+  | None -> assert false

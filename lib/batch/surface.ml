@@ -1,0 +1,709 @@
+module Diagnostic = Hecate_ir.Diagnostic
+module Prog = Hecate_ir.Prog
+
+type affine = { terms : (string * int) list; const : int }
+
+let affine_norm { terms; const } =
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun (v, c) ->
+      Hashtbl.replace tbl v (c + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
+    terms;
+  let terms =
+    Hashtbl.fold (fun v c acc -> if c = 0 then acc else (v, c) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { terms; const }
+
+let affine_const const = { terms = []; const }
+let affine_var ?(coeff = 1) v = affine_norm { terms = [ (v, coeff) ]; const = 0 }
+
+let affine_add a b =
+  affine_norm { terms = a.terms @ b.terms; const = a.const + b.const }
+
+let affine_to_string { terms; const } =
+  let term (v, c) =
+    if c = 1 then v else if c = -1 then "-" ^ v else Printf.sprintf "%d*%s" c v
+  in
+  match terms with
+  | [] -> string_of_int const
+  | t0 :: rest ->
+      let buf = Buffer.create 16 in
+      Buffer.add_string buf (term t0);
+      List.iter
+        (fun (v, c) ->
+          if c < 0 then Buffer.add_string buf (Printf.sprintf "-%s" (term (v, -c)))
+          else Buffer.add_string buf (Printf.sprintf "+%s" (term (v, c))))
+        rest;
+      if const > 0 then Buffer.add_string buf (Printf.sprintf "+%d" const)
+      else if const < 0 then Buffer.add_string buf (string_of_int const);
+      Buffer.contents buf
+
+type binop = Add | Sub | Mul
+
+type expr =
+  | Load of { arr : string; idx : affine list }
+  | Lit of float
+  | Ref of string
+  | Neg of expr
+  | Bin of binop * expr * expr
+
+type stmt =
+  | For of { var : string; lo : int; hi : int; body : stmt list }
+  | Let of { name : string; expr : expr }
+  | Store of site
+  | Accum of site
+
+and site = {
+  arr : string;
+  idx : affine list;
+  expr : expr;
+  prov : Prog.provenance option;
+}
+
+type array_kind = Input | Plain of float array | Local
+
+type array_decl = { name : string; dims : int list; kind : array_kind }
+
+type t = {
+  name : string;
+  arrays : array_decl list;
+  outputs : string list;
+  body : stmt list;
+}
+
+let array_decl p name = List.find_opt (fun (a : array_decl) -> a.name = name) p.arrays
+let array_size a = List.fold_left ( * ) 1 a.dims
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let err ?prov fmt =
+  Printf.ksprintf
+    (fun message ->
+      Error
+        (Diagnostic.v ?provenance:prov ~code:Diagnostic.Precondition
+           ~hint:"see docs/BATCHING.md for the supported scalar-program shape" message))
+    fmt
+
+(* min/max of an affine form over loop-variable ranges *)
+let affine_range bounds a =
+  List.fold_left
+    (fun (lo, hi) (v, c) ->
+      match List.assoc_opt v bounds with
+      | None -> (lo, hi) (* caught separately as an unbound variable *)
+      | Some (vlo, vhi) ->
+          if c >= 0 then (lo + (c * vlo), hi + (c * vhi)) else (lo + (c * vhi), hi + (c * vlo)))
+    (a.const, a.const) a.terms
+
+let validate (p : t) =
+  let ( let* ) = Result.bind in
+  let* () = if p.name = "" then err "program has no name" else Ok () in
+  let* () =
+    let seen = Hashtbl.create 8 in
+    List.fold_left
+      (fun acc (a : array_decl) ->
+        let* () = acc in
+        let* () =
+          if Hashtbl.mem seen a.name then err "array %S declared twice" a.name else Ok ()
+        in
+        Hashtbl.replace seen a.name ();
+        let* () =
+          if a.dims = [] || List.exists (fun d -> d <= 0) a.dims then
+            err "array %S: dimensions must be positive" a.name
+          else Ok ()
+        in
+        match a.kind with
+        | Plain data when Array.length data <> array_size a ->
+            err "plain array %S: %d elements declared, %d provided" a.name (array_size a)
+              (Array.length data)
+        | _ -> Ok ())
+      (Ok ()) p.arrays
+  in
+  let* () =
+    List.fold_left
+      (fun acc out ->
+        let* () = acc in
+        match array_decl p out with
+        | None -> err "output %S is not a declared array" out
+        | Some { kind = Plain _; _ } -> err "output %S is a plain (constant) array" out
+        | Some { kind = Input; _ } -> err "output %S is an encrypted input" out
+        | Some { kind = Local; _ } -> Ok ())
+      (Ok ()) p.outputs
+  in
+  let* () = if p.outputs = [] then err "program has no outputs" else Ok () in
+  (* body: scoping and static bounds *)
+  let check_idx ~prov ~what bounds arr idx =
+    let* decl =
+      match array_decl p arr with
+      | Some d -> Ok d
+      | None -> err ?prov "%s: array %S is not declared" what arr
+    in
+    let* () =
+      if List.length idx <> List.length decl.dims then
+        err ?prov "%s: array %S has rank %d, %d indices given" what arr
+          (List.length decl.dims) (List.length idx)
+      else Ok ()
+    in
+    List.fold_left2
+      (fun acc a dim ->
+        let* () = acc in
+        let* () =
+          List.fold_left
+            (fun acc (v, _) ->
+              let* () = acc in
+              if List.mem_assoc v bounds then Ok ()
+              else err ?prov "%s: index uses %S outside any enclosing loop" what v)
+            (Ok ()) a.terms
+        in
+        let lo, hi = affine_range bounds a in
+        if lo < 0 || hi >= dim then
+          err ?prov "%s: index %s ranges over [%d,%d] outside %S's dimension %d" what
+            (affine_to_string a) lo hi arr dim
+        else Ok ())
+      (Ok ()) idx decl.dims
+  in
+  let rec check_expr ~prov bounds lets = function
+    | Lit _ -> Ok ()
+    | Ref r ->
+        if List.mem r lets then Ok ()
+        else err ?prov "reference to unbound scalar %S" r
+    | Load { arr; idx } -> check_idx ~prov ~what:("load of " ^ arr) bounds arr idx
+    | Neg e -> check_expr ~prov bounds lets e
+    | Bin (_, a, b) ->
+        let* () = check_expr ~prov bounds lets a in
+        check_expr ~prov bounds lets b
+  in
+  let rec check_block bounds lets = function
+    | [] -> Ok ()
+    | For { var; lo; hi; body } :: rest ->
+        let* () =
+          if List.mem_assoc var bounds then
+            err "loop variable %S shadows an enclosing loop" var
+          else Ok ()
+        in
+        let* () =
+          if lo > hi then Ok () (* zero iterations, nothing to check inside *)
+          else check_block ((var, (lo, hi)) :: bounds) lets body
+        in
+        check_block bounds lets rest
+    | Let { name; expr } :: rest ->
+        let* () = check_expr ~prov:None bounds lets expr in
+        check_block bounds (name :: lets) rest
+    | Store s :: rest | Accum s :: rest ->
+        let* decl =
+          match array_decl p s.arr with
+          | Some d -> Ok d
+          | None -> err ?prov:s.prov "write to undeclared array %S" s.arr
+        in
+        let* () =
+          match decl.kind with
+          | Plain _ -> err ?prov:s.prov "write to plain (constant) array %S" s.arr
+          | Input -> err ?prov:s.prov "write to encrypted input array %S" s.arr
+          | Local -> Ok ()
+        in
+        let* () = check_idx ~prov:s.prov ~what:("write to " ^ s.arr) bounds s.arr s.idx in
+        let* () = check_expr ~prov:s.prov bounds lets s.expr in
+        check_block bounds lets rest
+  in
+  check_block [] [] p.body
+
+(* ------------------------------------------------------------------ *)
+(* Reference interpreter                                               *)
+(* ------------------------------------------------------------------ *)
+
+let flat_index decl idx_values =
+  List.fold_left2 (fun acc i d -> (acc * d) + i) 0 idx_values decl.dims
+
+let execute (p : t) ~inputs =
+  (match validate p with
+  | Ok () -> ()
+  | Error d -> invalid_arg ("Surface.execute: " ^ Diagnostic.to_string d));
+  let storage = Hashtbl.create 8 in
+  List.iter
+    (fun (a : array_decl) ->
+      let data =
+        match a.kind with
+        | Plain data -> Array.copy data
+        | Local -> Array.make (array_size a) 0.
+        | Input -> (
+            match List.assoc_opt a.name inputs with
+            | None -> invalid_arg (Printf.sprintf "Surface.execute: missing input %S" a.name)
+            | Some given ->
+                let out = Array.make (array_size a) 0. in
+                Array.blit given 0 out 0 (min (Array.length given) (Array.length out));
+                out)
+      in
+      Hashtbl.replace storage a.name data)
+    p.arrays;
+  let eval_affine env a =
+    List.fold_left (fun acc (v, c) -> acc + (c * List.assoc v env)) a.const a.terms
+  in
+  let slot env arr idx =
+    let decl = Option.get (array_decl p arr) in
+    flat_index decl (List.map (eval_affine env) idx)
+  in
+  let rec eval_expr env lets = function
+    | Lit x -> x
+    | Ref r -> List.assoc r lets
+    | Neg e -> -.eval_expr env lets e
+    | Bin (op, a, b) -> (
+        let va = eval_expr env lets a and vb = eval_expr env lets b in
+        match op with Add -> va +. vb | Sub -> va -. vb | Mul -> va *. vb)
+    | Load { arr; idx } -> (Hashtbl.find storage arr).(slot env arr idx)
+  in
+  let rec run env lets = function
+    | [] -> ()
+    | For { var; lo; hi; body } :: rest ->
+        for i = lo to hi do
+          run ((var, i) :: env) lets body
+        done;
+        run env lets rest
+    | Let { name; expr } :: rest -> run env ((name, eval_expr env lets expr) :: lets) rest
+    | Store s :: rest ->
+        (Hashtbl.find storage s.arr).(slot env s.arr s.idx) <- eval_expr env lets s.expr;
+        run env lets rest
+    | Accum s :: rest ->
+        let data = Hashtbl.find storage s.arr in
+        let i = slot env s.arr s.idx in
+        data.(i) <- data.(i) +. eval_expr env lets s.expr;
+        run env lets rest
+  in
+  run [] [] p.body;
+  List.map (fun out -> (out, Hashtbl.find storage out)) p.outputs
+
+(* ------------------------------------------------------------------ *)
+(* Printer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* shortest float literal that round-trips *)
+let float_lit x =
+  let short = Printf.sprintf "%.12g" x in
+  if float_of_string short = x then short else Printf.sprintf "%.17g" x
+
+let rec expr_to_buf buf ~prec e =
+  let paren p body =
+    if p < prec then begin
+      Buffer.add_char buf '(';
+      body ();
+      Buffer.add_char buf ')'
+    end
+    else body ()
+  in
+  match e with
+  | Lit x ->
+      if x < 0. then paren 0 (fun () -> Buffer.add_string buf (float_lit x))
+      else Buffer.add_string buf (float_lit x)
+  | Ref r -> Buffer.add_string buf r
+  | Load { arr; idx } ->
+      Buffer.add_string buf arr;
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i a ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (affine_to_string a))
+        idx;
+      Buffer.add_char buf ']'
+  | Neg e ->
+      paren 2
+        (fun () ->
+          Buffer.add_char buf '-';
+          expr_to_buf buf ~prec:3 e)
+  | Bin (op, a, b) ->
+      let p, s = match op with Add -> (1, " + ") | Sub -> (1, " - ") | Mul -> (2, " * ") in
+      paren p (fun () ->
+          expr_to_buf buf ~prec:p a;
+          Buffer.add_string buf s;
+          (* left-associative: the right operand needs one level more *)
+          expr_to_buf buf ~prec:(p + 1) b)
+
+let expr_to_string e =
+  let buf = Buffer.create 32 in
+  expr_to_buf buf ~prec:0 e;
+  Buffer.contents buf
+
+let to_string (p : t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "batch %s {\n" p.name);
+  List.iter
+    (fun (a : array_decl) ->
+      let dims = String.concat ", " (List.map string_of_int a.dims) in
+      match a.kind with
+      | Input -> Buffer.add_string buf (Printf.sprintf "  input %s[%s];\n" a.name dims)
+      | Local ->
+          if List.mem a.name p.outputs then
+            Buffer.add_string buf (Printf.sprintf "  output %s[%s];\n" a.name dims)
+          else Buffer.add_string buf (Printf.sprintf "  local %s[%s];\n" a.name dims)
+      | Plain data ->
+          Buffer.add_string buf (Printf.sprintf "  plain %s[%s] = [" a.name dims);
+          Array.iteri
+            (fun i x ->
+              if i > 0 then Buffer.add_string buf ", ";
+              Buffer.add_string buf (float_lit x))
+            data;
+          Buffer.add_string buf "];\n")
+    p.arrays;
+  let rec stmt indent s =
+    let pad = String.make indent ' ' in
+    match s with
+    | For { var; lo; hi; body } ->
+        Buffer.add_string buf (Printf.sprintf "%sfor %s = %d to %d {\n" pad var lo hi);
+        List.iter (stmt (indent + 2)) body;
+        Buffer.add_string buf (pad ^ "}\n")
+    | Let { name; expr } ->
+        Buffer.add_string buf (Printf.sprintf "%slet %s = %s;\n" pad name (expr_to_string expr))
+    | Store { arr; idx; expr; _ } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s[%s] = %s;\n" pad arr
+             (String.concat ", " (List.map affine_to_string idx))
+             (expr_to_string expr))
+    | Accum { arr; idx; expr; _ } ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s[%s] += %s;\n" pad arr
+             (String.concat ", " (List.map affine_to_string idx))
+             (expr_to_string expr))
+  in
+  List.iter (stmt 2) p.body;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_stop of int * string
+(* internal; re-raised as Hecate_ir.Parser.Parse_error *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Float of float
+  | Sym of char  (* one of { } [ ] ( ) , ; = + - * *)
+  | Plus_eq
+
+type lexed = { tok : token; line : int }
+
+let lex src =
+  let toks = ref [] in
+  let line = ref 1 in
+  let n = String.length src in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    (match c with
+    | '\n' ->
+        incr line;
+        incr i
+    | ' ' | '\t' | '\r' -> incr i
+    | '#' -> while !i < n && src.[!i] <> '\n' do incr i done
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let start = !i in
+        while
+          !i < n
+          && match src.[!i] with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+        do
+          incr i
+        done;
+        toks := { tok = Ident (String.sub src start (!i - start)); line = !line } :: !toks
+    | '0' .. '9' | '.' ->
+        let start = !i in
+        let is_float = ref (c = '.') in
+        while
+          !i < n
+          &&
+          match src.[!i] with
+          | '0' .. '9' -> true
+          | '.' | 'e' | 'E' ->
+              is_float := true;
+              true
+          | '+' | '-' when !i > start && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E') -> true
+          | _ -> false
+        do
+          incr i
+        done;
+        let text = String.sub src start (!i - start) in
+        let tok =
+          if !is_float then
+            match float_of_string_opt text with
+            | Some f -> Float f
+            | None -> raise (Parse_stop (!line, Printf.sprintf "bad number %S" text))
+          else
+            match int_of_string_opt text with
+            | Some k -> Int k
+            | None -> raise (Parse_stop (!line, Printf.sprintf "bad number %S" text))
+        in
+        toks := { tok; line = !line } :: !toks
+    | '+' when peek 1 = Some '=' ->
+        toks := { tok = Plus_eq; line = !line } :: !toks;
+        i := !i + 2
+    | '{' | '}' | '[' | ']' | '(' | ')' | ',' | ';' | '=' | '+' | '-' | '*' ->
+        toks := { tok = Sym c; line = !line } :: !toks;
+        incr i
+    | c -> raise (Parse_stop (!line, Printf.sprintf "unexpected character %C" c)));
+  done;
+  List.rev !toks
+
+type state = { mutable rest : lexed list; mutable last_line : int }
+
+let tok_name = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int k -> Printf.sprintf "integer %d" k
+  | Float f -> Printf.sprintf "number %s" (float_lit f)
+  | Sym c -> Printf.sprintf "%C" c
+  | Plus_eq -> "\"+=\""
+
+let next st =
+  match st.rest with
+  | [] -> raise (Parse_stop (st.last_line, "unexpected end of input"))
+  | { tok; line } :: rest ->
+      st.rest <- rest;
+      st.last_line <- line;
+      tok
+
+let peek st = match st.rest with [] -> None | { tok; _ } :: _ -> Some tok
+
+let expect st want =
+  let got = next st in
+  if got <> want then
+    raise (Parse_stop (st.last_line, Printf.sprintf "expected %s, got %s" (tok_name want) (tok_name got)))
+
+let expect_ident st =
+  match next st with
+  | Ident s -> s
+  | got -> raise (Parse_stop (st.last_line, "expected an identifier, got " ^ tok_name got))
+
+let expect_int st =
+  match next st with
+  | Int k -> k
+  | Sym '-' -> (
+      match next st with
+      | Int k -> -k
+      | got -> raise (Parse_stop (st.last_line, "expected an integer, got " ^ tok_name got)))
+  | got -> raise (Parse_stop (st.last_line, "expected an integer, got " ^ tok_name got))
+
+let parse_dims st =
+  expect st (Sym '[');
+  let rec go acc =
+    let d = expect_int st in
+    match next st with
+    | Sym ',' -> go (d :: acc)
+    | Sym ']' -> List.rev (d :: acc)
+    | got -> raise (Parse_stop (st.last_line, "expected ',' or ']', got " ^ tok_name got))
+  in
+  go []
+
+(* affine index: [-] term (('+'|'-') term)* with term = int | ident | int*ident | ident*int *)
+let parse_affine st =
+  let term neg =
+    let s = if neg then -1 else 1 in
+    match next st with
+    | Int k -> (
+        match peek st with
+        | Some (Sym '*') ->
+            expect st (Sym '*');
+            let v = expect_ident st in
+            affine_var ~coeff:(s * k) v
+        | _ -> affine_const (s * k))
+    | Ident v -> (
+        match peek st with
+        | Some (Sym '*') ->
+            expect st (Sym '*');
+            let k = expect_int st in
+            affine_var ~coeff:(s * k) v
+        | _ -> affine_var ~coeff:s v)
+    | got ->
+        raise
+          (Parse_stop
+             (st.last_line, "expected an affine index term, got " ^ tok_name got))
+  in
+  let first = match peek st with
+    | Some (Sym '-') ->
+        ignore (next st);
+        term true
+    | _ -> term false
+  in
+  let rec go acc =
+    match peek st with
+    | Some (Sym '+') ->
+        ignore (next st);
+        go (affine_add acc (term false))
+    | Some (Sym '-') ->
+        ignore (next st);
+        go (affine_add acc (term true))
+    | _ -> acc
+  in
+  go first
+
+let parse_index_list st =
+  expect st (Sym '[');
+  let rec go acc =
+    let a = parse_affine st in
+    match next st with
+    | Sym ',' -> go (a :: acc)
+    | Sym ']' -> List.rev (a :: acc)
+    | got -> raise (Parse_stop (st.last_line, "expected ',' or ']', got " ^ tok_name got))
+  in
+  go []
+
+let rec parse_expr st = parse_sum st
+
+and parse_sum st =
+  let rec go acc =
+    match peek st with
+    | Some (Sym '+') ->
+        ignore (next st);
+        go (Bin (Add, acc, parse_product st))
+    | Some (Sym '-') ->
+        ignore (next st);
+        go (Bin (Sub, acc, parse_product st))
+    | _ -> acc
+  in
+  go (parse_product st)
+
+and parse_product st =
+  let rec go acc =
+    match peek st with
+    | Some (Sym '*') ->
+        ignore (next st);
+        go (Bin (Mul, acc, parse_atom st))
+    | _ -> acc
+  in
+  go (parse_atom st)
+
+and parse_atom st =
+  match next st with
+  | Sym '-' -> Neg (parse_atom st)
+  | Sym '(' ->
+      let e = parse_expr st in
+      expect st (Sym ')');
+      e
+  | Float f -> Lit f
+  | Int k -> Lit (float_of_int k)
+  | Ident name -> (
+      match peek st with
+      | Some (Sym '[') -> Load { arr = name; idx = parse_index_list st }
+      | _ -> Ref name)
+  | got -> raise (Parse_stop (st.last_line, "expected an expression, got " ^ tok_name got))
+
+let parse_plain_data st =
+  expect st (Sym '=');
+  expect st (Sym '[');
+  let value () =
+    match next st with
+    | Float f -> f
+    | Int k -> float_of_int k
+    | Sym '-' -> (
+        match next st with
+        | Float f -> -.f
+        | Int k -> float_of_int (-k)
+        | got -> raise (Parse_stop (st.last_line, "expected a number, got " ^ tok_name got)))
+    | got -> raise (Parse_stop (st.last_line, "expected a number, got " ^ tok_name got))
+  in
+  match peek st with
+  | Some (Sym ']') ->
+      ignore (next st);
+      [||]
+  | _ ->
+      let rec go acc =
+        let v = value () in
+        match next st with
+        | Sym ',' -> go (v :: acc)
+        | Sym ']' -> Array.of_list (List.rev (v :: acc))
+        | got -> raise (Parse_stop (st.last_line, "expected ',' or ']', got " ^ tok_name got))
+      in
+      go []
+
+let rec parse_block st =
+  let rec go acc =
+    match peek st with
+    | Some (Sym '}') ->
+        ignore (next st);
+        List.rev acc
+    | Some _ -> go (parse_stmt st :: acc)
+    | None -> raise (Parse_stop (st.last_line, "unexpected end of input inside a block"))
+  in
+  go []
+
+and parse_stmt st =
+  match next st with
+  | Ident "for" ->
+      let var = expect_ident st in
+      expect st (Sym '=');
+      let lo = expect_int st in
+      (match next st with
+      | Ident "to" -> ()
+      | got -> raise (Parse_stop (st.last_line, "expected \"to\", got " ^ tok_name got)));
+      let hi = expect_int st in
+      expect st (Sym '{');
+      let body = parse_block st in
+      For { var; lo; hi; body }
+  | Ident "let" ->
+      let name = expect_ident st in
+      expect st (Sym '=');
+      let expr = parse_expr st in
+      expect st (Sym ';');
+      Let { name; expr }
+  | Ident arr ->
+      let idx = parse_index_list st in
+      let accum =
+        match next st with
+        | Sym '=' -> false
+        | Plus_eq -> true
+        | got ->
+            raise (Parse_stop (st.last_line, "expected '=' or \"+=\", got " ^ tok_name got))
+      in
+      let expr = parse_expr st in
+      expect st (Sym ';');
+      let prov =
+        Some { Prog.label = (if accum then "accum " else "store ") ^ arr; context = [] }
+      in
+      if accum then Accum { arr; idx; expr; prov } else Store { arr; idx; expr; prov }
+  | got -> raise (Parse_stop (st.last_line, "expected a statement, got " ^ tok_name got))
+
+let parse src =
+  try
+    let st = { rest = lex src; last_line = 1 } in
+    (match next st with
+    | Ident "batch" -> ()
+    | got -> raise (Parse_stop (st.last_line, "expected \"batch\", got " ^ tok_name got)));
+    let name = expect_ident st in
+    expect st (Sym '{');
+    let arrays = ref [] in
+    let outputs = ref [] in
+    let rec decls () =
+      match peek st with
+      | Some (Ident (("input" | "plain" | "local" | "output") as kw)) ->
+          ignore (next st);
+          let name = expect_ident st in
+          let dims = parse_dims st in
+          let kind =
+            match kw with
+            | "input" -> Input
+            | "plain" -> Plain (parse_plain_data st)
+            | _ -> Local
+          in
+          if kw = "output" then outputs := name :: !outputs;
+          expect st (Sym ';');
+          arrays := { name; dims; kind } :: !arrays;
+          decls ()
+      | _ -> ()
+    in
+    decls ();
+    let body = parse_block st in
+    if st.rest <> [] then
+      raise (Parse_stop (st.last_line, "trailing input after the closing '}'"));
+    {
+      name;
+      arrays = List.rev !arrays;
+      outputs = List.rev !outputs;
+      body;
+    }
+  with Parse_stop (line, message) -> raise (Hecate_ir.Parser.Parse_error { line; message })
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))

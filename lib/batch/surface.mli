@@ -1,0 +1,102 @@
+(** Scalar surface IR for the SIMD batching frontend (ROADMAP item 1).
+
+    HECATE's vector IR ({!Hecate_ir.Prog}) computes over packed slot
+    vectors with explicit rotations; writing it by hand means choosing a
+    slot layout and a rotation network up front. This module is the other
+    entry point: ordinary scalar loop programs over arrays — the workload
+    class HECO and Porcupine open — that {!Lower} compiles into packed
+    vector IR by choosing layouts ({!Layout}) and minimizing the rotation
+    network.
+
+    A program is a sequence of statements over declared arrays:
+    - [input] arrays arrive encrypted (one packed ciphertext each);
+    - [plain] arrays are compile-time constants (weights, masks) and fold
+      into plaintext coefficient vectors during lowering;
+    - [local] arrays are zero-initialized scratch/output storage.
+
+    Statements are counted [for] loops (inclusive bounds, compile-time
+    trip counts), scalar [let] bindings, element stores ([a\[i\] = e]) and
+    accumulations ([a\[i\] += e]). Array indices are affine in the
+    enclosing loop variables — the shape {!Lower} exploits to turn whole
+    iteration domains into single rotations.
+
+    Semantics (shared by {!execute} and the lowering):
+    - arrays are zero-initialized; reading a never-written element gives 0;
+    - [Store] overwrites, [Accum] adds;
+    - loops with [lo > hi] have zero iterations. *)
+
+type affine = { terms : (string * int) list; const : int }
+(** [sum_i coeff_i * var_i + const] over enclosing loop variables. *)
+
+val affine_const : int -> affine
+val affine_var : ?coeff:int -> string -> affine
+val affine_add : affine -> affine -> affine
+val affine_to_string : affine -> string
+
+type binop = Add | Sub | Mul
+
+type expr =
+  | Load of { arr : string; idx : affine list }
+  | Lit of float
+  | Ref of string  (** a [Let]-bound scalar *)
+  | Neg of expr
+  | Bin of binop * expr * expr
+
+type stmt =
+  | For of { var : string; lo : int; hi : int; body : stmt list }
+      (** [for var = lo to hi] — inclusive, like OCaml's [for]. *)
+  | Let of { name : string; expr : expr }
+      (** scalar binding, visible to later statements of the same block *)
+  | Store of site
+  | Accum of site
+
+and site = {
+  arr : string;
+  idx : affine list;
+  expr : expr;
+  prov : Hecate_ir.Prog.provenance option;
+      (** surface provenance stamped onto every vector op this site emits *)
+}
+
+type array_kind =
+  | Input  (** encrypted: becomes a packed ciphertext input *)
+  | Plain of float array  (** compile-time constants, row-major *)
+  | Local  (** zero-initialized derived storage *)
+
+type array_decl = { name : string; dims : int list; kind : array_kind }
+
+type t = {
+  name : string;
+  arrays : array_decl list;
+  outputs : string list;  (** names of arrays whose final value is returned *)
+  body : stmt list;
+}
+
+val array_decl : t -> string -> array_decl option
+val array_size : array_decl -> int
+(** Product of the dimensions. *)
+
+val validate : t -> (unit, Hecate_ir.Diagnostic.t) result
+(** Static well-formedness: array names are unique and declared before
+    use, indices match the array rank, affine terms reference enclosing
+    loop variables only, [plain] data lengths match the declared size,
+    outputs name non-[Plain] arrays, loop variables shadow nothing, and
+    [Ref]s resolve to earlier [Let]s of the same block. Diagnostics use
+    code [Precondition] and carry the site's provenance when present. *)
+
+val execute : t -> inputs:(string * float array) list -> (string * float array) list
+(** Exact scalar reference execution. Returns the output arrays in
+    declaration order. Missing trailing input elements are zero; extra
+    elements are ignored.
+    @raise Invalid_argument on a missing input name or a failed
+    {!validate}. *)
+
+val to_string : t -> string
+(** Textual form, re-read by {!parse}. *)
+
+val parse : string -> t
+(** Parse the textual form (see docs/BATCHING.md for the grammar).
+    @raise Hecate_ir.Parser.Parse_error on malformed input. *)
+
+val parse_file : string -> t
+(** @raise Sys_error if the file cannot be read. *)

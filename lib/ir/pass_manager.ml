@@ -55,7 +55,10 @@ let () =
     Passes.fold_rotations;
   register "early-modswitch"
     ~description:"absorb a single-use modswitch into its producing operation (EVA)"
-    Passes.early_modswitch
+    Passes.early_modswitch;
+  register "fold-plain-muls"
+    ~description:"fuse nested multiplications by constants (batching mask/coefficient chains)"
+    Passes.fold_plain_muls
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline AST, spec parser and printer                               *)

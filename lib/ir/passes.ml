@@ -177,6 +177,67 @@ let fold_rotations p =
   in
   fix p
 
+(* [mul (mul x c1) c2] => [mul x (c1*c2)] for constant operands c1, c2.
+   Detection runs over the original program while emission maps already-
+   rewritten operands, so a chain shortens by one link per application;
+   the enclosing fixpoint flattens longer chains. Inner multiplies with
+   other remaining uses keep them; dce drops the rest. *)
+let fold_plain_muls (p : Prog.t) =
+  let n = Prog.num_ops p in
+  let const_of v =
+    match (Prog.op p v).Prog.kind with
+    | Prog.Const { value } -> Some value
+    | _ -> None
+  in
+  (* a Mul split into (non-const operand, const operand value) when exactly
+     one operand is a direct constant *)
+  let split v =
+    match (Prog.op p v).Prog.kind with
+    | Prog.Mul -> (
+        let args = (Prog.op p v).Prog.args in
+        match (const_of args.(0), const_of args.(1)) with
+        | None, Some c -> Some (args.(0), c)
+        | Some c, None -> Some (args.(1), c)
+        | _ -> None)
+    | _ -> None
+  in
+  let fusable = Array.make n None in
+  let any = ref false in
+  for i = 0 to n - 1 do
+    match split i with
+    | Some (inner, c2) -> (
+        match split inner with
+        | Some (x, c1) -> (
+            match fold_values p.Prog.slot_count Prog.Mul [ c1; c2 ] with
+            | Some folded ->
+                fusable.(i) <- Some (x, folded);
+                any := true
+            | None -> ())
+        | None -> ())
+    | None -> ()
+  done;
+  if not !any then p
+  else begin
+    let rw = Prog.Rewriter.create p in
+    for i = 0 to n - 1 do
+      let o = Prog.op p i in
+      let mapped = Array.map (Prog.Rewriter.mapped rw) o.Prog.args in
+      let id =
+        match fusable.(i) with
+        | Some (x, folded) ->
+            let c =
+              Prog.Rewriter.emit rw (Prog.Const { value = folded }) [||] Types.Free
+            in
+            Prog.Rewriter.emit ?prov:o.Prog.prov rw Prog.Mul
+              [| Prog.Rewriter.mapped rw x; c |]
+              Types.Free
+        | None -> Prog.Rewriter.emit ?prov:o.Prog.prov rw o.Prog.kind mapped o.Prog.ty
+      in
+      Prog.Rewriter.set_mapped rw ~old_value:o.Prog.id id
+    done;
+    dce (Prog.Rewriter.finish rw)
+  end
+
 let early_modswitch_once (p : Prog.t) =
   let n = Prog.num_ops p in
   let uses = Prog.use_counts p in

@@ -31,6 +31,16 @@ val fold_rotations : Prog.t -> Prog.t
     is a multiple of the slot count), and [rotate x 0] becomes [x]. Each
     rotation costs a key switch, so chains are worth one pass. *)
 
+val fold_plain_muls : Prog.t -> Prog.t
+(** Fuse nested multiplications by constants: [mul (mul x c1) c2] with
+    [c1], [c2] constant operands becomes [mul x (c1 * c2)] with the product
+    folded element-wise at compile time. The batching lowering emits exactly
+    this shape — a coefficient multiply wrapped by a slot mask — and each
+    fusion saves one ciphertext-plaintext multiply and one level of
+    multiplicative depth. Operates on unmanaged IR (constants as direct
+    operands); each application shortens a chain by one link, so run it
+    under [fixpoint] to flatten longer chains. *)
+
 val early_modswitch : Prog.t -> Prog.t
 (** EVA's early-modswitch optimization: a [modswitch] applied to the single
     use of an eligible operation is absorbed into that operation's operands

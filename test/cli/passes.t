@@ -11,7 +11,7 @@ Unknown pass names are rejected naming the registry contents:
   $ ../../bin/hecatec.exe compile fig2.hec --passes 'cse,frobnicate'
   hecatec: option '--passes': invalid pipeline spec "cse,frobnicate": unknown
            pass "frobnicate" (known passes: constant-fold, cse, dce,
-           early-modswitch, fold-rotations)
+           early-modswitch, fold-plain-muls, fold-rotations)
   Usage: hecatec compile [OPTION]… FILE
   Try 'hecatec compile --help' or 'hecatec --help' for more information.
   [124]
@@ -66,7 +66,8 @@ Unknown dump targets are rejected:
 
   $ ../../bin/hecatec.exe compile fig2.hec --print-ir-after frobnicate
   hecatec: option '--print-ir-after': unknown pass "frobnicate" (expected "all"
-           or one of: constant-fold, cse, dce, early-modswitch, fold-rotations)
+           or one of: constant-fold, cse, dce, early-modswitch,
+           fold-plain-muls, fold-rotations)
   Usage: hecatec compile [OPTION]… FILE
   Try 'hecatec compile --help' or 'hecatec --help' for more information.
   [124]
