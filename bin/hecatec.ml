@@ -17,6 +17,7 @@ module Printer = Hecate_ir.Printer
 module Liveness = Hecate_ir.Liveness
 module Pass_manager = Hecate_ir.Pass_manager
 module Driver = Hecate.Driver
+module Explore = Hecate.Explore
 module Smu = Hecate.Smu
 module Paramselect = Hecate.Paramselect
 module Interp = Hecate_backend.Interp
@@ -123,7 +124,47 @@ let set_kernel_jobs jobs = Option.iter Hecate_support.Pool.Kernel.set_jobs jobs
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ]
          ~doc:"Print the per-epoch exploration trace (candidates, memo-cache hits, \
-               best cost, wall-clock).")
+               best cost, wall-clock) and, when strategies race, the per-strategy \
+               outcomes.")
+
+let strategy_conv =
+  let parse s =
+    let s = String.lowercase_ascii s in
+    if Explore.known_strategy s then Ok s
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "unknown strategy %S (expected %s or %s)" s
+             (String.concat ", " (Explore.strategy_names ()))
+             Explore.portfolio_name))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let strategy_arg =
+  let env =
+    Cmd.Env.info "HECATE_STRATEGY"
+      ~doc:"Default exploration strategy when $(b,--strategy) is not given."
+  in
+  Arg.(value & opt strategy_conv Explore.default_strategy
+         & info [ "strategy" ] ~docv:"NAME" ~env
+             ~doc:"Exploration strategy for the SMSE/HECATE schemes: $(b,hill-climb) \
+                   (the default), $(b,beam), $(b,anneal), $(b,gradient), or \
+                   $(b,portfolio) to race every registered strategy under one shared \
+                   budget (the winner is deterministic — independent of worker count \
+                   and registration order).")
+
+let oracle_arg =
+  Arg.(value & flag & info [ "oracle" ]
+         ~doc:"Re-validate the winning plan of every exploration strategy through the \
+               differential oracle (structural validation, the C1-C3 type system, \
+               print/parse round-trip, encrypted execution against the plaintext \
+               reference, and agreement with an EVA baseline) before accepting it. \
+               Rejections fail the compile with code $(b,oracle-rejected). Only \
+               meaningful for the exploring schemes, compiled in-process.")
+
+let gate_of ~oracle ~sf_bits ~waterline_bits prog =
+  if oracle then Some (Hecate_fuzz.Oracle.explorer_gate ~sf_bits ~waterline_bits prog)
+  else None
 
 let passes_conv =
   let parse s =
@@ -215,19 +256,33 @@ let report_compiled ?(dump = true) ?(verbose = false) (c : Driver.compiled) =
         Printf.printf "; exploration detail: %d cache hits, %.3f s wall (%.1f plans/s)\n"
           e.Driver.cache_hits e.Driver.elapsed_seconds
           (float_of_int e.Driver.plans_explored /. Float.max 1e-9 e.Driver.elapsed_seconds);
+        Printf.printf "; strategy: %s%s\n" e.Driver.strategy
+          (if e.Driver.seeded then " (warm-started from the plan corpus)" else "");
+        if List.length e.Driver.strategies > 1 then
+          List.iter
+            (fun (s : Explore.strategy_stats) ->
+              Printf.printf ";   %-10s best %.6f s, %d epochs, %d steps%s\n"
+                s.Explore.strategy s.Explore.s_best_cost s.Explore.s_epochs
+                s.Explore.s_steps
+                (match s.Explore.s_gate with
+                | Explore.Not_gated -> ""
+                | Explore.Gate_passed -> ", oracle: passed"
+                | Explore.Gate_rejected f ->
+                    Printf.sprintf ", oracle: rejected at %s" f.Explore.failed_check))
+            e.Driver.strategies;
         List.iter
-          (fun (t : Hecate.Explore.epoch_trace) ->
+          (fun (t : Explore.epoch_trace) ->
             Printf.printf
               ";   epoch %3d: %4d candidates (%d cached), best %.6f s, %.3f s wall\n"
-              t.Hecate.Explore.epoch t.Hecate.Explore.candidates t.Hecate.Explore.cache_hits
-              t.Hecate.Explore.best_cost t.Hecate.Explore.elapsed_seconds)
+              t.Explore.epoch t.Explore.candidates t.Explore.cache_hits
+              t.Explore.best_cost t.Explore.elapsed_seconds)
           e.Driver.trace
       end
 
 (* Thin client path: ship the program text to a running hecated and print
    the artifact it returns. A warm server answers from its plan cache
    without re-running exploration, so repeat compiles are near-instant. *)
-let compile_remote ~socket ~file ~scheme ~waterline ~sf ~verbose =
+let compile_remote ~socket ~file ~scheme ~waterline ~sf ~strategy ~verbose =
   let program =
     let ic = open_in_bin file in
     Fun.protect ~finally:(fun () -> close_in_noerr ic)
@@ -241,11 +296,13 @@ let compile_remote ~socket ~file ~scheme ~waterline ~sf ~verbose =
       waterline_bits = waterline;
       max_epochs = 100;
       budget_seconds = None;
+      strategy = (if strategy = Explore.default_strategy then None else Some strategy);
       stream = verbose;
     }
   in
-  let on_progress ~epoch ~best_cost =
-    if verbose then Printf.eprintf "; epoch %3d: best %.6f s\n%!" epoch best_cost
+  let on_progress ~strategy ~epoch ~best_cost =
+    if verbose then
+      Printf.eprintf "; [%s] epoch %3d: best %.6f s\n%!" strategy epoch best_cost
   in
   match Hecate_serve.Client.compile ~socket ~on_progress submit with
   | Error msg ->
@@ -257,20 +314,24 @@ let compile_remote ~socket ~file ~scheme ~waterline ~sf ~verbose =
         result.Hecate_serve.Protocol.secure_n;
       Printf.printf "; remote: origin=%s server=%.6fs round-trip=%.6fs fingerprint=%s\n"
         result.Hecate_serve.Protocol.origin result.Hecate_serve.Protocol.wall_seconds
-        client_seconds result.Hecate_serve.Protocol.fingerprint
+        client_seconds result.Hecate_serve.Protocol.fingerprint;
+      if result.Hecate_serve.Protocol.winner_strategy <> "" && verbose then
+        Printf.printf "; remote winner strategy: %s\n"
+          result.Hecate_serve.Protocol.winner_strategy
 
 let compile_cmd =
   let run efmt file scheme waterline sf show_schedule jobs verbose passes timing ir_after
-      remote =
+      strategy oracle remote =
     set_error_format efmt;
     handle_errors @@ fun () ->
     match remote with
-    | Some socket -> compile_remote ~socket ~file ~scheme ~waterline ~sf ~verbose
+    | Some socket -> compile_remote ~socket ~file ~scheme ~waterline ~sf ~strategy ~verbose
     | None ->
         let prog = Parser.parse_file file in
+        let gate = gate_of ~oracle ~sf_bits:sf ~waterline_bits:waterline prog in
         let c =
-          Driver.compile ?pool_size:jobs ?passes ~instr:(instr_of ir_after) scheme ~sf_bits:sf
-            ~waterline_bits:waterline prog
+          Driver.compile ?pool_size:jobs ?passes ~instr:(instr_of ir_after) ~strategy ?gate
+            scheme ~sf_bits:sf ~waterline_bits:waterline prog
         in
         report_compiled ~verbose c;
         report_timing timing c;
@@ -294,15 +355,18 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Scale-manage a .hec program and print the result.")
     Term.(const run $ error_format_arg $ file_arg $ scheme_arg $ waterline_arg $ sf_arg
           $ schedule_arg $ jobs_arg $ verbose_arg $ passes_arg $ timing_arg $ ir_after_arg
-          $ remote_arg)
+          $ strategy_arg $ oracle_arg $ remote_arg)
 
 let run_cmd =
-  let run efmt file scheme waterline sf seed jobs kernel_jobs verbose =
+  let run efmt file scheme waterline sf seed jobs kernel_jobs verbose strategy =
     set_error_format efmt;
     handle_errors @@ fun () ->
     set_kernel_jobs kernel_jobs;
     let prog = Parser.parse_file file in
-    let c = Driver.compile ?pool_size:jobs scheme ~sf_bits:sf ~waterline_bits:waterline prog in
+    let c =
+      Driver.compile ?pool_size:jobs ~strategy scheme ~sf_bits:sf ~waterline_bits:waterline
+        prog
+    in
     report_compiled ~dump:false ~verbose c;
     (* random inputs in [0,1) for every declared input *)
     let g = Hecate_support.Prng.create ~seed in
@@ -342,19 +406,21 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a .hec program on the in-repo CKKS backend.")
     Term.(const run $ error_format_arg $ file_arg $ scheme_arg $ waterline_arg $ sf_arg
-          $ seed_arg $ jobs_arg $ kernel_jobs_arg $ verbose_arg)
+          $ seed_arg $ jobs_arg $ kernel_jobs_arg $ verbose_arg $ strategy_arg)
 
 let bench_cmd =
-  let run efmt bench scheme waterline sf dump jobs kernel_jobs verbose passes timing ir_after =
+  let run efmt bench scheme waterline sf dump jobs kernel_jobs verbose passes timing ir_after
+      strategy oracle =
     set_error_format efmt;
     handle_errors @@ fun () ->
     set_kernel_jobs kernel_jobs;
     let (b : Apps.t) = bench in
     Printf.printf "; benchmark %s (%d ops before scale management)\n" b.Apps.name
       (Prog.num_ops b.Apps.prog);
+    let gate = gate_of ~oracle ~sf_bits:sf ~waterline_bits:waterline b.Apps.prog in
     let c =
-      Driver.compile ?pool_size:jobs ?passes ~instr:(instr_of ir_after) scheme ~sf_bits:sf
-        ~waterline_bits:waterline b.Apps.prog
+      Driver.compile ?pool_size:jobs ?passes ~instr:(instr_of ir_after) ~strategy ?gate
+        scheme ~sf_bits:sf ~waterline_bits:waterline b.Apps.prog
     in
     report_compiled ~dump ~verbose c;
     report_timing timing c
@@ -370,7 +436,7 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Compile a built-in benchmark and report statistics.")
     Term.(const run $ error_format_arg $ bench_arg $ scheme_arg $ waterline_arg $ sf_arg
           $ dump_arg $ jobs_arg $ kernel_jobs_arg $ verbose_arg $ passes_arg $ timing_arg
-          $ ir_after_arg)
+          $ ir_after_arg $ strategy_arg $ oracle_arg)
 
 let dump_cmd =
   let run efmt bench out =

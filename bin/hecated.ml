@@ -50,10 +50,18 @@ let jobs_arg =
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:"Worker domains per exploration (default: available cores - 1).")
 
+let oracle_arg =
+  Arg.(value & flag & info [ "oracle" ]
+         ~doc:"Re-validate every exploration winner through the differential oracle \
+               (typecheck, print/parse round-trip, encrypted execution against the \
+               plaintext reference, EVA-baseline agreement) before it is returned or \
+               cached. Rejected plans surface as error events with code \
+               $(b,oracle-rejected) and never enter the plan cache.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log accepted and finished jobs to stderr.")
 
-let main socket stdio cache_dir no_disk capacity workers jobs verbose =
+let main socket stdio cache_dir no_disk capacity workers jobs oracle verbose =
   let dir = if no_disk then None else
       match cache_dir with Some d -> Some d | None -> Plancache.default_dir ()
   in
@@ -62,7 +70,12 @@ let main socket stdio cache_dir no_disk capacity workers jobs verbose =
     | Some dir -> Plancache.create ~dir ~capacity ()
     | None -> Plancache.create ~capacity ()
   in
-  let server = Server.create ?pool_size:jobs ~workers ~verbose cache in
+  (* Surface the persisted plan corpus so cold compiles of structurally
+     similar programs warm-start from previous winners immediately. *)
+  let preloaded = Plancache.preload cache in
+  if verbose && preloaded > 0 then
+    Printf.eprintf "hecated: preloaded %d cached plan(s)\n%!" preloaded;
+  let server = Server.create ?pool_size:jobs ~workers ~oracle ~verbose cache in
   if stdio then begin
     Server.serve_stdio server;
     `Ok ()
@@ -85,6 +98,6 @@ let () =
   let term =
     Term.(ret
             (const main $ socket_arg $ stdio_arg $ cache_dir_arg $ no_disk_arg $ capacity_arg
-             $ workers_arg $ jobs_arg $ verbose_arg))
+             $ workers_arg $ jobs_arg $ oracle_arg $ verbose_arg))
   in
   exit (Cmd.eval (Cmd.v info_ term))

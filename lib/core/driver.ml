@@ -16,6 +16,10 @@ type exploration_stats = {
   trace : Explore.epoch_trace list;
   elapsed_seconds : float;
   best_plan : Explore.plan;
+  strategy : string;
+  strategies : Explore.strategy_stats list;
+  keyed_plan : (string * int) list;
+  seeded : bool;
 }
 
 type compiled = {
@@ -42,10 +46,45 @@ let finalize ?q0_bits ?(early_modswitch = true)
   in
   (prog, params)
 
+(* Canonical per-edge keys: each SMU edge named by the sorted list of its
+   (canonical op id, operand) sites. Alpha-equivalent programs assign
+   corresponding ops equal canonical ids, so the keys — unlike raw edge
+   indices, which follow op order — survive renumbering, and a cached
+   plan transports onto any structurally matching program. *)
+let edge_keys prog (edges : Smu.edge array) =
+  let ids = Prog.canonical_ids prog in
+  Array.map
+    (fun (e : Smu.edge) ->
+      e.Smu.sites
+      |> List.map (fun (op, operand) -> Printf.sprintf "%d.%d" ids.(op) operand)
+      |> List.sort String.compare
+      |> String.concat ",")
+    edges
+
+(* Re-key a cached (site key -> degree) plan onto the current program's
+   edges; [None] when nothing carries over. *)
+let plan_of_keyed keys keyed =
+  match keyed with
+  | [] -> None
+  | _ ->
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun (k, d) -> Hashtbl.replace tbl k d) keyed;
+      let p =
+        Array.map (fun k -> Option.value ~default:0 (Hashtbl.find_opt tbl k)) keys
+      in
+      if Array.exists (fun d -> d > 0) p then Some p else None
+
 let compile ?(model = Costmodel.analytic ()) ?(max_epochs = 100) ?(naive_exploration = false)
     ?q0_bits ?early_modswitch ?(downscale_analysis = true) ?smu_phases ?noise_budget_bits
     ?pool_size ?(passes = Pass_manager.cleanup) ?(instr = Pass_manager.instrumentation ())
+    ?(strategy = Explore.default_strategy) ?gate ?(warm_plans = [])
     ?should_stop ?on_epoch scheme ~sf_bits ~waterline_bits prog =
+  if not (Explore.known_strategy strategy) then
+    invalid_arg
+      (Printf.sprintf "Driver.compile: unknown exploration strategy %S (known: %s, %s)"
+         strategy
+         (String.concat ", " (Explore.strategy_names ()))
+         Explore.portfolio_name);
   let cfg = Typing.config ~sf:(float_of_int sf_bits) ~waterline:waterline_bits () in
   let stats = Pass_manager.create_stats () in
   (* Reject managed inputs up front, for every scheme: Codegen would raise
@@ -115,44 +154,65 @@ let compile ?(model = Costmodel.analytic ()) ?(max_epochs = 100) ?(naive_explora
   | Smse | Hecate ->
       let smu = Smu.generate ?phases:smu_phases prog in
       let edges = if naive_exploration then Smu.naive_edges prog else smu.Smu.edges in
+      let keys = edge_keys prog edges in
+      let warm_starts = List.filter_map (plan_of_keyed keys) warm_plans in
+      let strategies =
+        if strategy = Explore.portfolio_name then None else Some [ strategy ]
+      in
       let t0 = Unix.gettimeofday () in
       let result =
-        Explore.hill_climb ~codegen:run_finalized ~evaluate ~edges ~max_epochs ?pool_size
-          ?should_stop ?on_epoch ()
+        Explore.portfolio ~codegen:run_finalized ~evaluate ~edges ?strategies
+          ~max_epochs ?pool_size ?should_stop ?on_epoch ~warm_starts ?gate ()
       in
       let explore_seconds = Unix.gettimeofday () -. t0 in
-      let best = result.Explore.best_prog in
+      let best = result.Explore.p_best_prog in
       let types = Array.map (fun (o : Prog.op) -> o.Prog.ty) best.Prog.body in
       let params =
         Paramselect.select ?q0_bits ~sf_bits ~types ~slot_count:best.Prog.slot_count ()
       in
+      let winner =
+        List.find
+          (fun (s : Explore.strategy_stats) -> s.Explore.strategy = result.Explore.p_winner)
+          result.Explore.p_strategies
+      in
+      let best_plan = result.Explore.p_best_plan in
       {
         prog = best;
         params;
-        estimated_seconds = result.Explore.best_cost;
+        estimated_seconds = result.Explore.p_best_cost;
         exploration =
           Some
             {
               units = Smu.unit_count smu;
               smu_edges = Array.length edges;
               use_def_edges = smu.Smu.use_def_edges;
-              epochs = result.Explore.epochs;
-              plans_explored = result.Explore.plans_explored;
-              cache_hits = result.Explore.cache_hits;
-              trace = result.Explore.trace;
+              epochs = winner.Explore.s_epochs;
+              plans_explored = result.Explore.p_plans_explored;
+              cache_hits = result.Explore.p_cache_hits;
+              trace = winner.Explore.s_trace;
               elapsed_seconds = explore_seconds;
-              best_plan = result.Explore.best_plan;
+              best_plan;
+              strategy = result.Explore.p_winner;
+              strategies = result.Explore.p_strategies;
+              keyed_plan =
+                List.filter_map
+                  (fun i ->
+                    if best_plan.(i) > 0 then Some (keys.(i), best_plan.(i)) else None)
+                  (List.init (Array.length best_plan) Fun.id);
+              seeded = result.Explore.p_seeded;
             };
         pass_timings = Pass_manager.timings stats;
       }
 
 let compile_result ?model ?max_epochs ?naive_exploration ?q0_bits ?early_modswitch
     ?downscale_analysis ?smu_phases ?noise_budget_bits ?pool_size ?passes ?instr
-    ?should_stop ?on_epoch scheme ~sf_bits ~waterline_bits prog =
+    ?strategy ?gate ?warm_plans ?should_stop ?on_epoch scheme ~sf_bits ~waterline_bits
+    prog =
   match
     compile ?model ?max_epochs ?naive_exploration ?q0_bits ?early_modswitch
       ?downscale_analysis ?smu_phases ?noise_budget_bits ?pool_size ?passes ?instr
-      ?should_stop ?on_epoch scheme ~sf_bits ~waterline_bits prog
+      ?strategy ?gate ?warm_plans ?should_stop ?on_epoch scheme ~sf_bits ~waterline_bits
+      prog
   with
   | c -> Ok c
   | exception Diagnostic.Error d -> Error d

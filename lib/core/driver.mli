@@ -12,14 +12,24 @@ type exploration_stats = {
   units : int;
   smu_edges : int;
   use_def_edges : int;
-  epochs : int;
+  epochs : int; (** winning strategy's improving epochs *)
   plans_explored : int; (** candidate programs actually compiled+evaluated *)
-  cache_hits : int; (** candidates answered by the plan memo cache *)
-  trace : Explore.epoch_trace list; (** per-epoch records, in epoch order *)
+  cache_hits : int; (** candidates answered by the shared plan memo cache *)
+  trace : Explore.epoch_trace list;
+      (** the winning strategy's per-epoch records, in epoch order *)
   elapsed_seconds : float; (** exploration wall-clock, including the base plan *)
   best_plan : Explore.plan;
       (** the winning per-edge degree assignment — persisted by the plan
           cache so warm-started compilations can skip the climb *)
+  strategy : string; (** the winning strategy's name *)
+  strategies : Explore.strategy_stats list;
+      (** every raced strategy's outcome (best cost, trace, gate verdict),
+          in name order — a single-strategy compile has exactly one *)
+  keyed_plan : (string * int) list;
+      (** [best_plan] re-keyed by canonical SMU-edge site keys (nonzero
+          degrees only): the portable form the plan corpus persists, valid
+          for any alpha-variant of this program *)
+  seeded : bool; (** a warm-start seed beat the all-zero base plan *)
 }
 
 type compiled = {
@@ -47,8 +57,11 @@ val compile :
   ?pool_size:int ->
   ?passes:Hecate_ir.Pass_manager.pipeline ->
   ?instr:Hecate_ir.Pass_manager.instrumentation ->
+  ?strategy:string ->
+  ?gate:Explore.gate ->
+  ?warm_plans:(string * int) list list ->
   ?should_stop:(unit -> bool) ->
-  ?on_epoch:(Explore.epoch_trace -> unit) ->
+  ?on_epoch:(strategy:string -> Explore.epoch_trace -> unit) ->
   scheme ->
   sf_bits:int ->
   waterline_bits:float ->
@@ -71,12 +84,26 @@ val compile :
     whose {!Noisemodel}-predicted output error exceeds [2^budget] are
     rejected during the climb (only meaningful for [Smse]/[Hecate]).
     [pool_size] sets the exploration worker-domain count (see
-    {!Explore.hill_climb}); every pool size returns the same result.
-    [should_stop] and [on_epoch] forward to {!Explore.hill_climb} for the
-    exploring schemes (cancellation / wall-clock budgets and streamed
-    progress; no-ops for [Eva]/[Pars], whose compiles are single-shot).
+    {!Explore.portfolio}); every pool size returns the same result.
+
+    [strategy] picks the exploration strategy for [Smse]/[Hecate]: a name
+    from {!Explore.strategy_names} (default {!Explore.default_strategy}),
+    or {!Explore.portfolio_name} to race every registered strategy under
+    the shared budget. [gate] re-validates every strategy's winning plan
+    through the differential oracle before it is returned (construct one
+    with [Hecate_fuzz.Oracle.explorer_gate]); if all strategies are
+    rejected, compilation fails with code [Oracle_rejected]. [warm_plans]
+    are canonical-site-keyed plans from the plan corpus
+    ({!exploration_stats.keyed_plan} of previous compiles, via
+    [Plancache.warm_plans]); each is re-keyed onto this program's SMU
+    edges and seeds every strategy. [should_stop] and [on_epoch] forward
+    to {!Explore.portfolio} for the exploring schemes (cancellation /
+    wall-clock budgets and streamed per-strategy progress; no-ops for
+    [Eva]/[Pars], whose compiles are single-shot).
     @raise Explore.Cancelled if [should_stop] is already true when
     exploration would start.
+    @raise Hecate_ir.Diagnostic.Error with code [Oracle_rejected] if
+    [gate] rejected every strategy's winning plan.
     @raise Hecate_ir.Diagnostic.Error with code [Already_managed] if the
     input already contains scale-management operations, or with the typing
     code (C1–C3) if the managed program fails the checker.
@@ -95,8 +122,11 @@ val compile_result :
   ?pool_size:int ->
   ?passes:Hecate_ir.Pass_manager.pipeline ->
   ?instr:Hecate_ir.Pass_manager.instrumentation ->
+  ?strategy:string ->
+  ?gate:Explore.gate ->
+  ?warm_plans:(string * int) list list ->
   ?should_stop:(unit -> bool) ->
-  ?on_epoch:(Explore.epoch_trace -> unit) ->
+  ?on_epoch:(strategy:string -> Explore.epoch_trace -> unit) ->
   scheme ->
   sf_bits:int ->
   waterline_bits:float ->

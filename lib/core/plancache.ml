@@ -10,14 +10,18 @@ module Fileio = Hecate_support.Fileio
 type entry = {
   key : string;
   fingerprint : string;
+  structure : string;
   scheme : Driver.scheme;
   sf_bits : int;
   waterline_bits : float;
   max_epochs : int;
+  strategy : string;
+  winner_strategy : string;
   artifact : string;
   params : Paramselect.t;
   estimated_seconds : float;
   plan : int array option;
+  keyed_plan : (string * int) list;
   explore_epochs : int;
   explore_plans : int;
   compile_seconds : float;
@@ -36,12 +40,18 @@ let origin_name = function
    [max_epochs] is part of the key because a budget-truncated climb can
    legitimately produce a different (worse) plan than an unbounded one —
    serving it to a larger-budget client would silently degrade them. *)
-let key ~scheme ~sf_bits ~waterline_bits ~max_epochs prog =
+let key ?(strategy = Explore.default_strategy) ~scheme ~sf_bits ~waterline_bits
+    ~max_epochs prog =
   let fp = Prog.fingerprint prog in
+  (* The default strategy keeps the PR 7 key format verbatim, so every
+     existing disk entry (and the daemon's committed latency baselines)
+     stays addressable; other strategies can produce different winning
+     plans, so they get their own key space. *)
+  let suffix = if strategy = Explore.default_strategy then "" else "|" ^ strategy in
   Digest.to_hex
     (Digest.string
-       (Printf.sprintf "plan-v1|%s|%s|%d|%h|%d" fp (Driver.scheme_name scheme) sf_bits
-          waterline_bits max_epochs))
+       (Printf.sprintf "plan-v1|%s|%s|%d|%h|%d%s" fp (Driver.scheme_name scheme) sf_bits
+          waterline_bits max_epochs suffix))
 
 (* ------------------------------------------------------------------ *)
 (* On-disk serialization                                               *)
@@ -83,6 +93,18 @@ let entry_to_json (e : entry) =
       ("explore_epochs", Json.int e.explore_epochs);
       ("explore_plans", Json.int e.explore_plans);
       ("compile_seconds", Json.Num e.compile_seconds);
+      (* PR 10 corpus fields. Optional on read, so pre-portfolio disk
+         entries keep parsing (they fall back to the default strategy and
+         an empty portable plan). *)
+      ("structure", Json.Str e.structure);
+      ("strategy", Json.Str e.strategy);
+      ("winner_strategy", Json.Str e.winner_strategy);
+      ( "keyed_plan",
+        Json.Arr
+          (List.map
+             (fun (site, degree) ->
+               Json.Obj [ ("site", Json.Str site); ("degree", Json.int degree) ])
+             e.keyed_plan) );
     ]
 
 let entry_of_json j =
@@ -116,14 +138,32 @@ let entry_of_json j =
     let* explore_epochs = to_int (member "explore_epochs" j) in
     let* explore_plans = to_int (member "explore_plans" j) in
     let* compile_seconds = to_float (member "compile_seconds" j) in
+    let str_default d m = Option.value ~default:d (to_string (member m j)) in
+    let structure = str_default "" "structure" in
+    let strategy = str_default Explore.default_strategy "strategy" in
+    let winner_strategy = str_default strategy "winner_strategy" in
+    let keyed_plan =
+      match member "keyed_plan" j with
+      | Arr items ->
+          List.filter_map
+            (fun item ->
+              match (to_string (member "site" item), to_int (member "degree" item)) with
+              | Some site, Some degree -> Some (site, degree)
+              | _ -> None)
+            items
+      | _ -> []
+    in
     Some
       {
         key;
         fingerprint;
+        structure;
         scheme;
         sf_bits;
         waterline_bits;
         max_epochs;
+        strategy;
+        winner_strategy;
         artifact;
         params =
           {
@@ -136,6 +176,7 @@ let entry_of_json j =
           };
         estimated_seconds;
         plan;
+        keyed_plan;
         explore_epochs;
         explore_plans;
         compile_seconds;
@@ -313,6 +354,65 @@ let find t key =
       | None -> None)
 
 (* ------------------------------------------------------------------ *)
+(* Plan corpus: warm-start seeds                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Portable plans from structurally similar entries, best first. Exact
+   fingerprint matches rank ahead of structural-digest matches; within a
+   rank, cheaper estimates first, key order as the final deterministic
+   tie-break. Scans the in-memory layer only — the disk store feeds it
+   through hits and {!preload}. *)
+let warm_plans t ?(limit = 4) ~fingerprint ~structure ~scheme ~sf_bits () =
+  Mutex.lock t.lock;
+  let candidates =
+    Hashtbl.fold
+      (fun _ node acc ->
+        let e = node.entry in
+        if e.scheme = scheme && e.sf_bits = sf_bits && e.keyed_plan <> [] then
+          if e.fingerprint = fingerprint then (0, e) :: acc
+          else if structure <> "" && e.structure = structure then (1, e) :: acc
+          else acc
+        else acc)
+      t.table []
+  in
+  Mutex.unlock t.lock;
+  candidates
+  |> List.sort (fun (p1, (e1 : entry)) (p2, e2) ->
+         match compare p1 p2 with
+         | 0 -> (
+             match Float.compare e1.estimated_seconds e2.estimated_seconds with
+             | 0 -> String.compare e1.key e2.key
+             | d -> d)
+         | d -> d)
+  |> List.filteri (fun i _ -> i < limit)
+  |> List.map (fun (_, e) -> e.keyed_plan)
+
+(* Load every on-disk entry into the in-memory layer (up to capacity, in
+   filename order), so [warm_plans] sees the persistent corpus right after
+   a restart. Returns the number of entries loaded. *)
+let preload t =
+  match t.dir with
+  | None -> 0
+  | Some dir -> (
+      match Sys.readdir dir with
+      | exception Sys_error _ -> 0
+      | files ->
+          Array.sort String.compare files;
+          let n = ref 0 in
+          Array.iter
+            (fun f ->
+              if Filename.check_suffix f ".json" && !n < t.capacity then
+                match load_disk t (Filename.chop_suffix f ".json") with
+                | Some e ->
+                    Mutex.lock t.lock;
+                    insert_locked t e;
+                    Mutex.unlock t.lock;
+                    incr n
+                | None -> ())
+            files;
+          !n)
+
+(* ------------------------------------------------------------------ *)
 (* Single-flight lookup-or-compute                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -387,10 +487,18 @@ let find_or_compute t key ~compute =
 (* Compilation through the cache                                       *)
 (* ------------------------------------------------------------------ *)
 
-let compile t ?pool_size ?should_stop ?on_epoch ?budget_seconds ~scheme ~sf_bits
-    ~waterline_bits ?(max_epochs = 100) prog =
-  let k = key ~scheme ~sf_bits ~waterline_bits ~max_epochs prog in
+let compile t ?pool_size ?should_stop ?on_epoch ?budget_seconds
+    ?(strategy = Explore.default_strategy) ?gate ~scheme ~sf_bits ~waterline_bits
+    ?(max_epochs = 100) prog =
+  let k = key ~strategy ~scheme ~sf_bits ~waterline_bits ~max_epochs prog in
+  let fingerprint = Prog.fingerprint prog in
+  let structure = Prog.structural_digest prog in
   find_or_compute t k ~compute:(fun () ->
+      (* A cold compile warm-starts from the plan corpus: portable plans of
+         structurally similar entries seed every strategy. The seeds only
+         accelerate the search — the result is the same plan a cold run
+         finds (or a better one the budget would have missed). *)
+      let warm = warm_plans t ~fingerprint ~structure ~scheme ~sf_bits () in
       let t0 = Unix.gettimeofday () in
       (* If the stop signal (cancellation or budget expiry) fires, the
          climb returns its best-so-far — a valid artifact for this
@@ -408,26 +516,35 @@ let compile t ?pool_size ?should_stop ?on_epoch ?budget_seconds ~scheme ~sf_bits
         s
       in
       let c =
-        Driver.compile ?pool_size ~should_stop:stop ?on_epoch ~max_epochs scheme ~sf_bits
-          ~waterline_bits prog
+        Driver.compile ?pool_size ~should_stop:stop ?on_epoch ~max_epochs ~strategy
+          ?gate ~warm_plans:warm scheme ~sf_bits ~waterline_bits prog
       in
       let compile_seconds = Unix.gettimeofday () -. t0 in
-      let plan, explore_epochs, explore_plans =
+      let plan, keyed_plan, explore_epochs, explore_plans, winner_strategy =
         match c.Driver.exploration with
-        | None -> (None, 0, 0)
-        | Some e -> (Some e.Driver.best_plan, e.Driver.epochs, e.Driver.plans_explored)
+        | None -> (None, [], 0, 0, strategy)
+        | Some e ->
+            ( Some e.Driver.best_plan,
+              e.Driver.keyed_plan,
+              e.Driver.epochs,
+              e.Driver.plans_explored,
+              e.Driver.strategy )
       in
       ( {
           key = k;
-          fingerprint = Prog.fingerprint prog;
+          fingerprint;
+          structure;
           scheme;
           sf_bits;
           waterline_bits;
           max_epochs;
+          strategy;
+          winner_strategy;
           artifact = Printer.to_string c.Driver.prog;
           params = c.Driver.params;
           estimated_seconds = c.Driver.estimated_seconds;
           plan;
+          keyed_plan;
           explore_epochs;
           explore_plans;
           compile_seconds;

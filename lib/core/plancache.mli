@@ -26,14 +26,23 @@
 type entry = {
   key : string;
   fingerprint : string;  (** canonical program fingerprint *)
+  structure : string;
+      (** {!Hecate_ir.Prog.structural_digest} — the coarse bucket
+          [warm_plans] matches "structurally similar" entries by *)
   scheme : Driver.scheme;
   sf_bits : int;
   waterline_bits : float;
   max_epochs : int;
+  strategy : string;  (** requested exploration strategy (part of the key) *)
+  winner_strategy : string;  (** the strategy that actually won the race *)
   artifact : string;  (** printed managed IR — byte-identical on every hit *)
   params : Paramselect.t;
   estimated_seconds : float;
   plan : int array option;  (** winning explore plan; [None] for EVA/PARS *)
+  keyed_plan : (string * int) list;
+      (** the winning plan re-keyed by canonical SMU site keys — the
+          portable form [warm_plans] serves to structurally similar
+          programs *)
   explore_epochs : int;
   explore_plans : int;
   compile_seconds : float;  (** wall-clock of the cold compile *)
@@ -69,13 +78,40 @@ val create : ?dir:string -> ?capacity:int -> unit -> t
     @raise Invalid_argument if [capacity < 1]. *)
 
 val key :
+  ?strategy:string ->
   scheme:Driver.scheme ->
   sf_bits:int ->
   waterline_bits:float ->
   max_epochs:int ->
   Hecate_ir.Prog.t ->
   string
-(** The content address: canonical program fingerprint x configuration. *)
+(** The content address: canonical program fingerprint x configuration.
+    The default [strategy] ({!Explore.default_strategy}) reproduces the
+    PR 7 key byte-for-byte, so existing disk stores stay valid; any other
+    strategy gets its own key space (different strategies can win with
+    different plans). *)
+
+val warm_plans :
+  t ->
+  ?limit:int ->
+  fingerprint:string ->
+  structure:string ->
+  scheme:Driver.scheme ->
+  sf_bits:int ->
+  unit ->
+  (string * int) list list
+(** Portable (site-keyed) plans of cached entries structurally similar to
+    the program at hand, best first: exact-fingerprint matches (alpha
+    variants), then {!Hecate_ir.Prog.structural_digest} matches (same kind
+    skeleton, different attributes), at most [limit] (default 4). Same
+    scheme and [sf_bits] only — plans do not transport across codegens.
+    Scans the in-memory layer; call {!preload} after a restart to surface
+    the on-disk corpus. Deterministic order (rank, estimate, key). *)
+
+val preload : t -> int
+(** Load every on-disk entry into the in-memory layer (up to capacity, in
+    filename order) so {!warm_plans} sees the persistent corpus. Returns
+    the number of entries loaded; 0 for a memory-only cache. *)
 
 val find : t -> string -> (entry * origin) option
 (** Memory first, then disk (a disk hit is promoted into memory). *)
@@ -99,8 +135,10 @@ val compile :
   t ->
   ?pool_size:int ->
   ?should_stop:(unit -> bool) ->
-  ?on_epoch:(Explore.epoch_trace -> unit) ->
+  ?on_epoch:(strategy:string -> Explore.epoch_trace -> unit) ->
   ?budget_seconds:float ->
+  ?strategy:string ->
+  ?gate:Explore.gate ->
   scheme:Driver.scheme ->
   sf_bits:int ->
   waterline_bits:float ->
@@ -115,8 +153,13 @@ val compile :
     truncated by the budget or by [should_stop] is returned to the caller
     but {e not} cached — the key means "the full-budget answer", and a
     truncated plan must not poison it. Exceptions from {!Driver.compile}
-    (diagnostics, {!Explore.Cancelled}) propagate to every requester of
-    the flight and are not cached. *)
+    (diagnostics, {!Explore.Cancelled}, gate rejections with code
+    [Oracle_rejected]) propagate to every requester of the flight and are
+    not cached — so nothing the oracle rejected ever enters the cache.
+
+    [strategy] forwards to {!Driver.compile} and is part of the key;
+    [gate] re-validates every strategy winner before the entry is built.
+    A cold compile warm-starts from {!warm_plans} automatically. *)
 
 val memory_size : t -> int
 val snapshot : t -> stats_snapshot

@@ -63,3 +63,27 @@ val run :
 (** First failing check, in the order listed above (per scheme, then the
     cross-scheme comparison). Exceptions raised by compilation or execution
     are converted into failures of the corresponding check. *)
+
+val explorer_gate :
+  ?seed:int ->
+  ?rmse_bound:float ->
+  ?cross_bound:float ->
+  ?transform:(strategy:string -> Hecate_ir.Prog.t -> Hecate_ir.Prog.t) ->
+  sf_bits:int ->
+  waterline_bits:float ->
+  Hecate_ir.Prog.t ->
+  Hecate.Explore.gate
+(** An {!Hecate.Explore.gate} for [prog] (the {e unmanaged} input program):
+    every exploration strategy's winning managed program is re-validated —
+    {b validate}, {b typecheck}, {b roundtrip}, finite {b estimate}, and
+    encrypted execution within [rmse_bound] of the plaintext reference on
+    deterministic inputs derived from [seed] (default 0) via
+    {!Gen.inputs_for} — and its decrypted outputs must agree with an EVA
+    baseline compile of the same program within [cross_bound]. The bounds
+    default to the fuzz-config bounds scaled by [sqrt (num_ops prog)]:
+    rescaling noise accumulates roughly as a random walk over the circuit,
+    so real applications sit legitimately above the fuzz-sized floor. The baseline is compiled and executed
+    lazily, once, and the agreement check is skipped if the baseline itself
+    cannot be built. [transform] rewrites a winner before checking, keyed by
+    strategy name — the fault-injection hook the oracle-gated exploration
+    tests use to make one strategy's output invalid. Thread-safe. *)

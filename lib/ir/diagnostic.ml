@@ -14,6 +14,7 @@ type code =
   | Arity
   | Precondition
   | Already_managed
+  | Oracle_rejected
   | Internal
 
 let all_codes =
@@ -33,6 +34,7 @@ let all_codes =
     Arity;
     Precondition;
     Already_managed;
+    Oracle_rejected;
     Internal;
   ]
 
@@ -52,6 +54,7 @@ let code_name = function
   | Arity -> "arity"
   | Precondition -> "precondition"
   | Already_managed -> "already-managed"
+  | Oracle_rejected -> "oracle-rejected"
   | Internal -> "internal"
 
 let code_of_name s = List.find_opt (fun c -> code_name c = s) all_codes

@@ -25,6 +25,9 @@ type code =
   | Arity  (** wrong operand count for the kind *)
   | Precondition  (** surface-combinator precondition violated (DSL misuse) *)
   | Already_managed  (** program already contains scale-management operations *)
+  | Oracle_rejected
+      (** every exploration strategy's winning plan failed the differential
+          oracle gate (validate/typecheck/roundtrip/accuracy/agreement) *)
   | Internal  (** a pass or the driver broke an invariant *)
 
 val code_name : code -> string

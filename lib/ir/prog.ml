@@ -154,7 +154,7 @@ let users p =
        positional placeholders ($0, $1, ... in canonical input order);
      - metadata: provenance and type annotations are stripped (types are
        recomputed by the checker from the structure alone). *)
-let canonicalize p =
+let canonical_numbering p =
   let n = Array.length p.body in
   let order = Array.make n (-1) in
   let seq = ref [] in
@@ -171,7 +171,12 @@ let canonicalize p =
   (* dead declared inputs still exist in the signature: keep them, after
      everything reachable, in declaration order *)
   List.iter visit p.inputs;
-  let canonical_order = List.rev !seq in
+  (order, List.rev !seq)
+
+let canonical_ids p = fst (canonical_numbering p)
+
+let canonicalize p =
+  let order, canonical_order = canonical_numbering p in
   let new_inputs =
     List.filter_map
       (fun v -> match p.body.(v).kind with Input _ -> Some order.(v) | _ -> None)
@@ -236,6 +241,43 @@ let serialize_canonical buf p =
 let fingerprint p =
   let buf = Buffer.create 1024 in
   serialize_canonical buf (canonicalize p);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* A coarser hash than [fingerprint]: the canonical kind-skeleton with
+   every attribute (constants, rotation amounts, scales) elided. Programs
+   that differ only in such attributes collide here, which is exactly the
+   "structurally similar" bucket the plan corpus warm-starts from — their
+   SMU graphs are isomorphic, so a good plan for one is a credible seed
+   for the other. *)
+let structural_digest p =
+  let c = canonicalize p in
+  let buf = Buffer.create 256 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "hecate-skel-v1;slots=%d;ops=%d;" c.slot_count (Array.length c.body);
+  Array.iter
+    (fun o ->
+      let tag =
+        match o.kind with
+        | Input _ -> "in"
+        | Const _ -> "c"
+        | Encode _ -> "enc"
+        | Add -> "add"
+        | Sub -> "sub"
+        | Mul -> "mul"
+        | Negate -> "neg"
+        | Rotate _ -> "rot"
+        | Rescale -> "rs"
+        | Modswitch -> "ms"
+        | Upscale _ -> "up"
+        | Downscale _ -> "down"
+      in
+      Buffer.add_string buf tag;
+      Buffer.add_char buf '[';
+      Array.iter (fun a -> addf "%d," a) o.args;
+      Buffer.add_string buf "];")
+    c.body;
+  addf "out=";
+  List.iter (fun v -> addf "%d," v) c.outputs;
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 module Builder = struct

@@ -93,12 +93,26 @@ val canonicalize : t -> t
     dead derived code, naming or metadata canonicalize to {!equal}
     programs. The result is a valid program ({!validate} holds). *)
 
+val canonical_ids : t -> int array
+(** The numbering {!canonicalize} assigns: element [v] is the canonical id
+    of op [v], or [-1] for derived ops unreachable from the outputs. Two
+    alpha-equivalent programs map corresponding ops to equal canonical
+    ids — the property the plan cache uses to transport exploration plans
+    between structurally matching programs. *)
+
 val fingerprint : t -> string
 (** Content hash (hex digest) of {!canonicalize}d structure — the key the
     plan cache addresses compiled artifacts by. Stable across
     print/parse round-trips (with or without provenance or type
     annotations) and across alpha-renaming; floats are hashed by their
     exact binary representation. *)
+
+val structural_digest : t -> string
+(** Hash of the canonical {e kind skeleton} only: op kinds and the operand
+    graph, with constants, rotation amounts and scales elided. Strictly
+    coarser than {!fingerprint} (equal fingerprints imply equal digests) —
+    the "structurally similar" bucket warm-started exploration draws plan
+    seeds from, since colliding programs have isomorphic SMU graphs. *)
 
 (** Mutable builder for constructing programs. *)
 module Builder : sig

@@ -39,9 +39,9 @@ let compile ~socket:socket_path ?on_progress (submit : Protocol.submit) =
         match Protocol.parse_event line with
         | Error msg -> Error msg
         | Ok (Protocol.Accepted _) -> wait ()
-        | Ok (Protocol.Progress { epoch; best_cost; _ }) ->
+        | Ok (Protocol.Progress { strategy; epoch; best_cost; _ }) ->
             incr progress_events;
-            Option.iter (fun f -> f ~epoch ~best_cost) on_progress;
+            Option.iter (fun f -> f ~strategy ~epoch ~best_cost) on_progress;
             wait ()
         | Ok (Protocol.Done result) ->
             Ok

@@ -10,7 +10,7 @@ type outcome = {
 
 val compile :
   socket:string ->
-  ?on_progress:(epoch:int -> best_cost:float -> unit) ->
+  ?on_progress:(strategy:string -> epoch:int -> best_cost:float -> unit) ->
   Protocol.submit ->
   (outcome, string) result
 (** Submit one program and block until it finishes. Every failure mode —

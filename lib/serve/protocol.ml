@@ -15,6 +15,7 @@ type submit = {
   waterline_bits : float;
   max_epochs : int;
   budget_seconds : float option;
+  strategy : string option;
   stream : bool;
 }
 
@@ -58,21 +59,30 @@ let parse_request line =
                     (Printf.sprintf
                        "submit: unknown scheme %S (expected eva, pars, smse or hecate)"
                        scheme_field)
-              | Some scheme ->
-                  Ok
-                    (Submit
-                       {
-                         program;
-                         scheme;
-                         sf_bits = Option.value ~default:28 (int "sf_bits");
-                         waterline_bits =
-                           Option.value ~default:20. (flt "waterline_bits");
-                         max_epochs = Option.value ~default:100 (int "max_epochs");
-                         budget_seconds = flt "budget_seconds";
-                         stream =
-                           Option.value ~default:false
-                             (Json.to_bool (Json.member "stream" json));
-                       })))
+              | Some scheme -> (
+                  match str "strategy" with
+                  | Some s when not (Explore.known_strategy s) ->
+                      Error
+                        (Printf.sprintf
+                           "submit: unknown exploration strategy %S (expected %s or %s)" s
+                           (String.concat ", " (Explore.strategy_names ()))
+                           Explore.portfolio_name)
+                  | strategy ->
+                      Ok
+                        (Submit
+                           {
+                             program;
+                             scheme;
+                             sf_bits = Option.value ~default:28 (int "sf_bits");
+                             waterline_bits =
+                               Option.value ~default:20. (flt "waterline_bits");
+                             max_epochs = Option.value ~default:100 (int "max_epochs");
+                             budget_seconds = flt "budget_seconds";
+                             strategy;
+                             stream =
+                               Option.value ~default:false
+                                 (Json.to_bool (Json.member "stream" json));
+                           }))))
       | Some "status" -> Result.map (fun id -> Status id) (job ())
       | Some "cancel" -> Result.map (fun id -> Cancel id) (job ())
       | Some "stats" -> Ok Stats
@@ -91,9 +101,12 @@ let render_submit (s : submit) =
           ("max_epochs", Json.int s.max_epochs);
           ("stream", Json.Bool s.stream);
         ]
-       @ match s.budget_seconds with
+       @ (match s.budget_seconds with
          | None -> []
-         | Some b -> [ ("budget_seconds", Json.Num b) ]))
+         | Some b -> [ ("budget_seconds", Json.Num b) ])
+       @ match s.strategy with
+         | None -> []
+         | Some st -> [ ("strategy", Json.Str st) ]))
 
 let render_request = function
   | Submit s -> render_submit s
@@ -109,10 +122,11 @@ let render_request = function
 let event name fields = Json.render (Json.Obj (("event", Json.Str name) :: fields))
 let accepted ~job = event "accepted" [ ("job", Json.int job) ]
 
-let progress ~job (t : Explore.epoch_trace) =
+let progress ~job ~strategy (t : Explore.epoch_trace) =
   event "progress"
     [
       ("job", Json.int job);
+      ("strategy", Json.Str strategy);
       ("epoch", Json.int t.Explore.epoch);
       ("candidates", Json.int t.Explore.candidates);
       ("cache_hits", Json.int t.Explore.cache_hits);
@@ -142,6 +156,8 @@ let done_ ~job ~origin ~wall_seconds (e : Plancache.entry) =
       ("estimated_seconds", Json.Num e.Plancache.estimated_seconds);
       ("explore_epochs", Json.int e.Plancache.explore_epochs);
       ("explore_plans", Json.int e.Plancache.explore_plans);
+      ("strategy", Json.Str e.Plancache.strategy);
+      ("winner_strategy", Json.Str e.Plancache.winner_strategy);
       ("params", params_json e.Plancache.params);
       ("artifact", Json.Str e.Plancache.artifact);
     ]
@@ -186,12 +202,13 @@ type job_result = {
   compile_seconds : float;  (** wall clock of the cold compile that produced the entry *)
   estimated_seconds : float;
   explore_epochs : int;
+  winner_strategy : string;
   secure_n : int;
 }
 
 type event =
   | Accepted of int
-  | Progress of { job : int; epoch : int; best_cost : float }
+  | Progress of { job : int; strategy : string; epoch : int; best_cost : float }
   | Done of job_result
   | Cancelled of int
   | Error of { job : int option; message : string }
@@ -212,7 +229,12 @@ let parse_event line =
       | Some "progress" ->
           Result.Ok
             (Progress
-               { job = int "job" (-1); epoch = int "epoch" 0; best_cost = flt "best_cost" nan })
+               {
+                 job = int "job" (-1);
+                 strategy = Option.value ~default:"" (str "strategy");
+                 epoch = int "epoch" 0;
+                 best_cost = flt "best_cost" nan;
+               })
       | Some "done" ->
           Result.Ok
             (Done
@@ -225,6 +247,7 @@ let parse_event line =
                  compile_seconds = flt "compile_seconds" nan;
                  estimated_seconds = flt "estimated_seconds" nan;
                  explore_epochs = int "explore_epochs" 0;
+                 winner_strategy = Option.value ~default:"" (str "winner_strategy");
                  secure_n =
                    Option.value ~default:0
                      (Json.to_int (Json.member "secure_n" (Json.member "params" json)));

@@ -9,7 +9,8 @@
     Requests:
     - [{"op":"submit","program":TEXT,"scheme":"hecate","sf_bits":28,
         "waterline_bits":20,"max_epochs":100,"budget_seconds":S?,
-        "stream":false}] — everything but ["program"] is optional;
+        "strategy":"portfolio"?,"stream":false}] — everything but
+      ["program"] is optional;
     - [{"op":"status","job":N}], [{"op":"cancel","job":N}],
       [{"op":"stats"}], [{"op":"shutdown"}].
 
@@ -27,6 +28,10 @@ type submit = {
   budget_seconds : float option;
       (** exploration wall-clock budget; truncated results are returned
           but not cached (see {!Hecate.Plancache.compile}) *)
+  strategy : string option;
+      (** exploration strategy name or ["portfolio"]; [None] means the
+          server default ({!Hecate.Explore.default_strategy}). Unknown
+          names are rejected at parse time. *)
   stream : bool;  (** send a [progress] event per exploration epoch *)
 }
 
@@ -50,7 +55,10 @@ val render_request : request -> string
 (** {1 Server-side event rendering} — each returns one line. *)
 
 val accepted : job:int -> string
-val progress : job:int -> Hecate.Explore.epoch_trace -> string
+
+val progress : job:int -> strategy:string -> Hecate.Explore.epoch_trace -> string
+(** One exploration epoch of one racing strategy ([strategy] is the
+    epoch's owner, not necessarily the eventual winner). *)
 
 val done_ :
   job:int -> origin:Hecate.Plancache.origin -> wall_seconds:float ->
@@ -77,12 +85,13 @@ type job_result = {
   compile_seconds : float;  (** wall clock of the cold compile that produced the entry *)
   estimated_seconds : float;
   explore_epochs : int;
+  winner_strategy : string;  (** the strategy that produced the plan; [""] from old servers *)
   secure_n : int;
 }
 
 type event =
   | Accepted of int
-  | Progress of { job : int; epoch : int; best_cost : float }
+  | Progress of { job : int; strategy : string; epoch : int; best_cost : float }
   | Done of job_result
   | Cancelled of int
   | Error of { job : int option; message : string }

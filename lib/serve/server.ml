@@ -24,6 +24,7 @@ module Parser = Hecate_ir.Parser
 module Diagnostic = Hecate_ir.Diagnostic
 module Plancache = Hecate.Plancache
 module Explore = Hecate.Explore
+module Oracle = Hecate_fuzz.Oracle
 
 type job_state = Queued | Running | Done | Failed | Cancelled
 
@@ -47,6 +48,7 @@ type job = {
 type t = {
   cache : Plancache.t;
   pool_size : int option;
+  oracle : bool;  (* gate every exploration winner through the differential oracle *)
   verbose : bool;
   mutex : Mutex.t;
   work : Condition.t;
@@ -95,13 +97,20 @@ let run_job t job =
     let t0 = Unix.gettimeofday () in
     let on_epoch =
       if s.Protocol.stream then
-        Some (fun tr -> job.send (Protocol.progress ~job:job.id tr))
+        Some (fun ~strategy tr -> job.send (Protocol.progress ~job:job.id ~strategy tr))
+      else None
+    in
+    let gate =
+      if t.oracle then
+        Some
+          (Oracle.explorer_gate ~sf_bits:s.Protocol.sf_bits
+             ~waterline_bits:s.Protocol.waterline_bits job.prog)
       else None
     in
     match
       Plancache.compile t.cache ?pool_size:t.pool_size
         ~should_stop:(fun () -> Atomic.get job.cancel || Atomic.get t.stopping)
-        ?on_epoch
+        ?on_epoch ?strategy:s.Protocol.strategy ?gate
         ?budget_seconds:s.Protocol.budget_seconds ~scheme:s.Protocol.scheme
         ~sf_bits:s.Protocol.sf_bits ~waterline_bits:s.Protocol.waterline_bits
         ~max_epochs:s.Protocol.max_epochs job.prog
@@ -157,12 +166,13 @@ let worker_loop t =
 (* Construction / shutdown                                              *)
 (* ------------------------------------------------------------------ *)
 
-let create ?pool_size ?(workers = 2) ?(verbose = false) cache =
+let create ?pool_size ?(workers = 2) ?(oracle = false) ?(verbose = false) cache =
   if workers < 1 then invalid_arg "Server.create: workers must be >= 1";
   let t =
     {
       cache;
       pool_size;
+      oracle;
       verbose;
       mutex = Mutex.create ();
       work = Condition.create ();

@@ -19,11 +19,15 @@
 
 type t
 
-val create : ?pool_size:int -> ?workers:int -> ?verbose:bool -> Hecate.Plancache.t -> t
+val create :
+  ?pool_size:int -> ?workers:int -> ?oracle:bool -> ?verbose:bool -> Hecate.Plancache.t -> t
 (** [create cache] starts [workers] (default 2) job threads immediately.
     [pool_size] is forwarded to each compile's exploration pool (worker
     {e domains} per job — threads give I/O concurrency, domains give
-    compute parallelism).
+    compute parallelism). [oracle] (default false) re-validates every
+    exploration winner through {!Hecate_fuzz.Oracle.explorer_gate} before
+    it is returned or cached; rejected plans surface as [error] events
+    with diagnostic code [oracle-rejected].
     @raise Invalid_argument if [workers < 1]. *)
 
 val serve : t -> socket_path:string -> unit

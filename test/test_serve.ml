@@ -242,7 +242,19 @@ let test_protocol_request_roundtrip () =
           waterline_bits = 22.;
           max_epochs = 40;
           budget_seconds = Some 1.5;
+          strategy = Some "portfolio";
           stream = true;
+        };
+      Protocol.Submit
+        {
+          Protocol.program = "func g(%0 \"y\")\n";
+          scheme = Driver.Hecate;
+          sf_bits = 28;
+          waterline_bits = 20.;
+          max_epochs = 100;
+          budget_seconds = None;
+          strategy = None;
+          stream = false;
         };
       Protocol.Status 7;
       Protocol.Cancel 9;
@@ -301,14 +313,15 @@ let submit_fig2 ?budget_seconds ?(scheme = Driver.Hecate) () =
     waterline_bits = 20.;
     max_epochs = 100;
     budget_seconds;
+    strategy = None;
     stream = false;
   }
 
-let with_server f =
+let with_server ?(oracle = false) f =
   with_temp_dir @@ fun dir ->
   let sock = Filename.concat dir "hecated.sock" in
   let cache = Plancache.create () in
-  let server = Server.create ~workers:2 cache in
+  let server = Server.create ~workers:2 ~oracle cache in
   let th = Thread.create (fun () -> Server.serve server ~socket_path:sock) () in
   let rec await n =
     if Sys.file_exists sock then ()
@@ -354,6 +367,32 @@ let test_server_end_to_end () =
           (Json.to_int (Json.member "hits_memory" (Json.member "cache" json)))
       in
       check Alcotest.bool "stats report the hit" true (cache_hits >= 1)
+
+let test_server_oracle_portfolio () =
+  (* The daemon with --oracle serves a streamed portfolio job: progress
+     events carry per-strategy tags, the winner is recorded, and the
+     result entered the cache only because it survived the gate. *)
+  with_server ~oracle:true @@ fun sock ->
+  let seen = Hashtbl.create 8 in
+  let on_progress ~strategy ~epoch:_ ~best_cost:_ = Hashtbl.replace seen strategy () in
+  let submit =
+    { (submit_fig2 ()) with Protocol.strategy = Some "portfolio"; stream = true }
+  in
+  match Client.compile ~socket:sock ~on_progress submit with
+  | Error msg -> Alcotest.fail msg
+  | Ok o ->
+      check Alcotest.string "gated compile is cold" "cold" o.Client.result.Protocol.origin;
+      check Alcotest.bool "winner strategy recorded" true
+        (o.Client.result.Protocol.winner_strategy <> "");
+      check Alcotest.bool "progress events tagged by strategy" true
+        (Hashtbl.length seen >= 2);
+      (match Client.compile ~socket:sock submit with
+      | Error msg -> Alcotest.fail msg
+      | Ok warm ->
+          check Alcotest.string "gated result was cached" "memory"
+            warm.Client.result.Protocol.origin;
+          check Alcotest.string "byte-identical artifact"
+            o.Client.result.Protocol.artifact warm.Client.result.Protocol.artifact)
 
 let test_server_budget_is_transient () =
   with_server @@ fun sock ->
@@ -404,6 +443,7 @@ let () =
       ( "server",
         [
           Alcotest.test_case "end to end over a socket" `Quick test_server_end_to_end;
+          Alcotest.test_case "oracle-gated portfolio job" `Quick test_server_oracle_portfolio;
           Alcotest.test_case "budget-truncated is transient" `Quick
             test_server_budget_is_transient;
         ] );
